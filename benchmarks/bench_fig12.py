@@ -1,0 +1,63 @@
+"""Figure 12 / Section 7.1 failure analysis — the kurtosis task.
+
+The paper's single failure: online kurtosis requires the very large ``m4``
+update expression of Figure 12, which defeats expression synthesis within the
+budget.  This benchmark checks that
+
+* the ground-truth online kurtosis (Figure 12, transcribed) is genuinely
+  equivalent to the two-pass offline program — i.e. the task is *solvable in
+  principle*, just not found by the synthesizer;
+* Opera fails on kurtosis by exhausting its budget (not by crashing);
+* the reason is expression size: the ground-truth ``m4`` update is by far the
+  largest online expression in the suite.
+
+Run:  pytest benchmarks/bench_fig12.py --benchmark-only -s
+"""
+
+from repro.baselines import OperaFull
+from repro.core import SynthesisConfig, check_scheme_equivalence
+from repro.evaluation import default_timeout
+from repro.ir.traversal import ast_size
+from repro.suites import all_benchmarks, get_benchmark
+
+
+def test_figure12_ground_truth_is_correct(benchmark):
+    bench = get_benchmark("kurtosis")
+
+    def check():
+        return check_scheme_equivalence(
+            bench.program,
+            bench.ground_truth,
+            SynthesisConfig(equivalence_tests=16),
+        )
+
+    assert benchmark(check)
+
+
+def test_kurtosis_fails_within_budget(benchmark):
+    bench = get_benchmark("kurtosis")
+
+    def attempt():
+        return OperaFull().synthesize(
+            bench.program,
+            SynthesisConfig(timeout_s=default_timeout(5.0)),
+            "kurtosis",
+        )
+
+    report = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    assert not report.success
+    assert "Timeout" in (report.failure_reason or "")
+    print(f"\nkurtosis failure: {report.failure_reason}")
+
+
+def test_kurtosis_update_is_largest_in_suite():
+    sizes = {}
+    for bench in all_benchmarks():
+        if bench.ground_truth is None:
+            continue
+        sizes[bench.name] = max(
+            ast_size(out) for out in bench.ground_truth.program.outputs
+        )
+    largest = max(sizes, key=sizes.get)
+    print(f"\nlargest ground-truth online expression: {largest} ({sizes[largest]} nodes)")
+    assert largest == "kurtosis"

@@ -1,0 +1,88 @@
+"""Runtime benchmark — the *point* of online algorithms.
+
+Not a paper table, but the motivation behind all of them (Section 1): an
+online scheme processes each element in O(1) work and O(1) memory, whereas
+re-running the batch program on every prefix costs O(n) per element (O(n^2)
+total).  This benchmark measures both regimes on the synthesized variance
+scheme and asserts the asymptotic win.
+
+Run:  pytest benchmarks/bench_runtime.py --benchmark-only -s
+"""
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import OperaFull
+from repro.core import SynthesisConfig
+from repro.ir import run_offline
+from repro.runtime import OnlineOperator
+from repro.suites import get_benchmark
+
+STREAM = [Fraction(i % 23) + Fraction(1, 1 + (i % 5)) for i in range(400)]
+
+
+@pytest.fixture(scope="module")
+def variance_scheme():
+    bench = get_benchmark("variance")
+    report = OperaFull().synthesize(
+        bench.program, SynthesisConfig(timeout_s=60), "variance"
+    )
+    assert report.success
+    return bench.program, report.scheme
+
+
+def test_online_per_prefix(benchmark, variance_scheme):
+    _, scheme = variance_scheme
+
+    def run_online():
+        op = OnlineOperator(scheme)
+        for x in STREAM:
+            op.push(x)
+        return op.value
+
+    result = benchmark(run_online)
+    assert result is not None
+
+
+def test_batch_per_prefix(benchmark, variance_scheme):
+    program, _ = variance_scheme
+    prefix = STREAM[:60]  # quadratic regime: keep the benchmark bounded
+
+    def run_batch_every_prefix():
+        out = None
+        for i in range(1, len(prefix) + 1):
+            out = run_offline(program, prefix[:i])
+        return out
+
+    result = benchmark(run_batch_every_prefix)
+    assert result is not None
+
+
+def test_asymptotic_win(variance_scheme):
+    """Online beats per-prefix batch recomputation, increasingly with n."""
+    program, scheme = variance_scheme
+
+    def time_online(n):
+        start = time.perf_counter()
+        op = OnlineOperator(scheme)
+        for x in STREAM[:n]:
+            op.push(x)
+        return time.perf_counter() - start, op.value
+
+    def time_batch(n):
+        start = time.perf_counter()
+        out = None
+        for i in range(1, n + 1):
+            out = run_offline(program, STREAM[:i])
+        return time.perf_counter() - start, out
+
+    n = 120
+    online_t, online_v = time_online(n)
+    batch_t, batch_v = time_batch(n)
+    assert online_v == batch_v  # same answer
+    speedup = batch_t / online_t
+    print(f"\nn={n}: online {online_t*1000:.1f} ms, per-prefix batch "
+          f"{batch_t*1000:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup > 3.0

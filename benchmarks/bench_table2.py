@@ -1,0 +1,81 @@
+"""Table 2 — main synthesis results: Opera vs adapted SyGuS solvers.
+
+Regenerates the paper's Table 2 (% solved and average time per domain) plus
+the Section 7.1 qualitative analysis.  The paper reports:
+
+    Opera   97% stats / 100% auction  (50 of 51 overall; kurtosis fails)
+    CVC5    36% / 39%
+    Sketch  12% / 17%
+
+The absolute times differ (different machine, different budget); the shape
+assertions check the ordering Opera >> CVC5 > Sketch and the 50/51 headline.
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
+(Per-task budget: REPRO_BENCH_TIMEOUT env var, default 5 s.)
+"""
+
+from repro.baselines import OperaFull
+from repro.core import SynthesisConfig
+from repro.evaluation import default_timeout, qualitative, table2
+from repro.suites import all_benchmarks, get_benchmark
+
+
+def test_table2(benchmark, main_matrix):
+    # Benchmark one representative synthesis (the paper's headline task).
+    variance = get_benchmark("variance")
+
+    def synthesize_variance():
+        return OperaFull().synthesize(
+            variance.program,
+            SynthesisConfig(timeout_s=default_timeout(5.0)),
+            "variance",
+        )
+
+    report = benchmark(synthesize_variance)
+    assert report.success
+
+    print("\n" + table2(main_matrix))
+
+    opera = main_matrix["opera"]
+    cvc5 = main_matrix["cvc5"]
+    sketch = main_matrix["sketch"]
+
+    opera_total = sum(len(r.solved()) for r in opera.values())
+    cvc5_total = sum(len(r.solved()) for r in cvc5.values())
+    sketch_total = sum(len(r.solved()) for r in sketch.values())
+    print(
+        f"\ntotals: opera {opera_total}/51, cvc5 {cvc5_total}/51, "
+        f"sketch {sketch_total}/51"
+    )
+
+    # Headline: Opera solves 50/51 (every task except kurtosis).
+    assert opera_total == 50
+    failed = [
+        name
+        for domain in opera.values()
+        for name, rep in domain.reports.items()
+        if not rep.success
+    ]
+    assert failed == ["kurtosis"]
+
+    # Ordering of Table 2: Opera strictly dominates; CVC5 beats Sketch.
+    assert opera_total >= 2 * cvc5_total  # paper: 2.6x
+    assert cvc5_total > sketch_total      # paper: 36% vs 12%
+    assert sketch_total >= 1              # Sketch solves the trivial tasks
+
+
+def test_qualitative_analysis(main_matrix, opera_all):
+    """Section 7.1: synthesized schemes vs hand-written ground truth."""
+    print("\n" + qualitative(all_benchmarks(), opera_all))
+    # Most solved schemes use the same accumulator structure as the classic
+    # hand-written algorithm (the paper reports 41 of 50 identical; ours is
+    # an arity comparison — alternative-parameterization schemes are fine).
+    same = sum(
+        1
+        for bench in all_benchmarks()
+        if (rep := opera_all.reports.get(bench.name)) is not None
+        and rep.success
+        and bench.ground_truth is not None
+        and rep.scheme.arity == bench.ground_truth.arity
+    )
+    assert same >= 30

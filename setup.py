@@ -1,0 +1,19 @@
+"""Setup shim for environments without the ``wheel`` package (offline CI).
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+``pip install -e .`` code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Opera: automatic generation of online streaming algorithms from "
+        "batch programs (PLDI 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,63 @@
+"""Opera: automatic generation of online streaming algorithms from their
+batch (offline) versions.
+
+Reproduction of Wang, Pailoor, Prakash, Wang, Dillig — *From Batch to Stream:
+Automatic Generation of Online Algorithms*, PLDI 2024.
+
+Typical use::
+
+    from repro import synthesize, SynthesisConfig, python_to_ir
+
+    program = python_to_ir('''
+    def mean(xs):
+        s = 0
+        for x in xs:
+            s += x
+        return s / len(xs)
+    ''')
+    report = synthesize(program, SynthesisConfig(timeout_s=60), "mean")
+    scheme = report.scheme          # (initializer, online program)
+    list(scheme.run([1, 2, 3]))     # -> [1, 3/2, 2]
+
+Package map:
+
+* :mod:`repro.ir` — the functional IR (Figures 6-7) with parser, printer and
+  interpreter;
+* :mod:`repro.frontend` — Python-to-IR translation;
+* :mod:`repro.algebra` — exact polynomial/rational symbolic algebra and
+  quantifier elimination (the REDUCE replacement);
+* :mod:`repro.core` — the synthesis pipeline (RFS, decomposition, implicates,
+  mining, templates, enumeration);
+* :mod:`repro.runtime` — stream operators for deploying schemes;
+* :mod:`repro.suites` — the 51 evaluation benchmarks;
+* :mod:`repro.baselines` — SyGuS-style baselines and ablations;
+* :mod:`repro.evaluation` — the Table/Figure regeneration harness.
+"""
+
+from .core import (
+    OnlineScheme,
+    SynthesisConfig,
+    SynthesisReport,
+    synthesize,
+    synthesize_expr,
+)
+from .frontend import python_to_ir
+from .ir import parse_program, pretty_online, pretty_program, run_offline
+from .runtime import OnlineOperator, StreamPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OnlineOperator",
+    "OnlineScheme",
+    "StreamPipeline",
+    "SynthesisConfig",
+    "SynthesisReport",
+    "parse_program",
+    "pretty_online",
+    "pretty_program",
+    "python_to_ir",
+    "run_offline",
+    "synthesize",
+    "synthesize_expr",
+]

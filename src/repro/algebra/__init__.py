@@ -1,0 +1,68 @@
+"""Exact symbolic algebra substrate (the reproduction's REDUCE replacement).
+
+Layers, bottom-up:
+
+* :mod:`repro.algebra.polynomial` — sparse multivariate polynomials over
+  ``Fraction``;
+* :mod:`repro.algebra.ratfunc` — rational functions with lightweight
+  normalization and cross-multiplication equality;
+* :mod:`repro.algebra.atoms` — interning of opaque (non-polynomial) subterms;
+* :mod:`repro.algebra.linsolve` — exact Gaussian elimination / nullspaces;
+* :mod:`repro.algebra.symmetric` — power-sum rewriting of symmetric systems;
+* :mod:`repro.algebra.elimination` — equational quantifier elimination;
+* :mod:`repro.algebra.interpolation` — exact polynomial interpolation.
+"""
+
+from .atoms import Atom, AtomTable
+from .elimination import (
+    EliminationBlowup,
+    EliminationResult,
+    Equation,
+    eliminate_variables,
+    equation,
+    find_definition,
+    solve_linear,
+    solve_target,
+)
+from .interpolation import fit_polynomial, lagrange_interpolate
+from .linsolve import nullspace, rank, rref, solve
+from .polynomial import Poly, poly_product, poly_sum
+from .ratfunc import AlgebraError, RatFunc
+from .symmetric import (
+    expand_power_sum,
+    power_sum_basis,
+    psum_name,
+    rewrite_symmetric,
+    rewrite_symmetric_ratfunc,
+    shift_power_sums,
+)
+
+__all__ = [
+    "AlgebraError",
+    "Atom",
+    "AtomTable",
+    "EliminationBlowup",
+    "EliminationResult",
+    "Equation",
+    "Poly",
+    "RatFunc",
+    "eliminate_variables",
+    "equation",
+    "expand_power_sum",
+    "find_definition",
+    "fit_polynomial",
+    "lagrange_interpolate",
+    "nullspace",
+    "poly_product",
+    "poly_sum",
+    "power_sum_basis",
+    "psum_name",
+    "rank",
+    "rewrite_symmetric",
+    "rewrite_symmetric_ratfunc",
+    "rref",
+    "shift_power_sums",
+    "solve",
+    "solve_linear",
+    "solve_target",
+]

@@ -1,0 +1,131 @@
+"""Atom abstraction: opaque subterms inside polynomial reasoning.
+
+The quantifier-elimination engine works over polynomials/rational functions,
+but realistic offline programs also contain non-polynomial operations
+(``min``, ``max``, ``sqrt``, ``exp``, ``log``), boolean predicates, tuple
+constructors/projections, and conditionals.  Following the paper's
+implementation note ("Opera ensures that formulas belong to a theory that
+admits quantifier elimination by replacing foreign terms with fresh
+variables"), every such subterm is *interned* as an **atom**: a fresh
+variable ``@k`` owned by an :class:`AtomTable` that remembers the operator
+and the (symbolic) argument terms.
+
+Atoms are structural: interning the same operator over equal argument terms
+returns the same atom variable.  Substitution of ordinary variables descends
+into atom arguments and re-interns, so elimination results remain decodable
+back into IR syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .ratfunc import RatFunc
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An interned opaque operation.
+
+    ``op``    — operator tag (built-in name, ``"ite"``, ``"tuple"``,
+                ``"proj"``, or ``"opaque"`` for leaf placeholders);
+    ``args``  — argument terms (rational functions over variables & atoms);
+    ``meta``  — static payload (projection index, opaque payload key).
+    """
+
+    op: str
+    args: tuple[RatFunc, ...]
+    meta: object = None
+
+
+def _term_key(term: RatFunc):
+    return (
+        frozenset(term.num.terms.items()),
+        frozenset(term.den.terms.items()),
+    )
+
+
+class AtomTable:
+    """Bidirectional registry of atoms.
+
+    Atom variables are named ``"@<index>"`` so the polynomial layer can treat
+    them as ordinary variables while this table retains their meaning.
+    """
+
+    def __init__(self) -> None:
+        self._atoms: dict[str, Atom] = {}
+        self._intern: dict[tuple, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def is_atom_var(self, name: str) -> bool:
+        return name.startswith("@")
+
+    def intern(self, op: str, args: tuple[RatFunc, ...], meta: object = None) -> str:
+        key = (op, tuple(_term_key(a) for a in args), meta)
+        existing = self._intern.get(key)
+        if existing is not None:
+            return existing
+        name = f"@{len(self._atoms)}"
+        self._atoms[name] = Atom(op, args, meta)
+        self._intern[key] = name
+        return name
+
+    def lookup(self, name: str) -> Atom:
+        return self._atoms[name]
+
+    def base_variables(self, name: str) -> frozenset[str]:
+        """All non-atom variables an atom (transitively) depends on."""
+        atom = self._atoms[name]
+        out: set[str] = set()
+        for arg in atom.args:
+            for var in arg.variables():
+                if self.is_atom_var(var):
+                    out |= self.base_variables(var)
+                else:
+                    out.add(var)
+        return frozenset(out)
+
+    def term_base_variables(self, term: RatFunc) -> frozenset[str]:
+        """All non-atom variables of a term, looking through atoms."""
+        out: set[str] = set()
+        for var in term.variables():
+            if self.is_atom_var(var):
+                out |= self.base_variables(var)
+            else:
+                out.add(var)
+        return frozenset(out)
+
+    def substitute_term(self, term: RatFunc, mapping: Mapping[str, RatFunc]) -> RatFunc:
+        """Substitute ordinary variables, rebuilding any atoms whose argument
+        terms mention the substituted variables."""
+        if not mapping:
+            return term
+        targeted = frozenset(mapping)
+        full: dict[str, RatFunc] = dict(mapping)
+        for var in sorted(term.variables()):
+            if self.is_atom_var(var) and var not in full:
+                if self.base_variables(var) & targeted:
+                    full[var] = RatFunc.var(self._rebuild(var, mapping))
+        return term.substitute(full)
+
+    def _rebuild(self, atom_var: str, mapping: Mapping[str, RatFunc]) -> str:
+        atom = self._atoms[atom_var]
+        new_args = tuple(self.substitute_term(a, mapping) for a in atom.args)
+        return self.intern(atom.op, new_args, atom.meta)
+
+    def atoms_in(self, term: RatFunc) -> frozenset[str]:
+        """Atom variables occurring (transitively) in a term."""
+        out: set[str] = set()
+
+        def visit(t: RatFunc) -> None:
+            for var in t.variables():
+                if self.is_atom_var(var) and var not in out:
+                    out.add(var)
+                    for arg in self._atoms[var].args:
+                        visit(arg)
+
+        visit(term)
+        return frozenset(out)

@@ -1,0 +1,73 @@
+"""Exact univariate polynomial interpolation (Appendix B's ``Interpolate``).
+
+Given sample points ``(l, value)`` for a template unknown, fit the lowest-
+degree polynomial in ``n`` that passes through all of them.  The paper uses
+SciPy's interpolation here; we use exact Lagrange interpolation over
+``Fraction`` (with SciPy available for a float cross-check in the tests) so
+that the subsequent equivalence check is not perturbed by rounding.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .linsolve import solve
+
+Point = tuple[Fraction, Fraction]
+
+
+def lagrange_interpolate(points: Sequence[Point]) -> list[Fraction]:
+    """Coefficients (ascending degree) of the unique polynomial of degree
+    ``< len(points)`` through ``points``.
+
+    Implemented as an exact Vandermonde solve, which also detects duplicated
+    abscissae (raises ``ValueError``).
+    """
+    xs = [Fraction(x) for x, _ in points]
+    ys = [Fraction(y) for _, y in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate sample abscissae")
+    n = len(points)
+    matrix = [[x**j for j in range(n)] for x in xs]
+    coeffs = solve(matrix, ys)
+    if coeffs is None:  # Vandermonde with distinct nodes is invertible.
+        raise ValueError("interpolation system unexpectedly singular")
+    return _trim(coeffs)
+
+
+def fit_polynomial(
+    points: Sequence[Point], max_degree: int | None = None
+) -> list[Fraction] | None:
+    """Fit the lowest-degree polynomial consistent with *all* points.
+
+    Unlike :func:`lagrange_interpolate`, the number of points may exceed the
+    degree; extra points act as checks.  Returns ascending coefficients, or
+    ``None`` if no polynomial of degree ``<= max_degree`` fits exactly.
+    """
+    if not points:
+        return None
+    limit = max_degree if max_degree is not None else len(points) - 1
+    for degree in range(0, limit + 1):
+        if degree + 1 > len(points):
+            break
+        coeffs = lagrange_interpolate(points[: degree + 1])
+        if len(_trim(coeffs)) - 1 > degree if coeffs else False:
+            continue
+        if all(_eval(coeffs, x) == y for x, y in points):
+            return _trim(coeffs)
+    return None
+
+
+def _eval(coeffs: Sequence[Fraction], x: Fraction) -> Fraction:
+    total = Fraction(0)
+    for c in reversed(coeffs):
+        total = total * x + c
+    return total
+
+
+def _trim(coeffs: list[Fraction]) -> list[Fraction]:
+    out = list(coeffs)
+    while len(out) > 1 and out[-1] == 0:
+        out.pop()
+    return out

@@ -1,0 +1,99 @@
+"""Exact linear algebra over ``Fraction``.
+
+Three consumers inside the synthesizer:
+
+* power-sum rewriting (:mod:`repro.algebra.symmetric`) solves for a
+  representation of a symmetric polynomial in a power-sum basis;
+* :func:`repro.core.templates.sample_points` solves the per-length linear
+  systems of Algorithm 6 (including the homogeneous/nullspace variant needed
+  for templates with unknown denominators);
+* polynomial interpolation builds small Vandermonde solves.
+
+Everything is exact Gaussian elimination over ``Fraction`` — the matrices
+involved have at most a few dozen rows.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+Matrix = list[list[Fraction]]
+Vector = list[Fraction]
+
+
+def _to_matrix(rows: Sequence[Sequence[Fraction | int]]) -> Matrix:
+    return [[Fraction(x) for x in row] for row in rows]
+
+
+def rref(matrix: Sequence[Sequence[Fraction | int]]) -> tuple[Matrix, list[int]]:
+    """Reduced row-echelon form; returns (rref, pivot column indices)."""
+    m = _to_matrix(matrix)
+    if not m:
+        return [], []
+    rows, cols = len(m), len(m[0])
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        pivot_row = next((i for i in range(r, rows) if m[i][c] != 0), None)
+        if pivot_row is None:
+            continue
+        m[r], m[pivot_row] = m[pivot_row], m[r]
+        pivot = m[r][c]
+        m[r] = [x / pivot for x in m[r]]
+        for i in range(rows):
+            if i != r and m[i][c] != 0:
+                factor = m[i][c]
+                m[i] = [a - factor * b for a, b in zip(m[i], m[r])]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def solve(
+    matrix: Sequence[Sequence[Fraction | int]],
+    rhs: Sequence[Fraction | int],
+) -> Vector | None:
+    """Solve ``A x = b`` exactly.
+
+    Returns one solution (free variables set to 0) or ``None`` when the
+    system is inconsistent.
+    """
+    if not matrix:
+        return []
+    cols = len(matrix[0])
+    augmented = [list(row) + [b] for row, b in zip(matrix, rhs)]
+    reduced, pivots = rref(augmented)
+    for row in reduced:
+        if all(x == 0 for x in row[:-1]) and row[-1] != 0:
+            return None
+    solution = [Fraction(0)] * cols
+    for i, c in enumerate(pivots):
+        if c == cols:  # pivot in the RHS column -> inconsistent (caught above)
+            return None
+        solution[c] = reduced[i][-1]
+    return solution
+
+
+def nullspace(matrix: Sequence[Sequence[Fraction | int]]) -> list[Vector]:
+    """Basis of the (right) nullspace of ``A``."""
+    if not matrix:
+        return []
+    cols = len(matrix[0])
+    reduced, pivots = rref(matrix)
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis: list[Vector] = []
+    for free in free_cols:
+        vec = [Fraction(0)] * cols
+        vec[free] = Fraction(1)
+        for i, c in enumerate(pivots):
+            vec[c] = -reduced[i][free]
+        basis.append(vec)
+    return basis
+
+
+def rank(matrix: Sequence[Sequence[Fraction | int]]) -> int:
+    _, pivots = rref(matrix)
+    return len(pivots)

@@ -1,0 +1,299 @@
+"""Rational functions ``p / q`` over :class:`~repro.algebra.polynomial.Poly`.
+
+Rational functions arise during quantifier elimination whenever a variable is
+solved from an equation in which it occurs linearly (``v = -B/A``); they are
+also the normal form the expression synthesizer decodes back into IR.
+
+Normalization is deliberately lightweight (full multivariate GCD is
+unnecessary for the fragment the synthesizer generates):
+
+* the zero numerator collapses to ``0/1``;
+* the content (rational constant factor) of the denominator is moved into the
+  numerator, so denominators have integer content 1 and a positively-signed
+  leading coefficient;
+* common monomial factors are cancelled;
+* exact polynomial division is attempted in both directions
+  (``num = q * den`` or ``den = q * num``) to catch the frequent telescoping
+  cancellations;
+* when both sides are univariate in the same variable, an exact Euclidean GCD
+  is cancelled.
+
+Equality is decided by cross-multiplication, so incomplete cancellation never
+compromises correctness.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Union
+
+from .polynomial import Monomial, Poly, mono_degree, mono_div
+
+Scalar = Union[int, Fraction]
+
+
+class AlgebraError(Exception):
+    """Raised when an operation leaves the supported symbolic fragment."""
+
+
+def _common_monomial(p: Poly) -> Monomial:
+    """Largest monomial dividing every term of ``p``."""
+    common: dict[str, int] | None = None
+    for mono in p.terms:
+        exps = dict(mono)
+        if common is None:
+            common = exps
+        else:
+            common = {
+                v: min(e, exps.get(v, 0)) for v, e in common.items() if exps.get(v, 0) > 0
+            }
+        if not common:
+            return ()
+    if not common:
+        return ()
+    return tuple(sorted((v, e) for v, e in common.items() if e > 0))
+
+
+def _strip_monomial(p: Poly, mono: Monomial) -> Poly:
+    if not mono:
+        return p
+    return Poly({mono_div(m, mono): c for m, c in p.terms.items()})
+
+
+def _univariate_gcd(a: Poly, b: Poly, var: str) -> Poly:
+    """Euclidean GCD for univariate polynomials in ``var`` (monic result)."""
+
+    def to_coeffs(p: Poly) -> list[Fraction]:
+        deg = p.degree_in(var)
+        coeffs = [Fraction(0)] * (deg + 1)
+        for mono, c in p.terms.items():
+            exp = dict(mono).get(var, 0)
+            coeffs[exp] += c
+        return coeffs
+
+    def trim(cs: list[Fraction]) -> list[Fraction]:
+        while cs and cs[-1] == 0:
+            cs.pop()
+        return cs
+
+    def mod(a_cs: list[Fraction], b_cs: list[Fraction]) -> list[Fraction]:
+        a_cs = list(a_cs)
+        while len(a_cs) >= len(b_cs) and trim(a_cs):
+            factor = a_cs[-1] / b_cs[-1]
+            shift = len(a_cs) - len(b_cs)
+            for i, bc in enumerate(b_cs):
+                a_cs[shift + i] -= factor * bc
+            a_cs = trim(a_cs)
+            if not a_cs:
+                break
+        return a_cs
+
+    ca, cb = trim(to_coeffs(a)), trim(to_coeffs(b))
+    while cb:
+        ca, cb = cb, mod(ca, cb)
+    if not ca:
+        return Poly.zero()
+    lead = ca[-1]
+    terms = {
+        ((var, i),) if i else (): c / lead for i, c in enumerate(ca) if c != 0
+    }
+    return Poly(terms)
+
+
+class RatFunc:
+    """An immutable rational function."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Poly, den: Poly | None = None, *, normalize: bool = True):
+        den = den if den is not None else Poly.one()
+        if den.is_zero():
+            raise ZeroDivisionError("rational function with zero denominator")
+        if normalize:
+            num, den = _normalize(num, den)
+        self.num = num
+        self.den = den
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def const(value: Scalar) -> "RatFunc":
+        return RatFunc(Poly.const(value), Poly.one(), normalize=False)
+
+    @staticmethod
+    def var(name: str) -> "RatFunc":
+        return RatFunc(Poly.var(name), Poly.one(), normalize=False)
+
+    @staticmethod
+    def from_poly(p: Poly) -> "RatFunc":
+        return RatFunc(p, Poly.one(), normalize=False)
+
+    # -- queries -------------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.num.is_zero()
+
+    def is_constant(self) -> bool:
+        return self.num.is_constant() and self.den.is_constant()
+
+    def constant_value(self) -> Fraction:
+        return self.num.constant_value() / self.den.constant_value()
+
+    def is_polynomial(self) -> bool:
+        return self.den.is_constant()
+
+    def as_poly(self) -> Poly:
+        if not self.is_polynomial():
+            raise AlgebraError(f"{self!r} is not a polynomial")
+        return self.num.scale(Fraction(1) / self.den.constant_value())
+
+    def variables(self) -> frozenset[str]:
+        return self.num.variables() | self.den.variables()
+
+    # -- field operations ------------------------------------------------------
+
+    def __add__(self, other: "RatFunc | Scalar") -> "RatFunc":
+        other = _coerce(other)
+        if self.den == other.den:
+            return RatFunc(self.num + other.num, self.den)
+        return RatFunc(self.num * other.den + other.num * self.den, self.den * other.den)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "RatFunc":
+        return RatFunc(-self.num, self.den, normalize=False)
+
+    def __sub__(self, other: "RatFunc | Scalar") -> "RatFunc":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: "RatFunc | Scalar") -> "RatFunc":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other: "RatFunc | Scalar") -> "RatFunc":
+        other = _coerce(other)
+        return RatFunc(self.num * other.num, self.den * other.den)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "RatFunc | Scalar") -> "RatFunc":
+        other = _coerce(other)
+        if other.is_zero():
+            raise ZeroDivisionError("division of rational functions by zero")
+        return RatFunc(self.num * other.den, self.den * other.num)
+
+    def __rtruediv__(self, other: "RatFunc | Scalar") -> "RatFunc":
+        return _coerce(other) / self
+
+    def __pow__(self, exp: int) -> "RatFunc":
+        if exp < 0:
+            return RatFunc(self.den, self.num) ** (-exp)
+        return RatFunc(self.num**exp, self.den**exp)
+
+    # -- substitution & evaluation ----------------------------------------------
+
+    def substitute(self, mapping: Mapping[str, "RatFunc"]) -> "RatFunc":
+        """Simultaneous substitution of variables by rational functions."""
+        relevant = {v: r for v, r in mapping.items() if v in self.variables()}
+        if not relevant:
+            return self
+        return _subst_poly(self.num, relevant) / _subst_poly(self.den, relevant)
+
+    def evaluate(self, env: Mapping[str, Scalar]) -> Fraction:
+        den = self.den.evaluate(env)
+        if den == 0:
+            # Mirrors the paper's safe-division convention.
+            return Fraction(0)
+        return self.num.evaluate(env) / den
+
+    # -- comparison ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = RatFunc.const(other)
+        if not isinstance(other, RatFunc):
+            return NotImplemented
+        return self.num * other.den == other.num * self.den
+
+    def __hash__(self) -> int:
+        # Hash only the fully-normalized polynomial case reliably; for others
+        # fall back to a weak hash (equality by cross-multiplication means
+        # distinct representations of equal values must collide).
+        if self.is_polynomial():
+            return hash(("ratfunc-poly", self.as_poly()))
+        return hash("ratfunc")
+
+    def __repr__(self) -> str:
+        if self.den == Poly.one():
+            return repr(self.num)
+        return f"({self.num!r}) / ({self.den!r})"
+
+
+def _subst_poly(p: Poly, mapping: Mapping[str, RatFunc]) -> RatFunc:
+    result = RatFunc.const(0)
+    for mono, coeff in p.terms.items():
+        term = RatFunc.const(coeff)
+        for var, exp in mono:
+            base = mapping.get(var)
+            if base is None:
+                base = RatFunc.var(var)
+            term = term * base**exp
+        result = result + term
+    return result
+
+
+def _normalize(num: Poly, den: Poly) -> tuple[Poly, Poly]:
+    if num.is_zero():
+        return Poly.zero(), Poly.one()
+    # Cancel common monomial factors.
+    common_n = _common_monomial(num)
+    common_d = _common_monomial(den)
+    shared = _mono_gcd(common_n, common_d)
+    if shared:
+        num = _strip_monomial(num, shared)
+        den = _strip_monomial(den, shared)
+    # Attempt exact division both ways.
+    if not den.is_constant():
+        q = num.exact_div(den)
+        if q is not None:
+            return _normalize(q, Poly.one())
+        q = den.exact_div(num)
+        if q is not None and q.is_constant():
+            inv = Fraction(1) / q.constant_value()
+            return _normalize(Poly.const(inv), Poly.one())
+        # Univariate GCD cancellation.
+        nv, dv = num.variables(), den.variables()
+        if len(nv | dv) == 1:
+            (var,) = tuple(nv | dv)
+            g = _univariate_gcd(num, den, var)
+            if not g.is_constant():
+                num = num.exact_div(g) or num
+                den = den.exact_div(g) or den
+    # Scale so the denominator has content 1 and positive leading coefficient.
+    content = den.content()
+    lead_sign = _lead_sign(den)
+    scale = Fraction(1) / (content * lead_sign)
+    return num.scale(scale), den.scale(scale)
+
+
+def _lead_sign(p: Poly) -> int:
+    if p.is_zero():
+        return 1
+    _, coeff = max(p.terms.items(), key=lambda mc: (mono_degree(mc[0]), mc[0]))
+    return 1 if coeff > 0 else -1
+
+
+def _mono_gcd(a: Monomial, b: Monomial) -> Monomial:
+    if not a or not b:
+        return ()
+    bx = dict(b)
+    out = []
+    for var, exp in a:
+        if var in bx:
+            out.append((var, min(exp, bx[var])))
+    return tuple(sorted(out))
+
+
+def _coerce(value: "RatFunc | Scalar") -> RatFunc:
+    if isinstance(value, RatFunc):
+        return value
+    return RatFunc.const(value)

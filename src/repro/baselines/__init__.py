@@ -1,0 +1,21 @@
+"""Baseline synthesizers and ablations for the evaluation (Section 7)."""
+
+from .ablations import OperaFull, OperaNoDecomp, OperaNoSymbolic
+from .sygus import Cvc5Style, SketchStyle
+
+SOLVERS = {
+    "opera": OperaFull,
+    "opera-nodecomp": OperaNoDecomp,
+    "opera-nosymbolic": OperaNoSymbolic,
+    "cvc5": Cvc5Style,
+    "sketch": SketchStyle,
+}
+
+__all__ = [
+    "Cvc5Style",
+    "OperaFull",
+    "OperaNoDecomp",
+    "OperaNoSymbolic",
+    "SOLVERS",
+    "SketchStyle",
+]

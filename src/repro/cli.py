@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Three subcommands cover the tool's workflows:
+
+* ``synthesize`` — offline program in (s-expression file, Python file, or a
+  named benchmark), online scheme out::
+
+      python -m repro synthesize --python my_variance.py
+      python -m repro synthesize --benchmark variance
+      python -m repro synthesize --sexpr mean.sexp --timeout 60
+
+* ``bench`` — run a solver over a benchmark domain and print the summary::
+
+      python -m repro bench --solver opera --domain stats --timeout 10
+
+* ``list`` — enumerate the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import SOLVERS
+from .core import SynthesisConfig, synthesize
+from .evaluation import run_suite
+from .frontend import python_to_ir
+from .ir.parser import parse_program
+from .ir.pretty import pretty_program
+from .suites import all_benchmarks, benchmarks_for, get_benchmark
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    if args.benchmark:
+        bench = get_benchmark(args.benchmark)
+        program, name = bench.program, bench.name
+        element_arity = bench.element_arity
+    elif args.python:
+        with open(args.python) as handle:
+            program = python_to_ir(handle.read())
+        name, element_arity = args.python, 1
+    elif args.sexpr:
+        with open(args.sexpr) as handle:
+            program = parse_program(handle.read())
+        name, element_arity = args.sexpr, 1
+    else:
+        print("one of --benchmark/--python/--sexpr is required", file=sys.stderr)
+        return 2
+
+    print(f"offline program:\n  {pretty_program(program)}\n")
+    config = SynthesisConfig(timeout_s=args.timeout, element_arity=element_arity)
+    report = synthesize(program, config, name)
+    print(report.summary_line())
+    if report.scheme is None:
+        return 1
+    print()
+    print(report.scheme.describe())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    solver_cls = SOLVERS.get(args.solver)
+    if solver_cls is None:
+        print(f"unknown solver {args.solver!r}; choices: {sorted(SOLVERS)}",
+              file=sys.stderr)
+        return 2
+    benches = (
+        all_benchmarks() if args.domain == "all" else benchmarks_for(args.domain)
+    )
+    if args.task:
+        benches = [b for b in benches if b.name in set(args.task)]
+    config = SynthesisConfig(timeout_s=args.timeout)
+    result = run_suite(solver_cls(), benches, config, verbose=True)
+    print()
+    print(
+        f"{result.solver}: {len(result.solved())}/{len(result.reports)} solved, "
+        f"avg {result.average_time():.2f}s on solved tasks"
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    benches = (
+        all_benchmarks() if args.domain == "all" else benchmarks_for(args.domain)
+    )
+    width = max(len(b.name) for b in benches)
+    for bench in benches:
+        extras = f" (params: {', '.join(bench.program.extra_params)})" if bench.program.extra_params else ""
+        shape = "pairs" if bench.element_arity == 2 else "scalars"
+        print(f"{bench.name:<{width}}  [{bench.domain}/{shape}] {bench.description}{extras}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Opera: synthesize online streaming algorithms from batch programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_syn = sub.add_parser("synthesize", help="derive an online scheme")
+    p_syn.add_argument("--benchmark", help="name of a suite benchmark")
+    p_syn.add_argument("--python", help="path to a Python batch function")
+    p_syn.add_argument("--sexpr", help="path to an s-expression program")
+    p_syn.add_argument("--timeout", type=float, default=60.0)
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_bench = sub.add_parser("bench", help="run a solver over the suite")
+    p_bench.add_argument("--solver", default="opera", choices=sorted(SOLVERS))
+    p_bench.add_argument("--domain", default="all", choices=["stats", "auction", "all"])
+    p_bench.add_argument("--task", action="append", help="restrict to named tasks")
+    p_bench.add_argument("--timeout", type=float, default=10.0)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_list = sub.add_parser("list", help="list benchmarks")
+    p_list.add_argument("--domain", default="all", choices=["stats", "auction", "all"])
+    p_list.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

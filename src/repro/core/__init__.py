@@ -1,0 +1,62 @@
+"""Opera's synthesis pipeline (the paper's primary contribution).
+
+Entry point: :func:`repro.core.synthesize.synthesize`.
+"""
+
+from .config import SynthesisConfig
+from .decompose import Sketch, decompose
+from .equivalence import (
+    check_expr_equivalence,
+    check_inductiveness,
+    check_scheme_equivalence,
+)
+from .exceptions import (
+    HoleSynthesisFailure,
+    SynthesisError,
+    SynthesisTimeout,
+    UnsupportedProgram,
+)
+from .implicate import find_implicate, find_implicates
+from .initializer import build_initializer
+from .mining import mine_expressions
+from .report import HoleOutcome, SynthesisReport
+from .rfs import RFS, construct_rfs
+from .scheme import OnlineScheme
+from .simplify import simplify_expr
+from .synthesize import synthesize, synthesize_expr
+from .templates import solve_template, templatize
+from .verify import (
+    check_bounded_exhaustive,
+    check_symbolic,
+    verify_scheme,
+)
+
+__all__ = [
+    "HoleOutcome",
+    "HoleSynthesisFailure",
+    "OnlineScheme",
+    "RFS",
+    "Sketch",
+    "SynthesisConfig",
+    "SynthesisError",
+    "SynthesisReport",
+    "SynthesisTimeout",
+    "UnsupportedProgram",
+    "build_initializer",
+    "check_bounded_exhaustive",
+    "check_expr_equivalence",
+    "check_symbolic",
+    "check_inductiveness",
+    "check_scheme_equivalence",
+    "construct_rfs",
+    "decompose",
+    "find_implicate",
+    "find_implicates",
+    "mine_expressions",
+    "simplify_expr",
+    "solve_template",
+    "synthesize",
+    "synthesize_expr",
+    "templatize",
+    "verify_scheme",
+]

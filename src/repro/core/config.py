@@ -1,0 +1,67 @@
+"""Tunable knobs of the synthesizer, with the paper's defaults.
+
+A single :class:`SynthesisConfig` travels through the pipeline; the ablations
+of Section 7.2 are expressed as flags here (``use_decomposition``,
+``use_symbolic``), and the evaluation harness scales ``timeout_s``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SynthesisConfig:
+    #: Wall-clock budget per task in seconds (600 s in the paper, Section 7).
+    timeout_s: float = 60.0
+
+    #: Unrolling depth ``k`` for MineExpressions (the paper uses a small
+    #: constant; Example 5.6 shows k = 3).
+    unroll_depth: int = 3
+
+    #: Number of sample lengths for SolveTemplate (the paper picks 11,
+    #: bounding interpolated polynomials to degree <= 10; degree 4 suffices
+    #: in practice, so the default trades a little generality for speed).
+    interpolation_lengths: int = 12
+
+    #: Maximum degree for interpolated coefficient polynomials over ``n``.
+    interpolation_max_degree: int = 6
+
+    #: Maximum AST size explored by the enumerative fallback.
+    enumeration_max_size: int = 11
+
+    #: Cap on distinct behaviours kept by the enumerator (memory bound).
+    enumeration_max_kept: int = 150_000
+
+    #: Number of random tests used by the equivalence oracle.
+    equivalence_tests: int = 24
+
+    #: Maximum list length in randomly generated equivalence tests.
+    equivalence_max_len: int = 7
+
+    #: RNG seed for the testing oracle (determinism across runs).
+    seed: int = 2024
+
+    #: Arity of stream elements: 1 for plain numbers, k for k-tuples (e.g.
+    #: auction bids modelled as (price, category) pairs).  Drives the test
+    #: generators of the equivalence oracle.
+    element_arity: int = 1
+
+    #: Ablation switches (Section 7.2): Opera-NoDecomp / Opera-NoSymbolic.
+    use_decomposition: bool = True
+    use_symbolic: bool = True
+
+    #: Internal: deadline computed at synthesis start.
+    _deadline: float | None = field(default=None, repr=False)
+
+    def start_clock(self) -> None:
+        self._deadline = time.monotonic() + self.timeout_s
+
+    def remaining(self) -> float:
+        if self._deadline is None:
+            return self.timeout_s
+        return self._deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0

@@ -1,0 +1,84 @@
+"""Syntax-directed sketch generation (Figure 9).
+
+``decompose`` turns the RFS into a program sketch for the online program:
+one output expression per RFS entry, built by copying the offline structure
+and replacing every list expression with a hole.  The crucial property
+(Lemma 1) is that each hole carries its *own* offline specification, so the
+holes can be solved completely independently.
+
+Structurally identical list expressions share a hole (this is what makes the
+variance sketch of Figure 5 reuse ``□1`` and ``□2`` across outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.nodes import Expr, Hole, OnlineProgram
+from ..ir.pretty import pretty
+from ..ir.traversal import is_list_expr, rebuild
+from .exceptions import UnsupportedProgram
+from .rfs import RFS
+
+#: Default name of the new-element parameter of online programs.
+ELEM_PARAM = "x"
+
+
+@dataclass
+class Sketch:
+    """A program sketch plus the hole-specification context ``Δ``."""
+
+    program: OnlineProgram
+    specs: dict[int, Expr]  # hole id -> offline specification
+
+    def describe(self) -> str:
+        lines = []
+        for hole_id, spec in sorted(self.specs.items()):
+            lines.append(f"  □{hole_id} ↦ {pretty(spec)}")
+        return "\n".join(lines)
+
+
+class _Decomposer:
+    def __init__(self) -> None:
+        self.specs: dict[int, Expr] = {}
+        self._by_spec: dict[Expr, int] = {}
+
+    def hole_for(self, spec: Expr) -> Hole:
+        existing = self._by_spec.get(spec)
+        if existing is not None:
+            return Hole(existing)
+        hole_id = len(self.specs) + 1
+        self.specs[hole_id] = spec
+        self._by_spec[spec] = hole_id
+        return Hole(hole_id)
+
+    def sketch_expr(self, expr: Expr) -> Expr:
+        """The judgment ``Φ ⊢ E ↩→ Ω, Δ`` of Figure 9."""
+        # Rule List: maximal scalar expressions consuming the input list
+        # become holes with the expression itself as specification.
+        if is_list_expr(expr):
+            return self.hole_for(expr)
+        from ..ir.nodes import Lambda, ListVar, Map, Filter, Fold, Snoc
+
+        if isinstance(expr, (ListVar, Map, Filter, Fold, Snoc, Lambda)):
+            # A bare list value (or stray lambda) cannot appear in an online
+            # program and is not a scalar list expression either.
+            raise UnsupportedProgram(
+                f"cannot sketch list-typed expression {pretty(expr)}"
+            )
+        # Rules Leaf / Func / ITE: copy structure, recurse into children.
+        new_children = tuple(self.sketch_expr(c) for c in expr.children())
+        return rebuild(expr, new_children)
+
+
+def decompose(rfs: RFS) -> Sketch:
+    """Rule Prog of Figure 9: sketch every RFS entry, union the contexts."""
+    decomposer = _Decomposer()
+    outputs = tuple(decomposer.sketch_expr(spec) for spec in rfs.entries.values())
+    program = OnlineProgram(
+        state_params=rfs.names,
+        elem_param=ELEM_PARAM,
+        outputs=outputs,
+        extra_params=rfs.extra_params,
+    )
+    return Sketch(program, decomposer.specs)

@@ -1,0 +1,209 @@
+"""Bridge between the IR and the symbolic algebra layer.
+
+``encode_expr`` maps a scalar, combinator-free IR expression onto a
+:class:`~repro.algebra.ratfunc.RatFunc` over variables, interning every
+non-polynomial operation (``min``, ``sqrt``, predicates, conditionals,
+tuples, ...) as an atom.  ``decode_term`` inverts the mapping, producing an
+online-syntax IR expression.
+
+``replace_list_exprs`` implements the ``ReplaceListExprs`` step of
+Algorithm 4: maximal list expressions are swapped for fresh variables
+(``_v1``, ``_v2``, ...) so that formulas fall into a theory the eliminator
+understands; the returned table remembers which offline expression each
+variable stands for.
+
+Safe-division caveat: the algebra treats ``div`` as exact field division,
+whereas the IR's ``div`` yields 0 on zero denominators.  Candidates produced
+through this encoding are therefore re-validated by the testing oracle
+(:mod:`repro.core.equivalence`) — the same compromise the paper makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..algebra.atoms import AtomTable
+from ..algebra.polynomial import Poly, mono_degree
+from ..algebra.ratfunc import RatFunc
+from ..ir.nodes import (
+    Call,
+    Const,
+    Expr,
+    If,
+    MakeTuple,
+    Proj,
+    Var,
+    const,
+)
+from ..ir.builtins import get_builtin
+from ..ir.traversal import is_list_expr, rebuild
+from .exceptions import UnsupportedProgram
+
+
+@dataclass
+class EncodingContext:
+    """Shared state for one expression-synthesis problem."""
+
+    table: AtomTable = field(default_factory=AtomTable)
+    #: offline list expression -> fresh variable name
+    list_expr_vars: dict[Expr, str] = field(default_factory=dict)
+
+    def var_for_list_expr(self, expr: Expr) -> str:
+        existing = self.list_expr_vars.get(expr)
+        if existing is not None:
+            return existing
+        name = f"_v{len(self.list_expr_vars) + 1}"
+        self.list_expr_vars[expr] = name
+        return name
+
+
+def replace_list_exprs(expr: Expr, ctx: EncodingContext) -> Expr:
+    """Swap maximal list expressions for fresh scalar variables."""
+    if is_list_expr(expr):
+        return Var(ctx.var_for_list_expr(expr))
+    new_children = tuple(replace_list_exprs(c, ctx) for c in expr.children())
+    return rebuild(expr, new_children)
+
+
+def encode_expr(expr: Expr, ctx: EncodingContext) -> RatFunc:
+    """Encode a scalar combinator-free expression as a rational function."""
+    if isinstance(expr, Const):
+        value = expr.value
+        if isinstance(value, bool):
+            return RatFunc.var(ctx.table.intern("boolconst", (), value))
+        if isinstance(value, float):
+            value = Fraction(value).limit_denominator(10**9)
+        return RatFunc.const(value)
+    if isinstance(expr, Var):
+        return RatFunc.var(expr.name)
+    if isinstance(expr, If):
+        args = (
+            encode_expr(expr.cond, ctx),
+            encode_expr(expr.then, ctx),
+            encode_expr(expr.orelse, ctx),
+        )
+        return RatFunc.var(ctx.table.intern("ite", args))
+    if isinstance(expr, MakeTuple):
+        args = tuple(encode_expr(item, ctx) for item in expr.items)
+        return RatFunc.var(ctx.table.intern("tuple", args))
+    if isinstance(expr, Proj):
+        arg = encode_expr(expr.tup, ctx)
+        return RatFunc.var(ctx.table.intern("proj", (arg,), expr.index))
+    if isinstance(expr, Call) and isinstance(expr.func, str):
+        name = expr.func
+        if name == "add":
+            return encode_expr(expr.args[0], ctx) + encode_expr(expr.args[1], ctx)
+        if name == "sub":
+            return encode_expr(expr.args[0], ctx) - encode_expr(expr.args[1], ctx)
+        if name == "mul":
+            return encode_expr(expr.args[0], ctx) * encode_expr(expr.args[1], ctx)
+        if name == "neg":
+            return -encode_expr(expr.args[0], ctx)
+        if name == "div":
+            num = encode_expr(expr.args[0], ctx)
+            den = encode_expr(expr.args[1], ctx)
+            if den.is_zero():
+                return RatFunc.const(0)  # safe-division convention
+            return num / den
+        if name == "pow":
+            base = encode_expr(expr.args[0], ctx)
+            exponent = expr.args[1]
+            if isinstance(exponent, Const) and isinstance(exponent.value, int):
+                return base**exponent.value
+            args = (base, encode_expr(exponent, ctx))
+            return RatFunc.var(ctx.table.intern("pow", args))
+        builtin = get_builtin(name)
+        if builtin.kind in ("uninterp", "predicate"):
+            args = tuple(encode_expr(a, ctx) for a in expr.args)
+            return RatFunc.var(ctx.table.intern(name, args))
+        raise UnsupportedProgram(f"cannot encode call to {name!r}")
+    raise UnsupportedProgram(f"cannot encode {type(expr).__name__} node")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def decode_term(term: RatFunc, ctx: EncodingContext) -> Expr:
+    num = decode_poly(term.num, ctx)
+    if term.den == Poly.one():
+        return num
+    den = decode_poly(term.den, ctx)
+    return Call("div", (num, den))
+
+
+def decode_poly(poly: Poly, ctx: EncodingContext) -> Expr:
+    if poly.is_zero():
+        return Const(0)
+    positives: list[Expr] = []
+    negatives: list[Expr] = []
+    for mono, coeff in sorted(
+        poly.terms.items(), key=lambda mc: (-mono_degree(mc[0]), mc[0])
+    ):
+        target = positives if coeff > 0 else negatives
+        target.append(_decode_monomial(mono, abs(coeff), ctx))
+    result: Expr | None = None
+    for part in positives:
+        result = part if result is None else Call("add", (result, part))
+    if result is None:
+        result = Const(0)
+    for part in negatives:
+        result = Call("sub", (result, part))
+    return result
+
+
+def _decode_monomial(mono, coeff: Fraction, ctx: EncodingContext) -> Expr:
+    factors: list[Expr] = []
+    for var, exp in mono:
+        base = decode_atom(var, ctx) if ctx.table.is_atom_var(var) else Var(var)
+        if exp == 1:
+            factors.append(base)
+        else:
+            factors.append(Call("pow", (base, Const(exp))))
+    result: Expr | None = None
+    for factor in factors:
+        result = factor if result is None else Call("mul", (result, factor))
+    if result is None:
+        return const(coeff)
+    if coeff != 1:
+        if coeff.denominator == 1:
+            result = Call("mul", (const(coeff), result))
+        elif coeff.numerator == 1:
+            result = Call("div", (result, const(Fraction(coeff.denominator))))
+        else:
+            result = Call(
+                "div",
+                (
+                    Call("mul", (const(Fraction(coeff.numerator)), result)),
+                    const(Fraction(coeff.denominator)),
+                ),
+            )
+    return result
+
+
+def decode_monomial(mono, ctx: EncodingContext) -> Expr:
+    """Decode a bare monomial (no coefficient) — template basis terms."""
+    return _decode_monomial(mono, Fraction(1), ctx)
+
+
+def decode_atom(name: str, ctx: EncodingContext) -> Expr:
+    atom = ctx.table.lookup(name)
+    if atom.op == "boolconst":
+        return Const(bool(atom.meta))
+    if atom.op == "ite":
+        cond, then, orelse = (decode_term(a, ctx) for a in atom.args)
+        return If(cond, then, orelse)
+    if atom.op == "tuple":
+        return MakeTuple(tuple(decode_term(a, ctx) for a in atom.args))
+    if atom.op == "proj":
+        return Proj(decode_term(atom.args[0], ctx), int(atom.meta))  # type: ignore[arg-type]
+    if atom.op == "opaque":
+        payload = atom.meta
+        if isinstance(payload, Expr):
+            return payload
+        raise UnsupportedProgram(f"opaque atom without IR payload: {name}")
+    # Built-in operator (uninterpreted or predicate).
+    args = tuple(decode_term(a, ctx) for a in atom.args)
+    return Call(atom.op, args)

@@ -1,0 +1,85 @@
+"""The ``FindImplicate`` procedure of Algorithm 4.
+
+Given the RFS ``Φ`` and the implicate template
+``E[(xs ++ [x])/xs] = □``, build the formula ``Φ ∧ T ∧ axioms``, replace
+list expressions with fresh variables, and eliminate those variables; a
+result matching ``□ = E'`` is the synthesized online expression.
+
+The combinator axioms of Figure 10 enter as *oriented rewrites*
+(:func:`repro.core.axioms.push_snoc`) applied to the substituted
+specification, which is equivalent to asserting the axiom instances the
+paper's AddAxioms would generate, but keeps the equation system small.
+"""
+
+from __future__ import annotations
+
+from ..algebra.elimination import Equation, find_definitions
+from ..algebra.ratfunc import RatFunc
+from ..ir.nodes import Expr, Snoc, Var, ListVar
+from ..ir.traversal import substitute_list_var
+from .axioms import push_snoc
+from .decompose import ELEM_PARAM
+from .encode import EncodingContext, decode_term, encode_expr, replace_list_exprs
+from .exceptions import UnsupportedProgram
+from .rfs import RFS
+
+#: Variable standing for the hole ``□`` in the implicate template.
+TARGET_VAR = "_target"
+
+
+def build_equations(
+    rfs: RFS, spec: Expr, ctx: EncodingContext
+) -> tuple[list[Equation], frozenset[str]]:
+    """Encode ``Φ ∧ T`` after axiom rewriting and list-expression abstraction.
+
+    Returns the equation system and the set of *keep* variables
+    (``y1..yn``, the new element, extra parameters).
+    """
+    # T: □ = E[(xs ++ [x])/xs], with Snoc pushed through the combinators.
+    shifted = substitute_list_var(
+        spec, rfs.list_param, Snoc(ListVar(rfs.list_param), Var(ELEM_PARAM))
+    )
+    shifted = push_snoc(shifted)
+
+    equations: list[Equation] = []
+    for name, entry in rfs.entries.items():
+        abstracted = replace_list_exprs(entry, ctx)
+        equations.append(Equation(RatFunc.var(name), encode_expr(abstracted, ctx)))
+    target_rhs = replace_list_exprs(shifted, ctx)
+    equations.append(Equation(RatFunc.var(TARGET_VAR), encode_expr(target_rhs, ctx)))
+
+    keep = frozenset(rfs.names) | {ELEM_PARAM} | frozenset(rfs.extra_params)
+    return equations, keep
+
+
+def find_implicates(rfs: RFS, spec: Expr, limit: int = 4) -> list[Expr]:
+    """Online-expression candidates equivalent to ``spec`` modulo ``Φ`` (best
+    first); empty when symbolic reasoning alone produces nothing.
+
+    Several candidates are returned because an implicate can be valid only
+    where some denominator is nonzero — the testing oracle downstream decides
+    which (if any) is equivalent under the safe-division semantics.
+    """
+    ctx = EncodingContext()
+    try:
+        equations, keep = build_equations(rfs, spec, ctx)
+    except UnsupportedProgram:
+        return []
+    elim_vars = list(ctx.list_expr_vars.values())
+    avoid = frozenset({rfs.result_param}) if len(rfs) > 1 else frozenset()
+    solutions = find_definitions(
+        equations, elim_vars, TARGET_VAR, keep, ctx.table, avoid
+    )
+    decoded: list[Expr] = []
+    for solution in solutions[:limit]:
+        try:
+            decoded.append(decode_term(solution, ctx))
+        except UnsupportedProgram:
+            continue
+    return decoded
+
+
+def find_implicate(rfs: RFS, spec: Expr) -> Expr | None:
+    """The best implicate candidate, if any (convenience wrapper)."""
+    candidates = find_implicates(rfs, spec)
+    return candidates[0] if candidates else None

@@ -1,0 +1,166 @@
+"""The ``MineExpressions`` procedure of Algorithm 4.
+
+When the axioms are insufficient (the fold's accumulator function captures
+list-dependent values, as in the ``sq`` fold of variance), ``FindImplicate``
+produces nothing useful.  ``MineExpressions`` instead *unrolls* the RFS and
+the specification on a symbolic list of fixed size ``k`` (``k + 1`` for the
+specification), yielding a polynomial equation system over the symbolic
+elements, and eliminates the elements to express the target over the online
+variables.
+
+The paper hands the unrolled system to REDUCE.  Our eliminator is equational,
+so nonlinear element occurrences are first removed by the *power-sum
+rewrite*: every way a fold can observe the list is a symmetric polynomial,
+hence expressible over ``p_d = Σ_i x_i^d``, and the ``p_d`` occur linearly.
+Atom arguments (e.g. the operand of a ``sqrt``) are rewritten the same way so
+opaque operations do not block elimination.
+
+The mined result is exact *for lists of length k* — constants in it may
+secretly be functions of the length (Example 5.6's ``1/12``); turning them
+back into expressions over ``n`` is the job of :mod:`repro.core.templates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra.elimination import (
+    EliminationBlowup,
+    Equation,
+    eliminate_variables,
+    solve_target,
+)
+from ..algebra.polynomial import Poly
+from ..algebra.ratfunc import RatFunc
+from ..algebra.symmetric import PSUM_PREFIX, rewrite_symmetric, rewrite_symmetric_ratfunc
+from ..ir.nodes import Expr, Var
+from .config import SynthesisConfig
+from .decompose import ELEM_PARAM
+from .encode import EncodingContext, encode_expr
+from .exceptions import UnsupportedProgram
+from .implicate import TARGET_VAR
+from .rfs import RFS
+from .unroll import UnrollFailure, element_var, symbolic_list, unroll
+
+
+@dataclass
+class MinedTerm:
+    """A candidate definition for the hole, valid at unroll depth ``k``."""
+
+    term: RatFunc
+    ctx: EncodingContext
+    unroll_depth: int
+
+
+def _unrolled_equations(
+    rfs: RFS, spec: Expr, k: int, ctx: EncodingContext
+) -> list[Poly]:
+    """Lines 14-17 of Algorithm 4: unroll ``Φ`` at depth ``k`` and the
+    specification at depth ``k + 1`` (the extra element is the new ``x``)."""
+    polys: list[Poly] = []
+    for name, entry in rfs.entries.items():
+        unrolled = unroll(entry, {rfs.list_param: symbolic_list(k)})
+        if isinstance(unrolled, list):
+            raise UnrollFailure("list-valued RFS entry")
+        rhs = encode_expr(unrolled, ctx)
+        polys.append(Equation(RatFunc.var(name), rhs).to_poly())
+
+    extended = symbolic_list(k) + [Var(ELEM_PARAM)]
+    unrolled_spec = unroll(spec, {rfs.list_param: extended})
+    if isinstance(unrolled_spec, list):
+        raise UnrollFailure("list-valued specification")
+    polys.append(
+        Equation(RatFunc.var(TARGET_VAR), encode_expr(unrolled_spec, ctx)).to_poly()
+    )
+    return polys
+
+
+def _rewrite_system(
+    polys: list[Poly], ctx: EncodingContext, elem_vars: tuple[str, ...]
+) -> list[Poly] | None:
+    """Rewrite the equation system (and atom arguments) in power sums."""
+    table = ctx.table
+    atom_mapping: dict[str, str] = {}
+
+    def process_atom(name: str) -> str:
+        cached = atom_mapping.get(name)
+        if cached is not None:
+            return cached
+        atom = table.lookup(name)
+        new_args = []
+        rewritable = True
+        for arg in atom.args:
+            rewritten = rewrite_arg(arg)
+            if rewritten is None:
+                rewritable = False
+                break
+            new_args.append(rewritten)
+        new_name = (
+            table.intern(atom.op, tuple(new_args), atom.meta) if rewritable else name
+        )
+        atom_mapping[name] = new_name
+        return new_name
+
+    def rewrite_arg(term: RatFunc) -> RatFunc | None:
+        subs = {}
+        for var in term.variables():
+            if table.is_atom_var(var):
+                new_var = process_atom(var)
+                if new_var != var:
+                    subs[var] = RatFunc.var(new_var)
+        if subs:
+            term = term.substitute(subs)
+        return rewrite_symmetric_ratfunc(term, elem_vars)
+
+    rewritten_polys: list[Poly] = []
+    for poly in polys:
+        subs = {
+            var: Poly.var(process_atom(var))
+            for var in poly.variables()
+            if table.is_atom_var(var)
+        }
+        if subs:
+            poly = poly.substitute_poly(subs)
+        rewritten = rewrite_symmetric(poly, elem_vars)
+        if rewritten is None:
+            return None
+        rewritten_polys.append(rewritten)
+    return rewritten_polys
+
+
+def mine_expressions(
+    rfs: RFS, spec: Expr, config: SynthesisConfig
+) -> MinedTerm | None:
+    """Unroll, rewrite, eliminate; return the mined target definition."""
+    k = config.unroll_depth
+    ctx = EncodingContext()
+    try:
+        polys = _unrolled_equations(rfs, spec, k, ctx)
+    except (UnrollFailure, UnsupportedProgram):
+        return None
+    if config.expired():
+        return None
+
+    elem_vars = tuple(element_var(i) for i in range(1, k + 1))
+    rewritten = _rewrite_system(polys, ctx, elem_vars)
+    if rewritten is None or config.expired():
+        return None
+
+    psum_vars = sorted(
+        {
+            var
+            for poly in rewritten
+            for var in poly.variables()
+            if var.startswith(PSUM_PREFIX)
+        }
+    )
+    keep = frozenset(rfs.names) | {ELEM_PARAM} | frozenset(rfs.extra_params)
+    avoid = frozenset({rfs.result_param}) if len(rfs) > 1 else frozenset()
+    try:
+        result = eliminate_variables(rewritten, psum_vars, ctx.table, avoid)
+    except (EliminationBlowup, ZeroDivisionError):
+        return None
+    solution = solve_target(result.equations, TARGET_VAR, keep, ctx.table, avoid)
+    if solution is None:
+        return None
+    return MinedTerm(solution, ctx, k)

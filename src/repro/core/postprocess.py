@@ -1,0 +1,58 @@
+"""Post-processing: drop auxiliary parameters the online program never uses
+(the Remark below Algorithm 2).
+
+``ConstructRFS`` over-approximates the needed accumulators (and we always add
+a stream-length accumulator for template solving); after synthesis we keep
+only the parameters transitively reachable from the first output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.nodes import OnlineProgram
+from ..ir.traversal import free_vars
+from ..ir.values import Value
+from .rfs import RFS
+
+
+@dataclass
+class PrunedScheme:
+    initializer: tuple[Value, ...]
+    program: OnlineProgram
+    kept_params: tuple[str, ...]
+
+
+def prune_unused_accumulators(
+    rfs: RFS,
+    initializer: tuple[Value, ...],
+    program: OnlineProgram,
+) -> PrunedScheme:
+    """Keep the result accumulator plus everything it transitively reads."""
+    names = list(program.state_params)
+    outputs = list(program.outputs)
+    index_of = {name: i for i, name in enumerate(names)}
+
+    needed: set[str] = {names[0]}
+    changed = True
+    while changed:
+        changed = False
+        for name in list(needed):
+            referenced = free_vars(outputs[index_of[name]]) & set(names)
+            fresh = referenced - needed
+            if fresh:
+                needed |= fresh
+                changed = True
+
+    kept = tuple(name for name in names if name in needed)
+    if len(kept) == len(names):
+        return PrunedScheme(initializer, program, kept)
+
+    new_program = OnlineProgram(
+        state_params=kept,
+        elem_param=program.elem_param,
+        outputs=tuple(outputs[index_of[name]] for name in kept),
+        extra_params=program.extra_params,
+    )
+    new_init = tuple(initializer[index_of[name]] for name in kept)
+    return PrunedScheme(new_init, new_program, kept)

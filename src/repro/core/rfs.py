@@ -1,0 +1,125 @@
+"""Relational function signatures and their inference (Definition 4.1,
+Algorithm 2).
+
+An RFS ``Φ`` maps each auxiliary parameter ``yi`` of the online program to a
+list-dependent expression ``fi(xs)`` of the offline program.  By convention
+``y1`` maps to the whole body ``E`` (the offline result), and the remaining
+parameters map to the *list expressions* of ``E`` — the maximal scalar
+expressions that directly consume the input list (each ``foldl``, each
+``length(xs)``-style call).
+
+Per the implementation notes of Section 6, inference may produce more
+accumulators than necessary; :mod:`repro.core.postprocess` removes unused
+ones afterwards.  We additionally always include a ``length(xs)`` accumulator
+when it is missing, because the template-solving optimization of Appendix B
+interpolates coefficients as polynomials over the stream length ``n`` and
+needs that parameter to exist (it is dropped again if unused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.dsl import XS, length
+from ..ir.nodes import Call, Expr, ListVar, Program
+from ..ir.pretty import pretty
+from ..ir.traversal import inline_lets, list_exprs
+
+
+@dataclass
+class RFS:
+    """An ordered relational function signature.
+
+    ``entries`` maps parameter name -> offline specification expression; the
+    first entry is always the program body (``y1`` of the paper).
+    ``list_param`` is the offline list variable the specs range over, and
+    ``extra_params`` are pass-through scalar arguments (Section 6).
+    """
+
+    entries: dict[str, Expr]
+    list_param: str = "xs"
+    extra_params: tuple[str, ...] = ()
+    length_param: str | None = field(default=None)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.entries)
+
+    @property
+    def result_param(self) -> str:
+        return next(iter(self.entries))
+
+    def spec_of(self, name: str) -> Expr:
+        return self.entries[name]
+
+    def param_for_spec(self, spec: Expr) -> str | None:
+        for name, entry in self.entries.items():
+            if entry == spec:
+                return name
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def describe(self) -> str:
+        width = max(len(n) for n in self.entries)
+        lines = [
+            f"  {name:<{width}} ↦ {pretty(spec)}" for name, spec in self.entries.items()
+        ]
+        return "\n".join(lines)
+
+
+def _is_length_of_list(expr: Expr, list_param: str) -> bool:
+    return (
+        isinstance(expr, Call)
+        and expr.func == "length"
+        and len(expr.args) == 1
+        and isinstance(expr.args[0], ListVar)
+        and expr.args[0].name == list_param
+    )
+
+
+def construct_rfs(program: Program, add_length: bool = True) -> RFS:
+    """Algorithm 2: ``y1 ↦ E`` plus one parameter per list expression.
+
+    The body is let-inlined first so that nested definitions (e.g. ``avg`` in
+    the two-pass variance) expose their list expressions.
+
+    ``add_length=False`` suppresses the always-present stream-length
+    accumulator; the SyGuS baselines use this mode because the paper hands
+    them a manually specified (minimal) signature.
+    """
+    body = inline_lets(program.body)
+    entries: dict[str, Expr] = {}
+    names_iter = _name_generator()
+    result_name = next(names_iter)
+    entries[result_name] = body
+
+    length_param: str | None = None
+    for expr in list_exprs(body):
+        if expr == body:
+            continue  # already covered by y1
+        name = next(names_iter)
+        entries[name] = expr
+        if length_param is None and _is_length_of_list(expr, program.param):
+            length_param = name
+
+    if length_param is None and add_length:
+        # Ensure a stream-length accumulator exists for template solving.
+        name = next(names_iter)
+        entries[name] = length(ListVar(program.param))
+        length_param = name
+
+    return RFS(
+        entries,
+        list_param=program.param,
+        extra_params=program.extra_params,
+        length_param=length_param,
+    )
+
+
+def _name_generator():
+    index = 0
+    while True:
+        index += 1
+        yield f"y{index}"

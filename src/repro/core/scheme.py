@@ -1,0 +1,107 @@
+"""Online schemes and their stream semantics (Figures 7 and 8).
+
+An online scheme is a pair ``(I, P')`` of an initializer tuple and an online
+program.  This module implements the big-step semantics of Figure 8 —
+running a scheme over a finite stream yields the stream of first components —
+plus convenience helpers used by the runtime, the equivalence oracle, and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..ir.evaluator import step_online
+from ..ir.nodes import OnlineProgram
+from ..ir.pretty import pretty_online
+from ..ir.values import Value
+
+
+@dataclass
+class OnlineScheme:
+    """``S = (I, P')`` with optional provenance metadata."""
+
+    initializer: tuple[Value, ...]
+    program: OnlineProgram
+    #: Human-readable note on how the scheme was obtained (for reports).
+    provenance: str = field(default="synthesized")
+
+    def __post_init__(self) -> None:
+        if len(self.initializer) != self.program.arity:
+            raise ValueError(
+                f"initializer arity {len(self.initializer)} != "
+                f"program arity {self.program.arity}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return self.program.arity
+
+    def step(
+        self,
+        state: Sequence[Value],
+        element: Value,
+        extra: Mapping[str, Value] | None = None,
+    ) -> tuple[Value, ...]:
+        """One S-Cons transition: ``(state, element) -> state'``."""
+        return step_online(self.program, state, element, extra)
+
+    def run(
+        self,
+        stream: Iterable[Value],
+        extra: Mapping[str, Value] | None = None,
+    ) -> Iterator[Value]:
+        """Lazy semantics of Figure 8: yields ``fst`` of each new state.
+
+        For the empty stream this yields the single value ``fst(I)``
+        (rule Lift-Nil); otherwise one output per consumed element
+        (rule S-Cons via Lift-Cons).
+        """
+        state = self.initializer
+        consumed = False
+        for element in stream:
+            consumed = True
+            state = self.step(state, element, extra)
+            yield state[0]
+        if not consumed:
+            yield self.initializer[0]
+
+    def run_to_list(
+        self,
+        stream: Iterable[Value],
+        extra: Mapping[str, Value] | None = None,
+    ) -> list[Value]:
+        return list(self.run(stream, extra))
+
+    def final(
+        self,
+        stream: Iterable[Value],
+        extra: Mapping[str, Value] | None = None,
+    ) -> Value:
+        """``last([[S]]_stream)`` — the value compared against the offline
+        program in Definition 3.3."""
+        result: Value = self.initializer[0]
+        state = self.initializer
+        for element in stream:
+            state = self.step(state, element, extra)
+            result = state[0]
+        return result
+
+    def trajectory(
+        self,
+        stream: Iterable[Value],
+        extra: Mapping[str, Value] | None = None,
+    ) -> list[tuple[Value, ...]]:
+        """Full accumulator states after each element (used by the
+        inductiveness property tests)."""
+        states = [self.initializer]
+        state = self.initializer
+        for element in stream:
+            state = self.step(state, element, extra)
+            states.append(state)
+        return states
+
+    def describe(self) -> str:
+        init = ", ".join(repr(v) for v in self.initializer)
+        return f"initializer: ({init})\nprogram:\n{pretty_online(self.program)}"

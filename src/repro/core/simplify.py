@@ -1,0 +1,112 @@
+"""Algebraic tidying of synthesized online expressions.
+
+The decoder and template solver can leave arithmetic noise behind
+(``x * 1``, ``0 + e``, constant subtrees).  This pass performs local,
+semantics-preserving rewrites only — it exists so that reported AST sizes and
+pretty-printed schemes are comparable with the hand-written ground truth, not
+for correctness.
+
+The safe-division convention makes some classical identities unsound
+(``e / e`` is 0, not 1, when ``e = 0``), so only identities valid under the
+paper's semantics are applied.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..ir.builtins import get_builtin
+from ..ir.nodes import Call, Const, Expr, If, MakeTuple, Proj, const
+from ..ir.traversal import transform_bottom_up
+from ..ir.values import is_number
+
+
+def _is_const(expr: Expr, value=None) -> bool:
+    if not isinstance(expr, Const):
+        return False
+    return value is None or expr.value == value
+
+
+def _fold_constants(node: Expr) -> Expr:
+    if isinstance(node, Call) and isinstance(node.func, str):
+        if all(isinstance(a, Const) for a in node.args):
+            builtin = get_builtin(node.func)
+            try:
+                value = builtin.impl(*(a.value for a in node.args))  # type: ignore[union-attr]
+            except (ArithmeticError, ValueError, OverflowError):
+                return node
+            if is_number(value) and not isinstance(value, float):
+                return const(value)
+            if isinstance(value, bool):
+                return Const(value)
+    return node
+
+
+def _local(node: Expr) -> Expr:
+    node = _fold_constants(node)
+    if isinstance(node, Call) and isinstance(node.func, str):
+        a = node.args[0] if node.args else None
+        b = node.args[1] if len(node.args) > 1 else None
+        op = node.func
+        if op == "add":
+            if _is_const(a, 0):
+                return b  # type: ignore[return-value]
+            if _is_const(b, 0):
+                return a  # type: ignore[return-value]
+        elif op == "sub":
+            if _is_const(b, 0):
+                return a  # type: ignore[return-value]
+            if a == b:
+                return Const(0)
+        elif op == "mul":
+            if _is_const(a, 0) or _is_const(b, 0):
+                return Const(0)
+            if _is_const(a, 1):
+                return b  # type: ignore[return-value]
+            if _is_const(b, 1):
+                return a  # type: ignore[return-value]
+        elif op == "div":
+            if _is_const(a, 0):
+                return Const(0)
+            if _is_const(b, 1):
+                return a  # type: ignore[return-value]
+            # Nested constant denominators: (e / c1) / c2 -> e / (c1*c2).
+            if (
+                isinstance(a, Call)
+                and a.func == "div"
+                and isinstance(a.args[1], Const)
+                and isinstance(b, Const)
+                and not isinstance(a.args[1].value, bool)
+                and not isinstance(b.value, bool)
+            ):
+                merged = Fraction(a.args[1].value) * Fraction(b.value)
+                return Call("div", (a.args[0], const(merged)))
+        elif op == "pow":
+            if _is_const(b, 1):
+                return a  # type: ignore[return-value]
+            if _is_const(b, 0):
+                return Const(1)
+        elif op == "neg" and isinstance(a, Call) and a.func == "neg":
+            return a.args[0]
+    if isinstance(node, If):
+        if _is_const(node.cond, True):
+            return node.then
+        if _is_const(node.cond, False):
+            return node.orelse
+        if node.then == node.orelse:
+            return node.then
+    if isinstance(node, Proj) and isinstance(node.tup, MakeTuple):
+        if 0 <= node.index < len(node.tup.items):
+            return node.tup.items[node.index]
+    return node
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Bottom-up local simplification to a fixpoint (bounded)."""
+    current = expr
+    for _ in range(8):
+        simplified = transform_bottom_up(current, _local)
+        if simplified == current:
+            return current
+        current = simplified
+    return current

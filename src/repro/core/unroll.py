@@ -1,0 +1,178 @@
+"""Symbolic unrolling of offline expressions (the ``Unroll`` procedure of
+Algorithm 4).
+
+``MineExpressions`` instantiates the input list with a symbolic list of fixed
+size ``k`` and symbolically executes the offline expression on it.  Here this
+is a partial evaluator over IR expressions: list values become concrete
+Python lists *of IR expressions*, folds unroll to ``k`` nested applications,
+maps apply their lambda pointwise, and arithmetic over constants folds.
+
+``filter`` over symbolic elements cannot be unrolled (element-dependent
+branching); mining simply fails for such specifications and the synthesizer
+falls back to enumerative search, mirroring the paper's design where mining
+is a best-effort accelerator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from ..ir.builtins import get_builtin
+from ..ir.nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    Proj,
+    Snoc,
+    Var,
+    const,
+)
+from ..ir.values import is_number
+from .axioms import apply_lambda
+
+
+class UnrollFailure(Exception):
+    """The expression cannot be unrolled on a symbolic list."""
+
+
+SymVal = Union[Expr, list, Lambda]
+
+
+def element_var(index: int) -> str:
+    """Canonical name of the ``index``-th symbolic list element (1-based)."""
+    return f"_e{index}"
+
+
+def symbolic_list(size: int) -> list[Expr]:
+    return [Var(element_var(i)) for i in range(1, size + 1)]
+
+
+def _apply(func: SymVal, env: Mapping[str, SymVal], *args: Expr) -> Expr:
+    """Apply a lambda under ``env``: bind parameters and re-unroll the body,
+    so captured list variables (e.g. ``avg``'s ``xs``) resolve correctly."""
+    if not isinstance(func, Lambda):
+        raise UnrollFailure(f"cannot apply non-lambda {func!r} during unrolling")
+    if len(func.params) != len(args):
+        raise UnrollFailure("lambda arity mismatch during unrolling")
+    inner = dict(env)
+    inner.update(zip(func.params, args))
+    result = unroll(func.body, inner)
+    return _simplify(_expect_scalar(result))
+
+
+def _simplify(expr: Expr) -> Expr:
+    """Light constant folding to keep unrolled terms small."""
+    if isinstance(expr, Call) and isinstance(expr.func, str):
+        args = tuple(_simplify(a) for a in expr.args)
+        if all(isinstance(a, Const) for a in args):
+            builtin = get_builtin(expr.func)
+            value = builtin.impl(*(a.value for a in args))  # type: ignore[union-attr]
+            if is_number(value) or isinstance(value, bool):
+                return const(value)
+        return Call(expr.func, args)
+    if isinstance(expr, If) and isinstance(expr.cond, Const):
+        return _simplify(expr.then if expr.cond.value else expr.orelse)
+    return expr
+
+
+def unroll(expr: Expr, env: Mapping[str, SymVal]) -> SymVal:
+    """Partially evaluate ``expr``; list variables must be bound to Python
+    lists of IR expressions in ``env``."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return env.get(expr.name, expr)
+    if isinstance(expr, ListVar):
+        value = env.get(expr.name)
+        if not isinstance(value, list):
+            raise UnrollFailure(f"list variable {expr.name!r} unbound in unroll")
+        return value
+    if isinstance(expr, Lambda):
+        return expr  # applied later under the *current* environment
+    if isinstance(expr, Call):
+        if isinstance(expr.func, Lambda):
+            args = [_expect_scalar(unroll(a, env)) for a in expr.args]
+            return _apply(expr.func, env, *args)
+        if expr.func == "length":
+            lst = unroll(expr.args[0], env)
+            if isinstance(lst, list):
+                return Const(len(lst))
+            raise UnrollFailure("length of non-list during unroll")
+        args = [_expect_scalar(unroll(a, env)) for a in expr.args]
+        return _simplify(Call(expr.func, tuple(args)))
+    if isinstance(expr, If):
+        cond = _expect_scalar(unroll(expr.cond, env))
+        if isinstance(cond, Const):
+            return unroll(expr.then if cond.value else expr.orelse, env)
+        return If(
+            cond,
+            _expect_scalar(unroll(expr.then, env)),
+            _expect_scalar(unroll(expr.orelse, env)),
+        )
+    if isinstance(expr, Map):
+        func = unroll(expr.func, env)
+        lst = _expect_list(unroll(expr.lst, env))
+        return [_apply(func, env, item) for item in lst]
+    if isinstance(expr, Filter):
+        func = unroll(expr.func, env)
+        lst = _expect_list(unroll(expr.lst, env))
+        kept = []
+        for item in lst:
+            verdict = _apply(func, env, item)
+            if not isinstance(verdict, Const):
+                raise UnrollFailure("filter predicate is element-dependent")
+            if verdict.value:
+                kept.append(item)
+        return kept
+    if isinstance(expr, Fold):
+        func = unroll(expr.func, env)
+        acc = _expect_scalar(unroll(expr.init, env))
+        lst = _expect_list(unroll(expr.lst, env))
+        for item in lst:
+            acc = _apply(func, env, acc, item)
+        return acc
+    if isinstance(expr, Let):
+        value = unroll(expr.value, env)
+        inner = dict(env)
+        inner[expr.name] = value
+        return unroll(expr.body, inner)
+    if isinstance(expr, Snoc):
+        lst = _expect_list(unroll(expr.lst, env))
+        elem = _expect_scalar(unroll(expr.elem, env))
+        return lst + [elem]
+    if isinstance(expr, MakeTuple):
+        return MakeTuple(tuple(_expect_scalar(unroll(i, env)) for i in expr.items))
+    if isinstance(expr, Proj):
+        tup = unroll(expr.tup, env)
+        if isinstance(tup, MakeTuple):
+            return tup.items[expr.index]
+        return Proj(_expect_scalar(tup), expr.index)
+    raise UnrollFailure(f"cannot unroll {type(expr).__name__} node")
+
+
+def _expect_scalar(value: SymVal) -> Expr:
+    if isinstance(value, list):
+        raise UnrollFailure("list value where scalar expected")
+    if isinstance(value, Lambda):
+        raise UnrollFailure("lambda value where scalar expected")
+    return value
+
+
+def _expect_list(value: SymVal) -> list:
+    if not isinstance(value, list):
+        raise UnrollFailure("scalar value where list expected")
+    return value
+
+
+def unroll_on_elements(expr: Expr, list_param: str, size: int) -> Expr:
+    """Unroll ``expr`` with ``list_param`` bound to ``[_e1, ..., _e<size>]``."""
+    result = unroll(expr, {list_param: symbolic_list(size)})
+    return _expect_scalar(result)

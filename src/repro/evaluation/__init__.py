@@ -1,0 +1,22 @@
+"""Evaluation harness: runners and table/figure regenerators (Section 7)."""
+
+from .cdf import ascii_cdf, cdf_series
+from .export import matrix_to_csv, matrix_to_json, suite_to_records, write_artifacts
+from .runner import SuiteResult, default_timeout, run_matrix, run_suite
+from .tables import qualitative, table1, table2
+
+__all__ = [
+    "SuiteResult",
+    "ascii_cdf",
+    "cdf_series",
+    "matrix_to_csv",
+    "matrix_to_json",
+    "suite_to_records",
+    "write_artifacts",
+    "default_timeout",
+    "qualitative",
+    "run_matrix",
+    "run_suite",
+    "table1",
+    "table2",
+]

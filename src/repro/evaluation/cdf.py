@@ -1,0 +1,80 @@
+"""Cumulative-distribution plots for Figures 11 and 13, as data + ASCII art.
+
+The paper plots "% of benchmarks solved" against cumulative running time on a
+log axis.  We emit both the raw series (for external plotting) and a terminal
+rendering so the benchmark harness output is self-contained.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .runner import SuiteResult
+
+
+def cdf_series(suite: SuiteResult, total: int | None = None) -> list[tuple[float, float]]:
+    """Points (cumulative seconds, % solved), one per solved task."""
+    times = suite.times_sorted()
+    denominator = total if total is not None else len(suite.reports)
+    if denominator == 0:
+        return []
+    series = []
+    cumulative = 0.0
+    for i, t in enumerate(times, start=1):
+        cumulative += t
+        series.append((cumulative, 100.0 * i / denominator))
+    return series
+
+
+def ascii_cdf(
+    suites: dict[str, SuiteResult],
+    width: int = 64,
+    height: int = 16,
+    title: str = "% of benchmarks solved by running total (log t)",
+) -> str:
+    """Render several CDFs on one log-x ASCII plot."""
+    all_series = {
+        name: cdf_series(suite) for name, suite in suites.items()
+    }
+    max_time = max(
+        (pts[-1][0] for pts in all_series.values() if pts), default=1.0
+    )
+    min_time = min(
+        (pts[0][0] for pts in all_series.values() if pts), default=0.01
+    )
+    min_time = max(min_time, 1e-3)
+    lo, hi = math.log10(min_time), math.log10(max(max_time, min_time * 10))
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    legend = []
+    for idx, (name, pts) in enumerate(all_series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"  {marker} {name}")
+        level = 0.0
+        for cum, pct in pts:
+            col = int(
+                (math.log10(max(cum, min_time)) - lo) / max(hi - lo, 1e-9) * (width - 1)
+            )
+            row = height - 1 - int(pct / 100.0 * (height - 1))
+            col = min(max(col, 0), width - 1)
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = marker
+            level = pct
+        if not pts:
+            legend[-1] += " (no tasks solved)"
+        else:
+            legend[-1] += f" (reaches {level:.0f}%)"
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        pct_label = f"{100 - round(100 * i / (height - 1)):>3}% |"
+        lines.append(pct_label + "".join(row))
+    lines.append(
+        "     +" + "-" * width
+    )
+    lines.append(
+        f"      {10**lo:.2g}s{'':{max(width - 16, 1)}}{10**hi:.2g}s"
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Result export: JSON/CSV artifacts for the benchmark harness.
+
+The ASCII tables are for humans; these exporters produce
+machine-consumable records so results can be diffed across runs, plotted
+externally, or archived next to ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Mapping
+
+from .cdf import cdf_series
+from .runner import SuiteResult
+
+
+def suite_to_records(suite: SuiteResult) -> list[dict]:
+    """Flat per-task records for one solver run."""
+    records = []
+    for name, report in suite.reports.items():
+        records.append(
+            {
+                "solver": suite.solver,
+                "task": name,
+                "success": report.success,
+                "elapsed_s": round(report.elapsed_s, 6),
+                "failure_reason": report.failure_reason,
+                "methods": dict(report.method_counts),
+                "online_size": report.online_size(),
+            }
+        )
+    return records
+
+
+def matrix_to_json(
+    matrix: Mapping[str, SuiteResult], indent: int = 1
+) -> str:
+    """Serialize a solver matrix (solver -> SuiteResult) to JSON."""
+    payload = {
+        solver: {
+            "percent_solved": suite.percent_solved(),
+            "average_time_s": (
+                None
+                if suite.average_time() != suite.average_time()  # NaN check
+                else round(suite.average_time(), 6)
+            ),
+            "cdf": [[round(t, 6), pct] for t, pct in cdf_series(suite)],
+            "tasks": suite_to_records(suite),
+        }
+        for solver, suite in matrix.items()
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def matrix_to_csv(matrix: Mapping[str, SuiteResult]) -> str:
+    """One CSV row per (solver, task)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["solver", "task", "success", "elapsed_s", "failure_reason"]
+    )
+    for suite in matrix.values():
+        for record in suite_to_records(suite):
+            writer.writerow(
+                [
+                    record["solver"],
+                    record["task"],
+                    int(record["success"]),
+                    record["elapsed_s"],
+                    record["failure_reason"] or "",
+                ]
+            )
+    return buffer.getvalue()
+
+
+def write_artifacts(
+    matrix: Mapping[str, SuiteResult], json_path: str, csv_path: str
+) -> None:
+    with open(json_path, "w") as handle:
+        handle.write(matrix_to_json(matrix))
+    with open(csv_path, "w") as handle:
+        handle.write(matrix_to_csv(matrix))

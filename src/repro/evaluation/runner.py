@@ -1,0 +1,84 @@
+"""Experiment runner: executes solvers over benchmark suites and collects
+per-task reports (the machinery behind Tables 1-2 and Figures 11-13).
+
+Timeouts: the paper gives every task 10 minutes on an M1 Pro.  This harness
+keeps the budget configurable (``timeout_s``) so the full evaluation can be
+regenerated in minutes; the CDF *shape* — who solves what, in which order —
+is budget-stable because successful tasks finish orders of magnitude below
+any reasonable budget, while failing ones consume whatever they are given.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from ..core.config import SynthesisConfig
+from ..core.report import SynthesisReport
+from ..suites.registry import Benchmark
+
+#: Environment knob for scaling per-task budgets in the benchmark harness.
+TIMEOUT_ENV = "REPRO_BENCH_TIMEOUT"
+
+
+def default_timeout(fallback: float = 10.0) -> float:
+    value = os.environ.get(TIMEOUT_ENV)
+    if value is None:
+        return fallback
+    return float(value)
+
+
+@dataclass
+class SuiteResult:
+    """All reports of one solver over one benchmark list."""
+
+    solver: str
+    reports: dict[str, SynthesisReport] = field(default_factory=dict)
+
+    def solved(self) -> list[SynthesisReport]:
+        return [r for r in self.reports.values() if r.success]
+
+    def percent_solved(self) -> float:
+        if not self.reports:
+            return 0.0
+        return 100.0 * len(self.solved()) / len(self.reports)
+
+    def average_time(self, solved_only: bool = True) -> float:
+        pool = self.solved() if solved_only else list(self.reports.values())
+        if not pool:
+            return float("nan")
+        return sum(r.elapsed_s for r in pool) / len(pool)
+
+    def times_sorted(self) -> list[float]:
+        return sorted(r.elapsed_s for r in self.solved())
+
+
+def run_suite(
+    solver,
+    benchmarks: list[Benchmark],
+    config: SynthesisConfig | None = None,
+    verbose: bool = False,
+) -> SuiteResult:
+    """Run one solver over the given benchmarks."""
+    base = config or SynthesisConfig(timeout_s=default_timeout())
+    result = SuiteResult(solver=solver.name)
+    for bench in benchmarks:
+        task_config = replace(base, element_arity=bench.element_arity)
+        report = solver.synthesize(bench.program, task_config, bench.name)
+        result.reports[bench.name] = report
+        if verbose:
+            print(report.summary_line())
+    return result
+
+
+def run_matrix(
+    solvers,
+    benchmarks: list[Benchmark],
+    config: SynthesisConfig | None = None,
+    verbose: bool = False,
+) -> dict[str, SuiteResult]:
+    """Run several solvers over the same benchmarks."""
+    return {
+        solver.name: run_suite(solver, benchmarks, config, verbose)
+        for solver in solvers
+    }

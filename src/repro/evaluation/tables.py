@@ -1,0 +1,124 @@
+"""Formatters that regenerate the paper's tables.
+
+* :func:`table1` — benchmark-set statistics: average/median AST size of the
+  offline programs and of the (ground-truth) online programs, per domain.
+* :func:`table2` — main synthesis results: % solved and average time per
+  domain for each solver.
+* :func:`qualitative` — the Section 7.1 analysis: how synthesized schemes
+  compare with the hand-written ground truth (same accumulators or an
+  equivalent alternative parameterization), plus per-method hole counts.
+"""
+
+from __future__ import annotations
+
+from statistics import mean, median
+
+from ..ir.traversal import ast_size, inline_lets
+from ..suites.registry import Benchmark
+from .runner import SuiteResult
+
+
+def _offline_size(bench: Benchmark) -> int:
+    return ast_size(inline_lets(bench.program.body))
+
+
+def _online_size(bench: Benchmark) -> int | None:
+    if bench.ground_truth is None:
+        return None
+    return sum(ast_size(out) for out in bench.ground_truth.program.outputs)
+
+
+def table1(benchmarks: list[Benchmark]) -> str:
+    """Table 1: average and median AST sizes, offline vs online."""
+    domains: dict[str, list[Benchmark]] = {}
+    for bench in benchmarks:
+        domains.setdefault(bench.domain, []).append(bench)
+
+    lines = [
+        "Table 1. Statistics about the benchmark set",
+        f"{'':10}  {'Avg. AST Size':>24}  {'Median AST Size':>24}",
+        f"{'':10}  {'Offline':>11} {'Online':>11}  {'Offline':>11} {'Online':>12}",
+    ]
+    for domain in ("stats", "auction"):
+        benches = domains.get(domain, [])
+        if not benches:
+            continue
+        offline = [_offline_size(b) for b in benches]
+        online = [s for b in benches if (s := _online_size(b)) is not None]
+        lines.append(
+            f"{domain.capitalize():10}  {mean(offline):11.0f} {mean(online):11.0f}"
+            f"  {median(offline):11.0f} {median(online):12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def table2(results: dict[str, dict[str, SuiteResult]]) -> str:
+    """Table 2: % solved and (for Opera) average synthesis time per domain.
+
+    ``results[solver][domain]`` is a :class:`SuiteResult`.
+    """
+    lines = [
+        "Table 2. Main synthesis result",
+        f"{'':18} {'Stats':>22} {'Auction':>24}",
+        f"{'':18} {'% solved':>10} {'avg (s)':>11} {'% solved':>11} {'avg (s)':>12}",
+    ]
+    for solver, by_domain in results.items():
+        cells = []
+        for domain in ("stats", "auction"):
+            suite = by_domain.get(domain)
+            if suite is None:
+                cells.extend(["-", "-"])
+                continue
+            pct = f"{suite.percent_solved():.0f}%"
+            avg = suite.average_time()
+            cells.extend([pct, f"{avg:.1f}" if avg == avg else "N/A"])
+        lines.append(
+            f"{solver:18} {cells[0]:>10} {cells[1]:>11} {cells[2]:>11} {cells[3]:>12}"
+        )
+    return "\n".join(lines)
+
+
+def qualitative(
+    benchmarks: list[Benchmark], suite: SuiteResult
+) -> str:
+    """Section 7.1: compare synthesized schemes against ground truth."""
+    same_arity = 0
+    different = 0
+    solved = 0
+    method_totals: dict[str, int] = {}
+    size_ratio_num = 0
+    size_ratio_den = 0
+    for bench in benchmarks:
+        report = suite.reports.get(bench.name)
+        if report is None or not report.success or report.scheme is None:
+            continue
+        solved += 1
+        for method, count in report.method_counts.items():
+            method_totals[method] = method_totals.get(method, 0) + count
+        if bench.ground_truth is not None:
+            if report.scheme.arity == bench.ground_truth.arity:
+                same_arity += 1
+            else:
+                different += 1
+            gt_size = sum(
+                ast_size(o) for o in bench.ground_truth.program.outputs
+            )
+            got_size = sum(ast_size(o) for o in report.scheme.program.outputs)
+            size_ratio_num += got_size
+            size_ratio_den += gt_size
+    lines = [
+        "Qualitative analysis (Section 7.1)",
+        f"  solved tasks                     : {solved}",
+        f"  same accumulator count as GT     : {same_arity}",
+        f"  different (alternative) params   : {different}",
+    ]
+    if size_ratio_den:
+        lines.append(
+            f"  synthesized/GT online size ratio : "
+            f"{size_ratio_num / size_ratio_den:.2f}"
+        )
+    lines.append(
+        "  holes by method                  : "
+        + ", ".join(f"{k}={v}" for k, v in sorted(method_totals.items()))
+    )
+    return "\n".join(lines)

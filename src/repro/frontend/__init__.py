@@ -1,0 +1,5 @@
+"""Python-to-IR frontend (Section 6, "Conversion to functional IR")."""
+
+from .python_frontend import FrontendError, function_to_ir, python_to_ir
+
+__all__ = ["FrontendError", "function_to_ir", "python_to_ir"]

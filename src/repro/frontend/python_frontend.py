@@ -1,0 +1,391 @@
+"""Syntax-directed translation of a Python subset into the functional IR.
+
+The paper's tool accepts Python offline programs (Figure 2a) and transpiles
+them to the fold-based IR of Figure 3a, citing prior work for the general
+problem.  This frontend implements the rule-based subset their benchmarks
+exercise:
+
+* straight-line assignments of pure expressions;
+* accumulator ``for`` loops over the input list — each loop-carried variable
+  becomes a ``foldl`` (independent accumulators become independent folds;
+  mutually dependent ones become a tuple-accumulator fold);
+* ``sum`` / ``len`` / ``min`` / ``max`` over the list, generator expressions
+  ``sum(f(x) for x in xs)``, and list comprehensions with optional ``if``
+  guards (→ ``map`` / ``filter``);
+* arithmetic, comparisons, boolean connectives, conditional expressions,
+  ``abs``, ``math.sqrt`` / ``log`` / ``exp``, and ``x ** c``;
+* a single final ``return``.
+
+Example::
+
+    def variance(xs):
+        s = 0
+        for x in xs:
+            s += x
+        avg = s / len(xs)
+        sq = 0
+        for x in xs:
+            sq += (x - avg) ** 2
+        return sq / len(xs)
+
+translates to exactly the IR of Figure 3a.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Callable
+
+from ..ir.nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    If,
+    Lambda,
+    ListVar,
+    MakeTuple,
+    Map,
+    Program,
+    Proj,
+    Var,
+    const,
+)
+from ..ir.traversal import free_vars, substitute
+
+
+class FrontendError(Exception):
+    """The Python source falls outside the supported subset."""
+
+
+_BINOPS: dict[type, str] = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.Div: "div",
+    ast.Pow: "pow",
+}
+
+_CMPOPS: dict[type, str] = {
+    ast.Lt: "lt",
+    ast.LtE: "le",
+    ast.Gt: "gt",
+    ast.GtE: "ge",
+    ast.Eq: "eq",
+    ast.NotEq: "ne",
+}
+
+_CALLS_1: dict[str, str] = {
+    "abs": "abs",
+    "sqrt": "sqrt",
+    "exp": "exp",
+    "log": "log",
+    "expm1": "expm1",
+    "log1p": "log1p",
+    "floor": "floor",
+    "ceil": "ceil",
+}
+
+
+class _Translator:
+    """Translates one function body; ``env`` maps Python names to IR values
+    (scalar expressions, or the input list)."""
+
+    def __init__(self, list_param: str, extra_params: tuple[str, ...]):
+        self.list_param = list_param
+        self.extra_params = extra_params
+        self.env: dict[str, Expr] = {name: Var(name) for name in extra_params}
+        self._fresh = 0
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: ast.expr) -> Expr:
+        method: Callable[[ast.expr], Expr] | None = getattr(
+            self, f"_expr_{type(node).__name__.lower()}", None
+        )
+        if method is None:
+            raise FrontendError(f"unsupported expression {ast.dump(node)}")
+        return method(node)
+
+    def _expr_constant(self, node: ast.Constant) -> Expr:
+        if isinstance(node.value, bool):
+            return Const(node.value)
+        if isinstance(node.value, (int, float)):
+            return const(node.value)
+        raise FrontendError(f"unsupported constant {node.value!r}")
+
+    def _expr_name(self, node: ast.Name) -> Expr:
+        if node.id == self.list_param:
+            return ListVar(self.list_param)
+        if node.id in self.env:
+            return self.env[node.id]
+        return Var(node.id)  # lambda-bound loop variables
+
+    def _expr_binop(self, node: ast.BinOp) -> Expr:
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise FrontendError(f"unsupported operator {type(node.op).__name__}")
+        return Call(op, (self.expr(node.left), self.expr(node.right)))
+
+    def _expr_unaryop(self, node: ast.UnaryOp) -> Expr:
+        operand = self.expr(node.operand)
+        if isinstance(node.op, ast.USub):
+            if isinstance(operand, Const) and not isinstance(operand.value, bool):
+                return const(-operand.value)
+            return Call("neg", (operand,))
+        if isinstance(node.op, ast.Not):
+            return Call("not", (operand,))
+        raise FrontendError(f"unsupported unary op {type(node.op).__name__}")
+
+    def _expr_compare(self, node: ast.Compare) -> Expr:
+        if len(node.ops) != 1:
+            raise FrontendError("chained comparisons are unsupported")
+        op = _CMPOPS.get(type(node.ops[0]))
+        if op is None:
+            raise FrontendError(f"unsupported comparison {type(node.ops[0]).__name__}")
+        return Call(op, (self.expr(node.left), self.expr(node.comparators[0])))
+
+    def _expr_boolop(self, node: ast.BoolOp) -> Expr:
+        op = "and" if isinstance(node.op, ast.And) else "or"
+        result = self.expr(node.values[0])
+        for value in node.values[1:]:
+            result = Call(op, (result, self.expr(value)))
+        return result
+
+    def _expr_ifexp(self, node: ast.IfExp) -> Expr:
+        return If(self.expr(node.test), self.expr(node.body), self.expr(node.orelse))
+
+    def _expr_subscript(self, node: ast.Subscript) -> Expr:
+        if isinstance(node.slice, ast.Constant) and isinstance(node.slice.value, int):
+            return Proj(self.expr(node.value), node.slice.value)
+        raise FrontendError("only constant tuple indexing is supported")
+
+    def _expr_tuple(self, node: ast.Tuple) -> Expr:
+        return MakeTuple(tuple(self.expr(e) for e in node.elts))
+
+    def _expr_call(self, node: ast.Call) -> Expr:
+        name = self._callee_name(node)
+        args = node.args
+        if name == "len" and len(args) == 1:
+            return Call("length", (self._list_operand(args[0]),))
+        if name == "sum" and len(args) == 1:
+            if isinstance(args[0], ast.GeneratorExp):
+                lst, lam = self._comprehension(args[0])
+                return Fold(
+                    Lambda(("_acc", lam.params[0]), Call("add", (Var("_acc"), lam.body))),
+                    Const(0),
+                    lst,
+                )
+            return Fold(
+                Lambda(("_a", "_b"), Call("add", (Var("_a"), Var("_b")))),
+                Const(0),
+                self._list_operand(args[0]),
+            )
+        if name in ("min", "max") and len(args) == 2:
+            return Call(name, (self.expr(args[0]), self.expr(args[1])))
+        if name in ("min", "max") and len(args) == 1:
+            sentinel = Const(10**9 if name == "min" else -(10**9))
+            return Fold(
+                Lambda(("_a", "_b"), Call(name, (Var("_a"), Var("_b")))),
+                sentinel,
+                self._list_operand(args[0]),
+            )
+        if name in _CALLS_1 and len(args) == 1:
+            return Call(_CALLS_1[name], (self.expr(args[0]),))
+        raise FrontendError(f"unsupported call to {name!r}")
+
+    def _callee_name(self, node: ast.Call) -> str:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):  # math.sqrt etc.
+            return func.attr
+        raise FrontendError("unsupported callee")
+
+    def _list_operand(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.ListComp):
+            lst, lam = self._comprehension(node)
+            return Map(lam, lst)
+        value = self.expr(node)
+        if isinstance(value, (ListVar, Map, Filter)):
+            return value
+        raise FrontendError("expected a list-valued operand")
+
+    def _comprehension(self, node: ast.GeneratorExp | ast.ListComp):
+        if len(node.generators) != 1:
+            raise FrontendError("only single-generator comprehensions supported")
+        gen = node.generators[0]
+        if not isinstance(gen.target, ast.Name):
+            raise FrontendError("comprehension target must be a name")
+        var = gen.target.id
+        lst = self._list_operand(gen.iter)
+        for guard in gen.ifs:
+            lst = Filter(Lambda((var,), self.expr(guard)), lst)
+        lam = Lambda((var,), self.expr(node.elt))
+        return lst, lam
+
+    # -- statements -----------------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"_{prefix}{self._fresh}"
+
+    def statement(self, node: ast.stmt) -> Expr | None:
+        """Process one statement; a ``return`` yields the program body."""
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+                raise FrontendError("only simple assignments supported")
+            self.env[node.targets[0].id] = self.expr(node.value)
+            return None
+        if isinstance(node, ast.AugAssign):
+            if not isinstance(node.target, ast.Name):
+                raise FrontendError("only simple augmented assignments supported")
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise FrontendError("unsupported augmented operator")
+            name = node.target.id
+            current = self.env.get(name)
+            if current is None:
+                raise FrontendError(f"augmented assignment to unbound {name!r}")
+            self.env[name] = Call(op, (current, self.expr(node.value)))
+            return None
+        if isinstance(node, ast.For):
+            self._for_loop(node)
+            return None
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                raise FrontendError("return must carry a value")
+            return self.expr(node.value)
+        if isinstance(node, (ast.Pass, ast.Expr)):
+            return None
+        raise FrontendError(f"unsupported statement {type(node).__name__}")
+
+    def _for_loop(self, node: ast.For) -> None:
+        """Accumulator loops become folds.
+
+        Reads are sequenced: a statement that reads an accumulator updated
+        earlier in the same iteration sees the *new* value (the update is
+        inlined), while reads of not-yet-updated accumulators see the fold
+        parameter.  If the final updates are mutually independent each
+        accumulator becomes its own fold; otherwise the whole group becomes a
+        single tuple-accumulator fold.
+        """
+        if node.orelse:
+            raise FrontendError("for/else is unsupported")
+        if not isinstance(node.target, ast.Name):
+            raise FrontendError("loop target must be a name")
+        loop_var = node.target.id
+        lst = self._list_operand(node.iter)
+
+        accumulators = self._loop_accumulators(node)
+        for name in accumulators:
+            if name not in self.env:
+                raise FrontendError(
+                    f"loop accumulator {name!r} must be initialized before the loop"
+                )
+
+        inner = _Translator(self.list_param, self.extra_params)
+        inner.env = dict(self.env)
+        inner.env.pop(loop_var, None)
+        # Within one iteration, every accumulator starts at its fold-parameter
+        # value and is rebound as statements execute.
+        for name in accumulators:
+            inner.env[name] = Var(name)
+
+        updates: dict[str, Expr] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+                    raise FrontendError("unsupported loop-body assignment")
+                name = stmt.targets[0].id
+                rhs = inner.expr(stmt.value)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                op = _BINOPS.get(type(stmt.op))
+                if op is None:
+                    raise FrontendError("unsupported augmented operator in loop")
+                rhs = Call(op, (inner.env[name], inner.expr(stmt.value)))
+            elif isinstance(stmt, ast.If):
+                raise FrontendError(
+                    "conditional loop bodies: express the branch as a "
+                    "conditional expression instead"
+                )
+            else:
+                raise FrontendError("loop bodies must be accumulator updates")
+            inner.env[name] = rhs
+            updates[name] = rhs
+
+        self._emit_folds(updates, loop_var, lst)
+
+    @staticmethod
+    def _loop_accumulators(node: ast.For) -> list[str]:
+        names: list[str] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                targets = [stmt.target.id]
+            else:
+                targets = []
+            for name in targets:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def _emit_folds(self, updates: dict[str, Expr], loop_var: str, lst: Expr) -> None:
+        names = list(updates)
+        name_set = set(names)
+        # An update is self-contained if it reads no *other* accumulator.
+        entangled = any(
+            (free_vars(update) & name_set) - {name}
+            for name, update in updates.items()
+        )
+        if not entangled:
+            for name in names:
+                init = self.env[name]
+                self.env[name] = Fold(
+                    Lambda((name, loop_var), updates[name]), init, lst
+                )
+            return
+        # Mutually dependent accumulators: one tuple-valued fold whose lambda
+        # reads all old values through projections.
+        tup_var = self.fresh("t")
+        projections = {name: Proj(Var(tup_var), i) for i, name in enumerate(names)}
+        bodies = tuple(substitute(updates[name], projections) for name in names)
+        init = MakeTuple(tuple(self.env[name] for name in names))
+        fold = Fold(Lambda((tup_var, loop_var), MakeTuple(bodies)), init, lst)
+        for i, name in enumerate(names):
+            self.env[name] = Proj(fold, i)
+
+
+def python_to_ir(source: str) -> Program:
+    """Translate the single function defined in ``source`` to a Program."""
+    tree = ast.parse(textwrap.dedent(source))
+    functions = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(functions) != 1:
+        raise FrontendError("source must define exactly one function")
+    func = functions[0]
+    params = [a.arg for a in func.args.args]
+    if not params:
+        raise FrontendError("the function must take the input list first")
+    list_param, *extra = params
+
+    translator = _Translator(list_param, tuple(extra))
+    body: Expr | None = None
+    for stmt in func.body:
+        result = translator.statement(stmt)
+        if result is not None:
+            body = result
+            break
+    if body is None:
+        raise FrontendError("the function never returns")
+    return Program(list_param, body, tuple(extra))
+
+
+def function_to_ir(func) -> Program:
+    """Translate a live Python function object via its source."""
+    import inspect
+
+    return python_to_ir(inspect.getsource(func))

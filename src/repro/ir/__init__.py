@@ -1,0 +1,92 @@
+"""Functional intermediate representation (Figures 6 and 7 of the paper).
+
+Public surface:
+
+* :mod:`repro.ir.nodes` — AST node classes;
+* :mod:`repro.ir.dsl` — concise builders for writing programs in Python;
+* :mod:`repro.ir.parser` / :mod:`repro.ir.pretty` — concrete syntax;
+* :mod:`repro.ir.evaluator` — the definitional interpreter;
+* :mod:`repro.ir.traversal` — structural utilities (substitution, AST size,
+  list-expression discovery).
+"""
+
+from .nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    Hole,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    OnlineProgram,
+    Program,
+    Proj,
+    Snoc,
+    Var,
+    const,
+)
+from .evaluator import EvaluationError, evaluate, run_offline, step_online
+from .infer import check_well_typed, infer_program_type, infer_type
+from .parser import ParseError, parse_expr, parse_program
+from .pretty import pretty, pretty_online, pretty_program, program_to_sexpr, to_sexpr
+from .traversal import (
+    ast_size,
+    fill_holes,
+    free_vars,
+    inline_lets,
+    is_list_expr,
+    list_exprs,
+    substitute,
+    substitute_list_var,
+    validate_online_expr,
+)
+
+__all__ = [
+    "Call",
+    "Const",
+    "EvaluationError",
+    "Expr",
+    "Filter",
+    "Fold",
+    "Hole",
+    "If",
+    "Lambda",
+    "Let",
+    "ListVar",
+    "MakeTuple",
+    "Map",
+    "OnlineProgram",
+    "ParseError",
+    "Program",
+    "Proj",
+    "Snoc",
+    "Var",
+    "ast_size",
+    "check_well_typed",
+    "infer_program_type",
+    "infer_type",
+    "const",
+    "evaluate",
+    "fill_holes",
+    "free_vars",
+    "inline_lets",
+    "is_list_expr",
+    "list_exprs",
+    "parse_expr",
+    "parse_program",
+    "pretty",
+    "pretty_online",
+    "pretty_program",
+    "program_to_sexpr",
+    "run_offline",
+    "step_online",
+    "substitute",
+    "substitute_list_var",
+    "to_sexpr",
+    "validate_online_expr",
+]

@@ -1,0 +1,216 @@
+"""Concise Python builders for IR expressions.
+
+The benchmark suites (:mod:`repro.suites`) define ~50 offline programs; these
+helpers keep those definitions close to the mathematical notation of the
+paper.  Example — the two-pass variance of Figure 3a::
+
+    s   = fold_sum(XS)
+    avg = div(s, length(XS))
+    sq  = fold(lam("acc", "x", add(V("acc"), powi(sub(V("x"), avg), 2))), 0, XS)
+    variance = program(div(sq, length(XS)))
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from .nodes import (
+    Call,
+    Const,
+    ConstValue,
+    Expr,
+    Filter,
+    Fold,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    Program,
+    Proj,
+    Var,
+    const,
+)
+
+ExprLike = Union[Expr, int, float, bool, Fraction, str]
+
+#: The canonical input list of suite programs.
+XS = ListVar("xs")
+
+
+def E(x: ExprLike) -> Expr:
+    """Coerce Python literals / variable names into IR expressions."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, str):
+        return Var(x)
+    if isinstance(x, (int, float, bool, Fraction)):
+        return const(x)
+    raise TypeError(f"cannot coerce {x!r} to an expression")
+
+
+def V(name: str) -> Var:
+    return Var(name)
+
+
+def C(value: ConstValue) -> Const:
+    return const(value)
+
+
+def add(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("add", (E(a), E(b)))
+
+
+def sub(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("sub", (E(a), E(b)))
+
+
+def mul(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("mul", (E(a), E(b)))
+
+
+def div(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("div", (E(a), E(b)))
+
+
+def neg(a: ExprLike) -> Expr:
+    return Call("neg", (E(a),))
+
+
+def powi(a: ExprLike, n: ExprLike) -> Expr:
+    return Call("pow", (E(a), E(n)))
+
+
+def minimum(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("min", (E(a), E(b)))
+
+
+def maximum(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("max", (E(a), E(b)))
+
+
+def absolute(a: ExprLike) -> Expr:
+    return Call("abs", (E(a),))
+
+
+def sqrt(a: ExprLike) -> Expr:
+    return Call("sqrt", (E(a),))
+
+
+def exp(a: ExprLike) -> Expr:
+    return Call("exp", (E(a),))
+
+
+def log(a: ExprLike) -> Expr:
+    return Call("log", (E(a),))
+
+
+def lt(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("lt", (E(a), E(b)))
+
+
+def le(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("le", (E(a), E(b)))
+
+
+def gt(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("gt", (E(a), E(b)))
+
+
+def ge(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("ge", (E(a), E(b)))
+
+
+def eq(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("eq", (E(a), E(b)))
+
+
+def both(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("and", (E(a), E(b)))
+
+
+def either(a: ExprLike, b: ExprLike) -> Expr:
+    return Call("or", (E(a), E(b)))
+
+
+def ite(c: ExprLike, t: ExprLike, f: ExprLike) -> Expr:
+    return If(E(c), E(t), E(f))
+
+
+def lam(*params_and_body: ExprLike) -> Lambda:
+    """``lam("a", "x", body)`` builds ``\\a x -> body``."""
+    *params, body = params_and_body
+    if not all(isinstance(p, str) for p in params):
+        raise TypeError("lambda parameters must be names")
+    return Lambda(tuple(params), E(body))  # type: ignore[arg-type]
+
+
+def fold(func: Expr, init: ExprLike, lst: Expr) -> Fold:
+    return Fold(func, E(init), lst)
+
+
+def fmap(func: Expr, lst: Expr) -> Map:
+    return Map(func, lst)
+
+
+def ffilter(func: Expr, lst: Expr) -> Filter:
+    return Filter(func, lst)
+
+
+def length(lst: Expr) -> Expr:
+    return Call("length", (E(lst),))
+
+
+def let(name: str, value: ExprLike, body: ExprLike) -> Let:
+    return Let(name, E(value), E(body))
+
+
+def tup(*items: ExprLike) -> MakeTuple:
+    return MakeTuple(tuple(E(i) for i in items))
+
+
+def proj(t: ExprLike, index: int) -> Proj:
+    return Proj(E(t), index)
+
+
+def program(body: ExprLike, extra: tuple[str, ...] = ()) -> Program:
+    return Program("xs", E(body), extra)
+
+
+# ---------------------------------------------------------------------------
+# Common derived folds used throughout the suites.
+# ---------------------------------------------------------------------------
+
+
+def fold_sum(lst: Expr) -> Fold:
+    """``foldl (+) 0 lst``"""
+    return Fold(Lambda(("a", "b"), add("a", "b")), Const(0), lst)
+
+
+def fold_product(lst: Expr) -> Fold:
+    """``foldl (*) 1 lst``"""
+    return Fold(Lambda(("a", "b"), mul("a", "b")), Const(1), lst)
+
+
+def fold_min(lst: Expr, top: ExprLike = 10**9) -> Fold:
+    return Fold(Lambda(("a", "b"), minimum("a", "b")), E(top), lst)
+
+
+def fold_max(lst: Expr, bottom: ExprLike = -(10**9)) -> Fold:
+    return Fold(Lambda(("a", "b"), maximum("a", "b")), E(bottom), lst)
+
+
+def fold_count(lst: Expr) -> Fold:
+    """``foldl (\\a _ -> a + 1) 0 lst`` — an explicit-fold length."""
+    return Fold(Lambda(("a", "b"), add("a", 1)), Const(0), lst)
+
+
+def fold_sum_of(var: str, body: ExprLike, lst: Expr) -> Fold:
+    """``foldl (\\acc var -> acc + body) 0 lst`` — sum of ``body`` over elements."""
+    return Fold(Lambda(("acc", var), add("acc", body)), Const(0), lst)
+
+
+def mean_of(lst: Expr) -> Expr:
+    return div(fold_sum(lst), length(lst))

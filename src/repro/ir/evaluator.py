@@ -1,0 +1,159 @@
+"""A definitional interpreter for the IR.
+
+Implements the standard semantics of Figure 6 over exact rational values.
+Both offline programs and candidate online expressions are executed with this
+interpreter; it is the ground truth for the testing-based equivalence oracle
+(Section 6) and for the streaming semantics of Figure 8 (see
+:mod:`repro.core.scheme`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .builtins import get_builtin
+from .nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    Hole,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    OnlineProgram,
+    Program,
+    Proj,
+    Snoc,
+    Var,
+)
+from .values import Value
+
+
+class EvaluationError(Exception):
+    """Raised on genuinely ill-formed programs (unbound variables, arity
+    mismatches, holes); *not* used for arithmetic edge cases, which the safe
+    built-ins absorb."""
+
+
+class Closure:
+    """Runtime representation of a lambda abstraction."""
+
+    __slots__ = ("lam", "env")
+
+    def __init__(self, lam: Lambda, env: Mapping[str, Value]):
+        self.lam = lam
+        self.env = env
+
+    def __call__(self, *args: Value) -> Value:
+        if len(args) != len(self.lam.params):
+            raise EvaluationError(
+                f"lambda expects {len(self.lam.params)} args, got {len(args)}"
+            )
+        env = dict(self.env)
+        env.update(zip(self.lam.params, args))
+        return evaluate(self.lam.body, env)
+
+
+def _eval_function(func, env: Mapping[str, Value]):
+    """Turn the ``func`` position of Call/Map/Filter/Fold into a callable."""
+    if isinstance(func, Lambda):
+        return Closure(func, env)
+    if isinstance(func, str):
+        return get_builtin(func).impl
+    if isinstance(func, Var):
+        value = env.get(func.name)
+        if callable(value):
+            return value
+        raise EvaluationError(f"variable {func.name!r} is not a function")
+    raise EvaluationError(f"cannot apply {func!r}")
+
+
+def evaluate(expr: Expr, env: Mapping[str, Value]) -> Value:
+    """Evaluate ``expr`` under ``env`` (variable name -> value)."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise EvaluationError(f"unbound variable {expr.name!r}")
+        return env[expr.name]
+    if isinstance(expr, ListVar):
+        if expr.name not in env:
+            raise EvaluationError(f"unbound list variable {expr.name!r}")
+        return env[expr.name]
+    if isinstance(expr, Lambda):
+        return Closure(expr, dict(env))
+    if isinstance(expr, Call):
+        fn = _eval_function(expr.func, env)
+        args = [evaluate(a, env) for a in expr.args]
+        return fn(*args)
+    if isinstance(expr, If):
+        cond = evaluate(expr.cond, env)
+        return evaluate(expr.then if cond else expr.orelse, env)
+    if isinstance(expr, Map):
+        fn = _eval_function(expr.func, env)
+        lst = evaluate(expr.lst, env)
+        return [fn(item) for item in lst]
+    if isinstance(expr, Filter):
+        fn = _eval_function(expr.func, env)
+        lst = evaluate(expr.lst, env)
+        return [item for item in lst if fn(item)]
+    if isinstance(expr, Fold):
+        fn = _eval_function(expr.func, env)
+        acc = evaluate(expr.init, env)
+        lst = evaluate(expr.lst, env)
+        for item in lst:
+            acc = fn(acc, item)
+        return acc
+    if isinstance(expr, Let):
+        value = evaluate(expr.value, env)
+        inner = dict(env)
+        inner[expr.name] = value
+        return evaluate(expr.body, inner)
+    if isinstance(expr, Snoc):
+        lst = evaluate(expr.lst, env)
+        elem = evaluate(expr.elem, env)
+        return list(lst) + [elem]
+    if isinstance(expr, MakeTuple):
+        return tuple(evaluate(item, env) for item in expr.items)
+    if isinstance(expr, Proj):
+        tup = evaluate(expr.tup, env)
+        try:
+            return tup[expr.index]
+        except (IndexError, TypeError) as exc:
+            raise EvaluationError(f"bad projection {expr!r}: {exc}") from None
+    if isinstance(expr, Hole):
+        raise EvaluationError(f"cannot evaluate sketch hole {expr!r}")
+    raise EvaluationError(f"unhandled node {type(expr).__name__}")
+
+
+def run_offline(
+    program: Program,
+    xs: Sequence[Value],
+    extra: Mapping[str, Value] | None = None,
+) -> Value:
+    """Execute an offline program on a concrete input list (``[[P]]_xs``)."""
+    env: dict[str, Value] = dict(extra or {})
+    env[program.param] = list(xs)
+    return evaluate(program.body, env)
+
+
+def step_online(
+    program: OnlineProgram,
+    state: Sequence[Value],
+    element: Value,
+    extra: Mapping[str, Value] | None = None,
+) -> tuple[Value, ...]:
+    """One transition of an online program: ``P'(y, x) -> y'``."""
+    if len(state) != program.arity:
+        raise EvaluationError(
+            f"online program expects {program.arity} state values, got {len(state)}"
+        )
+    env: dict[str, Value] = dict(extra or {})
+    env.update(zip(program.state_params, state))
+    env[program.elem_param] = element
+    return tuple(evaluate(out, env) for out in program.outputs)

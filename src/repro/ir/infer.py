@@ -1,0 +1,154 @@
+"""Syntax-directed type inference for the IR.
+
+Types drive three consumers:
+
+* the decomposition rules of Figure 9 (the ``Leaf`` rule requires
+  ``Type(E) ≠ List``);
+* well-formedness checks on benchmark definitions and frontend output;
+* the enumerative synthesizer's grammar (boolean vs numeric productions).
+
+Inference is deliberately permissive — see :mod:`repro.ir.types` — because
+the equivalence oracle is the final arbiter; its job is to classify, not to
+reject creative-but-correct programs.
+"""
+
+from __future__ import annotations
+
+from .builtins import get_builtin
+from .nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    Hole,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    Program,
+    Proj,
+    Snoc,
+    Var,
+)
+from .types import (
+    BOOL,
+    NUM,
+    FunType,
+    ListType,
+    TupleType,
+    Type,
+    TypeEnvironment,
+    unify,
+)
+
+
+class TypeError_(Exception):
+    """Raised on genuinely ill-kinded programs (list where scalar needed)."""
+
+
+def infer_type(expr: Expr, env: TypeEnvironment | None = None) -> Type:
+    """Infer the type of ``expr``; unknown variables default to ``NUM``."""
+    env = env or TypeEnvironment()
+    return _infer(expr, env)
+
+
+def _infer(expr: Expr, env: TypeEnvironment) -> Type:
+    if isinstance(expr, Const):
+        return BOOL if isinstance(expr.value, bool) else NUM
+    if isinstance(expr, Var):
+        return env.lookup(expr.name)
+    if isinstance(expr, ListVar):
+        existing = env.lookup(expr.name)
+        if isinstance(existing, ListType):
+            return existing
+        return ListType(NUM)
+    if isinstance(expr, Lambda):
+        body = _infer(expr.body, env.extend(expr.params, [NUM] * len(expr.params)))
+        return FunType(tuple(NUM for _ in expr.params), body)
+    if isinstance(expr, Call):
+        if isinstance(expr.func, Lambda):
+            arg_types = [_infer(a, env) for a in expr.args]
+            inner = env.extend(expr.func.params, arg_types)
+            return _infer(expr.func.body, inner)
+        builtin = get_builtin(expr.func)
+        for arg in expr.args:
+            arg_type = _infer(arg, env)
+            if builtin.kind != "list" and isinstance(arg_type, ListType):
+                raise TypeError_(
+                    f"list value passed to scalar builtin {builtin.name!r}"
+                )
+        return builtin.result_type
+    if isinstance(expr, If):
+        cond = _infer(expr.cond, env)
+        if isinstance(cond, ListType):
+            raise TypeError_("list-typed condition")
+        return unify(_infer(expr.then, env), _infer(expr.orelse, env))
+    if isinstance(expr, Map):
+        lst = _expect_list(expr.lst, env)
+        func = _infer(expr.func, env)
+        result = func.result if isinstance(func, FunType) else NUM
+        del lst
+        return ListType(result)
+    if isinstance(expr, Filter):
+        return _expect_list(expr.lst, env)
+    if isinstance(expr, Fold):
+        _expect_list(expr.lst, env)
+        init = _infer(expr.init, env)
+        if isinstance(expr.func, Lambda) and len(expr.func.params) == 2:
+            elem = _element_type(expr.lst, env)
+            acc_param, elem_param = expr.func.params
+            inner = env.extend((acc_param, elem_param), (init, elem))
+            body = _infer(expr.func.body, inner)
+            return unify(init, body)
+        return init
+    if isinstance(expr, Let):
+        value = _infer(expr.value, env)
+        return _infer(expr.body, env.extend((expr.name,), (value,)))
+    if isinstance(expr, Snoc):
+        lst = _expect_list(expr.lst, env)
+        elem = _infer(expr.elem, env)
+        return ListType(unify(lst.element, elem))
+    if isinstance(expr, MakeTuple):
+        return TupleType(tuple(_infer(item, env) for item in expr.items))
+    if isinstance(expr, Proj):
+        tup = _infer(expr.tup, env)
+        if isinstance(tup, TupleType) and 0 <= expr.index < tup.arity:
+            return tup.elements[expr.index]
+        return NUM
+    if isinstance(expr, Hole):
+        return NUM
+    raise TypeError_(f"cannot type {type(expr).__name__}")
+
+
+def _expect_list(expr: Expr, env: TypeEnvironment) -> ListType:
+    inferred = _infer(expr, env)
+    if isinstance(inferred, ListType):
+        return inferred
+    raise TypeError_(f"expected a list, found {inferred!r}")
+
+
+def _element_type(lst: Expr, env: TypeEnvironment) -> Type:
+    inferred = _infer(lst, env)
+    return inferred.element if isinstance(inferred, ListType) else NUM
+
+
+def infer_program_type(
+    program: Program, element_type: Type = NUM
+) -> Type:
+    """Result type of an offline program, given the stream element type."""
+    env = TypeEnvironment(
+        {program.param: ListType(element_type)}
+    ).extend(program.extra_params, [NUM] * len(program.extra_params))
+    return _infer(program.body, env)
+
+
+def check_well_typed(program: Program, element_type: Type = NUM) -> bool:
+    """Does the program type-check (no list/scalar confusions)?"""
+    try:
+        result = infer_program_type(program, element_type)
+    except TypeError_:
+        return False
+    return not isinstance(result, ListType)

@@ -1,0 +1,211 @@
+"""S-expression parser for the IR.
+
+The concrete syntax mirrors :func:`repro.ir.pretty.to_sexpr`::
+
+    (lambda (xs) (div (foldl add 0 xs) (length xs)))
+
+Grammar notes:
+
+* the first parameter of the top-level lambda is the input *list* variable;
+  any further parameters are scalar extra arguments (Section 6);
+* ``true`` / ``false`` are boolean literals; integers and ``p/q`` rationals
+  are numeric literals;
+* ``(let name value body)``, ``(if c t e)``, ``(map f l)``, ``(filter f l)``,
+  ``(foldl f init l)``, ``(tuple e...)``, ``(proj e i)``, ``(snoc l e)`` are
+  special forms; every other head is a built-in call or lambda application;
+* inside the program body, occurrences of list-variable names parse to
+  :class:`~repro.ir.nodes.ListVar`.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from .builtins import is_builtin
+from .nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    Hole,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    Program,
+    Proj,
+    Snoc,
+    Var,
+)
+
+_TOKEN_RE = re.compile(r"""\(|\)|[^\s()]+""")
+_INT_RE = re.compile(r"^-?\d+$")
+_RAT_RE = re.compile(r"^(-?\d+)/(\d+)$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d+([eE][+-]?\d+)?$")
+_HOLE_RE = re.compile(r"^\?hole(\d+)$")
+
+
+class ParseError(Exception):
+    pass
+
+
+def tokenize(text: str) -> list[str]:
+    # strip ; comments to end of line
+    stripped = re.sub(r";[^\n]*", "", text)
+    return _TOKEN_RE.findall(stripped)
+
+
+def _read(tokens: list[str], pos: int):
+    """Read one datum; returns (sexpr, new_pos) where sexpr is str | list."""
+    if pos >= len(tokens):
+        raise ParseError("unexpected end of input")
+    tok = tokens[pos]
+    if tok == "(":
+        items = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = _read(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise ParseError("unbalanced parentheses")
+        return items, pos + 1
+    if tok == ")":
+        raise ParseError("unexpected ')'")
+    return tok, pos + 1
+
+
+def _atom_to_expr(tok: str, list_names: frozenset[str]) -> Expr:
+    if tok == "true":
+        return Const(True)
+    if tok == "false":
+        return Const(False)
+    if _INT_RE.match(tok):
+        return Const(int(tok))
+    m = _RAT_RE.match(tok)
+    if m:
+        return Const(Fraction(int(m.group(1)), int(m.group(2))))
+    if _FLOAT_RE.match(tok):
+        return Const(float(tok))
+    m = _HOLE_RE.match(tok)
+    if m:
+        return Hole(int(m.group(1)))
+    if tok in list_names:
+        return ListVar(tok)
+    return Var(tok)
+
+
+def _to_expr(sexpr, list_names: frozenset[str]) -> Expr:
+    if isinstance(sexpr, str):
+        return _atom_to_expr(sexpr, list_names)
+    if not sexpr:
+        raise ParseError("empty application ()")
+    head = sexpr[0]
+    if head == "lambda":
+        if len(sexpr) != 3:
+            raise ParseError("lambda needs (lambda (params) body)")
+        raw_params = sexpr[1]
+        if isinstance(raw_params, str):
+            params = (raw_params,)
+        else:
+            params = tuple(raw_params)
+        body = _to_expr(sexpr[2], list_names - frozenset(params))
+        return Lambda(params, body)
+    if head == "if":
+        _expect(sexpr, 4, "if")
+        return If(*(_to_expr(s, list_names) for s in sexpr[1:]))
+    if head == "let":
+        _expect(sexpr, 4, "let")
+        name = sexpr[1]
+        if not isinstance(name, str):
+            raise ParseError("let binds a plain name")
+        return Let(
+            name,
+            _to_expr(sexpr[2], list_names),
+            _to_expr(sexpr[3], list_names - {name}),
+        )
+    if head == "map":
+        _expect(sexpr, 3, "map")
+        return Map(_func_expr(sexpr[1], list_names, 1), _to_expr(sexpr[2], list_names))
+    if head == "filter":
+        _expect(sexpr, 3, "filter")
+        return Filter(
+            _func_expr(sexpr[1], list_names, 1), _to_expr(sexpr[2], list_names)
+        )
+    if head == "foldl":
+        _expect(sexpr, 4, "foldl")
+        return Fold(
+            _func_expr(sexpr[1], list_names, 2),
+            _to_expr(sexpr[2], list_names),
+            _to_expr(sexpr[3], list_names),
+        )
+    if head == "snoc":
+        _expect(sexpr, 3, "snoc")
+        return Snoc(_to_expr(sexpr[1], list_names), _to_expr(sexpr[2], list_names))
+    if head == "tuple":
+        return MakeTuple(tuple(_to_expr(s, list_names) for s in sexpr[1:]))
+    if head == "proj":
+        _expect(sexpr, 3, "proj")
+        index_tok = sexpr[2]
+        if not (isinstance(index_tok, str) and _INT_RE.match(index_tok)):
+            raise ParseError("proj index must be an integer literal")
+        return Proj(_to_expr(sexpr[1], list_names), int(index_tok))
+    # General application: builtin name or lambda expression in head position.
+    args = tuple(_to_expr(s, list_names) for s in sexpr[1:])
+    if isinstance(head, str):
+        if not is_builtin(head):
+            raise ParseError(f"unknown function {head!r}")
+        return Call(head, args)
+    func = _to_expr(head, list_names)
+    if not isinstance(func, Lambda):
+        raise ParseError("only builtins and lambdas may be applied")
+    return Call(func, args)
+
+
+def _func_expr(sexpr, list_names: frozenset[str], arity: int) -> Expr:
+    """Function position of a combinator: lambdas stay; bare builtin names are
+    eta-expanded so downstream passes only see :class:`Lambda` functions."""
+    if isinstance(sexpr, str) and is_builtin(sexpr):
+        params = tuple(f"_arg{i}" for i in range(1, arity + 1))
+        return Lambda(params, Call(sexpr, tuple(Var(p) for p in params)))
+    expr = _to_expr(sexpr, list_names)
+    if not isinstance(expr, Lambda):
+        raise ParseError("combinator function must be a lambda or builtin name")
+    return expr
+
+
+def _expect(sexpr, n: int, what: str) -> None:
+    if len(sexpr) != n:
+        raise ParseError(f"{what} expects {n - 1} arguments, got {len(sexpr) - 1}")
+
+
+def parse_expr(text: str, list_names: frozenset[str] = frozenset({"xs"})) -> Expr:
+    """Parse a single expression; names in ``list_names`` become ``ListVar``."""
+    tokens = tokenize(text)
+    sexpr, pos = _read(tokens, 0)
+    if pos != len(tokens):
+        raise ParseError(f"trailing tokens after expression: {tokens[pos:]}")
+    return _to_expr(sexpr, list_names)
+
+
+def parse_program(text: str) -> Program:
+    """Parse an offline program ``(lambda (xs extra...) body)``."""
+    tokens = tokenize(text)
+    sexpr, pos = _read(tokens, 0)
+    if pos != len(tokens):
+        raise ParseError(f"trailing tokens after program: {tokens[pos:]}")
+    if not (isinstance(sexpr, list) and sexpr and sexpr[0] == "lambda"):
+        raise ParseError("a program must be a top-level (lambda ...) form")
+    raw_params = sexpr[1]
+    if isinstance(raw_params, str):
+        params = [raw_params]
+    else:
+        params = list(raw_params)
+    if not params:
+        raise ParseError("program needs at least the list parameter")
+    list_param, *extra = params
+    body = _to_expr(sexpr[2], frozenset({list_param}))
+    return Program(list_param, body, tuple(extra))

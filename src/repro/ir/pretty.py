@@ -1,0 +1,157 @@
+"""Pretty printers for IR expressions.
+
+Two formats:
+
+* :func:`to_sexpr` — the canonical s-expression syntax accepted back by
+  :mod:`repro.ir.parser` (round-trip property is tested);
+* :func:`pretty` — a human-readable infix rendering used in reports and
+  examples (mirrors the Haskell-like notation of Figure 3).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    Hole,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    OnlineProgram,
+    Program,
+    Proj,
+    Snoc,
+    Var,
+)
+
+_INFIX = {
+    "add": ("+", 6),
+    "sub": ("-", 6),
+    "mul": ("*", 7),
+    "div": ("/", 7),
+    "pow": ("^", 8),
+    "lt": ("<", 4),
+    "le": ("<=", 4),
+    "gt": (">", 4),
+    "ge": (">=", 4),
+    "eq": ("==", 4),
+    "ne": ("!=", 4),
+    "and": ("&&", 3),
+    "or": ("||", 2),
+}
+
+
+def _const_str(value) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    return repr(value)
+
+
+def to_sexpr(expr: Expr) -> str:
+    """Canonical s-expression form (parseable by :func:`repro.ir.parser.parse_expr`)."""
+    if isinstance(expr, Const):
+        return _const_str(expr.value)
+    if isinstance(expr, (Var, ListVar)):
+        return expr.name
+    if isinstance(expr, Lambda):
+        params = " ".join(expr.params)
+        return f"(lambda ({params}) {to_sexpr(expr.body)})"
+    if isinstance(expr, Call):
+        func = expr.func if isinstance(expr.func, str) else to_sexpr(expr.func)
+        args = " ".join(to_sexpr(a) for a in expr.args)
+        return f"({func} {args})" if args else f"({func})"
+    if isinstance(expr, If):
+        return f"(if {to_sexpr(expr.cond)} {to_sexpr(expr.then)} {to_sexpr(expr.orelse)})"
+    if isinstance(expr, Map):
+        return f"(map {to_sexpr(expr.func)} {to_sexpr(expr.lst)})"
+    if isinstance(expr, Filter):
+        return f"(filter {to_sexpr(expr.func)} {to_sexpr(expr.lst)})"
+    if isinstance(expr, Fold):
+        return f"(foldl {to_sexpr(expr.func)} {to_sexpr(expr.init)} {to_sexpr(expr.lst)})"
+    if isinstance(expr, Let):
+        return f"(let {expr.name} {to_sexpr(expr.value)} {to_sexpr(expr.body)})"
+    if isinstance(expr, Snoc):
+        return f"(snoc {to_sexpr(expr.lst)} {to_sexpr(expr.elem)})"
+    if isinstance(expr, MakeTuple):
+        items = " ".join(to_sexpr(i) for i in expr.items)
+        return f"(tuple {items})"
+    if isinstance(expr, Proj):
+        return f"(proj {to_sexpr(expr.tup)} {expr.index})"
+    if isinstance(expr, Hole):
+        return f"?hole{expr.hole_id}"
+    raise TypeError(f"unhandled node {type(expr).__name__}")
+
+
+def program_to_sexpr(program: Program) -> str:
+    params = " ".join((program.param,) + program.extra_params)
+    return f"(lambda ({params}) {to_sexpr(program.body)})"
+
+
+def pretty(expr: Expr, prec: int = 0) -> str:
+    """Infix rendering; ``prec`` is the enclosing precedence for parens."""
+    if isinstance(expr, Const):
+        return _const_str(expr.value)
+    if isinstance(expr, (Var, ListVar)):
+        return expr.name
+    if isinstance(expr, Lambda):
+        params = " ".join(expr.params)
+        return f"(\\{params} -> {pretty(expr.body)})"
+    if isinstance(expr, Call) and isinstance(expr.func, str) and expr.func in _INFIX:
+        op, op_prec = _INFIX[expr.func]
+        left = pretty(expr.args[0], op_prec)
+        right = pretty(expr.args[1], op_prec + 1)
+        text = f"{left} {op} {right}"
+        return f"({text})" if prec > op_prec else text
+    if isinstance(expr, Call) and isinstance(expr.func, str) and expr.func == "neg":
+        inner = pretty(expr.args[0], 9)
+        return f"-{inner}"
+    if isinstance(expr, Call):
+        func = expr.func if isinstance(expr.func, str) else pretty(expr.func)
+        args = ", ".join(pretty(a) for a in expr.args)
+        return f"{func}({args})"
+    if isinstance(expr, If):
+        text = f"{pretty(expr.cond, 1)} ? {pretty(expr.then, 1)} : {pretty(expr.orelse, 1)}"
+        return f"({text})" if prec > 0 else text
+    if isinstance(expr, Map):
+        return f"map({pretty(expr.func)}, {pretty(expr.lst)})"
+    if isinstance(expr, Filter):
+        return f"filter({pretty(expr.func)}, {pretty(expr.lst)})"
+    if isinstance(expr, Fold):
+        return f"foldl({pretty(expr.func)}, {pretty(expr.init)}, {pretty(expr.lst)})"
+    if isinstance(expr, Let):
+        return f"let {expr.name} = {pretty(expr.value)} in {pretty(expr.body)}"
+    if isinstance(expr, Snoc):
+        return f"{pretty(expr.lst, 9)} ++ [{pretty(expr.elem)}]"
+    if isinstance(expr, MakeTuple):
+        return "(" + ", ".join(pretty(i) for i in expr.items) + ")"
+    if isinstance(expr, Proj):
+        return f"{pretty(expr.tup, 9)}[{expr.index}]"
+    if isinstance(expr, Hole):
+        return f"□{expr.hole_id}"
+    raise TypeError(f"unhandled node {type(expr).__name__}")
+
+
+def pretty_program(program: Program) -> str:
+    params = " ".join((program.param,) + program.extra_params)
+    return f"\\{params} -> {pretty(program.body)}"
+
+
+def pretty_online(program: OnlineProgram) -> str:
+    state = ", ".join(program.state_params)
+    outs = ",\n   ".join(pretty(o) for o in program.outputs)
+    extras = (
+        " " + " ".join(program.extra_params) if program.extra_params else ""
+    )
+    return f"\\({state}) {program.elem_param}{extras} ->\n  ({outs})"

@@ -1,0 +1,21 @@
+"""Streaming runtime for deploying synthesized online schemes."""
+
+from . import sources
+from .stream import (
+    OnlineOperator,
+    StreamPipeline,
+    compare_with_offline,
+    scan,
+    sliding,
+    tumbling,
+)
+
+__all__ = [
+    "OnlineOperator",
+    "sources",
+    "StreamPipeline",
+    "compare_with_offline",
+    "scan",
+    "sliding",
+    "tumbling",
+]

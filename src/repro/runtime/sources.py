@@ -1,0 +1,102 @@
+"""Synthetic stream sources for examples, benchmarks and demos.
+
+All sources are deterministic given their seed and yield exact rationals
+(or tuples of them), so downstream comparisons against batch recomputation
+are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Iterator
+
+from ..ir.values import Value
+
+
+def constant(value: Value, n: int | None = None) -> Iterator[Value]:
+    """``value`` repeated ``n`` times (forever if ``n`` is None)."""
+    count = 0
+    while n is None or count < n:
+        yield value
+        count += 1
+
+
+def counter(n: int | None = None, start: int = 0) -> Iterator[Fraction]:
+    """0, 1, 2, ..."""
+    i = start
+    count = 0
+    while n is None or count < n:
+        yield Fraction(i)
+        i += 1
+        count += 1
+
+
+def sawtooth(n: int, period: int = 17, noise: int = 0, seed: int = 7) -> Iterator[Fraction]:
+    """A noisy sawtooth wave — the 'sensor' source of the examples."""
+    rng = random.Random(seed)
+    for i in range(n):
+        base = Fraction(i % period)
+        if noise:
+            base += Fraction(rng.randint(-noise, noise), 2)
+        yield base
+
+
+def random_walk(n: int, step: int = 3, seed: int = 11) -> Iterator[Fraction]:
+    """An integer random walk with bounded steps."""
+    rng = random.Random(seed)
+    position = Fraction(0)
+    for _ in range(n):
+        position += Fraction(rng.randint(-step, step))
+        yield position
+
+
+def gaussian_like(n: int, seed: int = 13) -> Iterator[Fraction]:
+    """Sum of four dice minus expectation: a cheap bell-ish distribution
+    over exact rationals."""
+    rng = random.Random(seed)
+    for _ in range(n):
+        total = sum(rng.randint(1, 6) for _ in range(4))
+        yield Fraction(total - 14)
+
+
+def bids(
+    n: int,
+    low: int = 50,
+    high: int = 500,
+    categories: int = 5,
+    seed: int = 42,
+) -> Iterator[tuple[Fraction, int]]:
+    """(price, category) auction bid records — the Nexmark-style source."""
+    rng = random.Random(seed)
+    for _ in range(n):
+        yield (Fraction(rng.randint(low, high)), rng.randint(1, categories))
+
+
+def pairs(
+    n: int,
+    slope: Fraction = Fraction(2),
+    intercept: Fraction = Fraction(1),
+    noise: int = 2,
+    seed: int = 17,
+) -> Iterator[tuple[Fraction, Fraction]]:
+    """(x, y) pairs around a line — feeds regression/correlation tasks."""
+    rng = random.Random(seed)
+    for i in range(n):
+        x = Fraction(i % 13) - 6
+        y = slope * x + intercept + Fraction(rng.randint(-noise, noise))
+        yield (x, y)
+
+
+def merge_round_robin(*sources: Iterator[Value]) -> Iterator[Value]:
+    """Interleave several finite sources."""
+    iterators = [iter(s) for s in sources]
+    while iterators:
+        remaining = []
+        for it in iterators:
+            try:
+                yield next(it)
+                remaining.append(it)
+            except StopIteration:
+                pass
+        iterators = remaining

@@ -1,0 +1,5 @@
+"""Benchmark suites: the 51 offline-to-online tasks of the evaluation."""
+
+from .registry import Benchmark, all_benchmarks, benchmarks_for, get_benchmark
+
+__all__ = ["Benchmark", "all_benchmarks", "benchmarks_for", "get_benchmark"]

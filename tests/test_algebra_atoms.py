@@ -1,0 +1,112 @@
+"""Tests for the atom table (opaque-subterm interning)."""
+
+from repro.algebra.atoms import AtomTable
+from repro.algebra.ratfunc import RatFunc
+
+X = RatFunc.var("x")
+Y = RatFunc.var("y")
+Z = RatFunc.var("z")
+
+
+class TestInterning:
+    def test_same_structure_same_atom(self):
+        t = AtomTable()
+        a1 = t.intern("min", (X, Y))
+        a2 = t.intern("min", (X, Y))
+        assert a1 == a2
+        assert len(t) == 1
+
+    def test_different_args_different_atoms(self):
+        t = AtomTable()
+        assert t.intern("min", (X, Y)) != t.intern("min", (X, Z))
+
+    def test_different_ops_different_atoms(self):
+        t = AtomTable()
+        assert t.intern("min", (X, Y)) != t.intern("max", (X, Y))
+
+    def test_meta_distinguishes(self):
+        t = AtomTable()
+        assert t.intern("proj", (X,), 0) != t.intern("proj", (X,), 1)
+
+    def test_atom_var_naming(self):
+        t = AtomTable()
+        name = t.intern("sqrt", (X,))
+        assert t.is_atom_var(name)
+        assert not t.is_atom_var("x")
+
+    def test_lookup(self):
+        t = AtomTable()
+        name = t.intern("sqrt", (X + Y,))
+        atom = t.lookup(name)
+        assert atom.op == "sqrt"
+        assert atom.args[0] == X + Y
+
+
+class TestBaseVariables:
+    def test_flat(self):
+        t = AtomTable()
+        name = t.intern("min", (X, Y))
+        assert t.base_variables(name) == frozenset({"x", "y"})
+
+    def test_nested(self):
+        t = AtomTable()
+        inner = t.intern("sqrt", (X,))
+        outer = t.intern("min", (RatFunc.var(inner), Y))
+        assert t.base_variables(outer) == frozenset({"x", "y"})
+
+    def test_term_base_variables(self):
+        t = AtomTable()
+        atom = t.intern("sqrt", (X,))
+        term = RatFunc.var(atom) + Z
+        assert t.term_base_variables(term) == frozenset({"x", "z"})
+
+
+class TestSubstitution:
+    def test_plain_variable(self):
+        t = AtomTable()
+        term = X + 1
+        result = t.substitute_term(term, {"x": Y})
+        assert result == Y + 1
+
+    def test_substitutes_inside_atom(self):
+        t = AtomTable()
+        atom = t.intern("min", (X, Y))
+        term = RatFunc.var(atom) * 2
+        result = t.substitute_term(term, {"x": Z + 1})
+        (new_atom,) = [v for v in result.variables() if t.is_atom_var(v)]
+        assert t.lookup(new_atom).args[0] == Z + 1
+
+    def test_nested_atom_substitution(self):
+        t = AtomTable()
+        inner = t.intern("sqrt", (X,))
+        outer = t.intern("min", (RatFunc.var(inner), Y))
+        term = RatFunc.var(outer)
+        result = t.substitute_term(term, {"x": Z})
+        (new_outer,) = [v for v in result.variables() if t.is_atom_var(v)]
+        new_inner_term = t.lookup(new_outer).args[0]
+        (new_inner,) = [
+            v for v in new_inner_term.variables() if t.is_atom_var(v)
+        ]
+        assert t.lookup(new_inner).args[0] == Z
+
+    def test_untouched_atom_preserved(self):
+        t = AtomTable()
+        atom = t.intern("min", (Y, Z))
+        term = RatFunc.var(atom) + X
+        result = t.substitute_term(term, {"x": RatFunc.const(3)})
+        assert atom in result.variables()
+
+    def test_rebuild_interns_consistently(self):
+        # Substituting the same thing twice must give the same atom name.
+        t = AtomTable()
+        atom = t.intern("min", (X, Y))
+        r1 = t.substitute_term(RatFunc.var(atom), {"x": Z})
+        r2 = t.substitute_term(RatFunc.var(atom), {"x": Z})
+        assert r1 == r2
+
+    def test_atoms_in(self):
+        t = AtomTable()
+        inner = t.intern("sqrt", (X,))
+        outer = t.intern("min", (RatFunc.var(inner), Y))
+        found = t.atoms_in(RatFunc.var(outer))
+        assert found == frozenset({inner, outer})

@@ -1,0 +1,152 @@
+"""Tests for the quantifier-elimination engine."""
+
+from fractions import Fraction
+
+from repro.algebra.atoms import AtomTable
+from repro.algebra.elimination import (
+    Equation,
+    eliminate_variables,
+    equation,
+    find_definition,
+    find_definitions,
+    solve_linear,
+    solve_target,
+)
+from repro.algebra.polynomial import Poly
+from repro.algebra.ratfunc import RatFunc
+
+X = RatFunc.var("x")
+Y1 = RatFunc.var("y1")
+Y2 = RatFunc.var("y2")
+V1 = RatFunc.var("v1")
+V2 = RatFunc.var("v2")
+V3 = RatFunc.var("v3")
+
+
+def table() -> AtomTable:
+    return AtomTable()
+
+
+class TestSolveLinear:
+    def test_simple(self):
+        # 2v + y = 0  ->  v = -y/2
+        poly = Poly.var("v") * 2 + Poly.var("y")
+        sol = solve_linear(poly, "v", table())
+        assert sol == RatFunc(-Poly.var("y"), Poly.const(2))
+
+    def test_polynomial_coefficient(self):
+        # y*v - z = 0 -> v = z/y
+        poly = Poly.var("y") * Poly.var("v") - Poly.var("z")
+        sol = solve_linear(poly, "v", table())
+        assert sol == RatFunc.var("z") / RatFunc.var("y")
+
+    def test_quadratic_occurrence_fails(self):
+        poly = Poly.var("v") ** 2 - Poly.var("y")
+        assert solve_linear(poly, "v", table()) is None
+
+    def test_absent_variable_fails(self):
+        poly = Poly.var("y") + 1
+        assert solve_linear(poly, "v", table()) is None
+
+    def test_variable_inside_atom_blocks(self):
+        t = table()
+        atom = t.intern("min", (RatFunc.var("v"), RatFunc.var("x")))
+        poly = Poly.var("v") + Poly.var(atom)
+        assert solve_linear(poly, "v", t) is None
+
+
+class TestEliminate:
+    def test_paper_example_5_5(self):
+        """The mean example: y1 = v1/v2, y2 = v2, v3 = v1 + x, T = v3."""
+        t = table()
+        eqs = [
+            equation(Y1, V1 / V2),
+            equation(Y2, V2),
+            equation(V3, V1 + X),
+            equation(RatFunc.var("T"), V3),
+        ]
+        sol = find_definition(eqs, ["v1", "v2", "v3"], "T", ["y1", "y2", "x"], t)
+        assert sol == Y1 * Y2 + X
+
+    def test_unresolvable_variable_reported(self):
+        t = table()
+        polys = [Poly.var("v") ** 2 - Poly.var("y")]  # only quadratic
+        result = eliminate_variables(polys, ["v"], t)
+        assert "v" in result.unresolved
+
+    def test_stale_variables_dropped(self):
+        t = table()
+        polys = [Poly.var("y") - 1]
+        result = eliminate_variables(polys, ["v"], t)
+        assert result.unresolved == frozenset()
+
+    def test_chain_substitution(self):
+        # a = b + 1, b = c + 1, target = a  ->  target = c + 2
+        t = table()
+        eqs = [
+            equation(RatFunc.var("a"), RatFunc.var("b") + 1),
+            equation(RatFunc.var("b"), RatFunc.var("c") + 1),
+            equation(RatFunc.var("T"), RatFunc.var("a")),
+        ]
+        sol = find_definition(eqs, ["a", "b"], "T", ["c"], t)
+        assert sol == RatFunc.var("c") + 2
+
+    def test_atom_substitution(self):
+        # T = min(v, x), v = y  ->  T = min(y, x)
+        t = table()
+        atom = t.intern("min", (RatFunc.var("v"), X))
+        eqs = [
+            equation(RatFunc.var("v"), Y1),
+            equation(RatFunc.var("T"), RatFunc.var(atom)),
+        ]
+        sol = find_definition(eqs, ["v"], "T", ["y1", "x"], t)
+        assert sol is not None
+        (atom_var,) = sol.variables()
+        rebuilt = t.lookup(atom_var)
+        assert rebuilt.op == "min"
+        assert rebuilt.args[0] == Y1
+
+    def test_keep_vars_respected(self):
+        t = table()
+        eqs = [equation(RatFunc.var("T"), RatFunc.var("secret") + 1)]
+        assert find_definition(eqs, [], "T", ["x"], t) is None
+
+    def test_multiple_definitions_ranked(self):
+        # Two ways to express T: via y1 (with division) and via y2 (linear).
+        t = table()
+        eqs = [
+            equation(Y1 * RatFunc.var("v"), RatFunc.const(1)),  # v = 1/y1
+            equation(Y2, RatFunc.var("v")),  # v = y2
+            equation(RatFunc.var("T"), RatFunc.var("v")),
+        ]
+        solutions = find_definitions(eqs, ["v"], "T", ["y1", "y2"], t)
+        assert solutions
+        # The best-ranked solution avoids the division.
+        assert solutions[0] == Y2
+
+    def test_avoid_vars_penalty(self):
+        t = table()
+        eqs = [
+            equation(Y1, RatFunc.var("v")),
+            equation(Y2, RatFunc.var("v")),
+            equation(RatFunc.var("T"), RatFunc.var("v")),
+        ]
+        sols = find_definitions(
+            eqs, ["v"], "T", ["y1", "y2"], t, avoid_vars=frozenset({"y1"})
+        )
+        assert sols[0] == Y2
+
+
+class TestEquation:
+    def test_cross_multiplication(self):
+        eq = Equation(Y1, V1 / V2)
+        poly = eq.to_poly()
+        # y1*v2 - v1 = 0
+        assert poly == Poly.var("y1") * Poly.var("v2") - Poly.var("v1")
+
+    def test_solve_target_prefers_small(self):
+        t = table()
+        big = Poly.var("T") - (Poly.var("x") + 1) ** 3
+        small = Poly.var("T") - Poly.var("y1")
+        sol = solve_target([big, small], "T", frozenset({"x", "y1"}), t)
+        assert sol == Y1

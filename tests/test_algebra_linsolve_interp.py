@@ -1,0 +1,125 @@
+"""Tests for exact linear algebra and polynomial interpolation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.interpolation import fit_polynomial, lagrange_interpolate
+from repro.algebra.linsolve import nullspace, rank, rref, solve
+
+F = Fraction
+
+
+class TestSolve:
+    def test_identity(self):
+        assert solve([[1, 0], [0, 1]], [3, 4]) == [F(3), F(4)]
+
+    def test_fractions(self):
+        # 2x + y = 5; x - y = 1  ->  x = 2, y = 1
+        assert solve([[2, 1], [1, -1]], [5, 1]) == [F(2), F(1)]
+
+    def test_inconsistent_returns_none(self):
+        assert solve([[1, 1], [1, 1]], [1, 2]) is None
+
+    def test_underdetermined_picks_particular(self):
+        sol = solve([[1, 1]], [2])
+        assert sol is not None
+        assert sol[0] + sol[1] == 2
+
+    def test_empty(self):
+        assert solve([], []) == []
+
+    def test_rectangular_tall(self):
+        # Overdetermined but consistent.
+        sol = solve([[1], [2], [3]], [2, 4, 6])
+        assert sol == [F(2)]
+
+
+class TestNullspace:
+    def test_full_rank_trivial(self):
+        assert nullspace([[1, 0], [0, 1]]) == []
+
+    def test_one_dimensional(self):
+        basis = nullspace([[1, -1]])
+        assert len(basis) == 1
+        v = basis[0]
+        assert v[0] == v[1] != 0
+
+    def test_orthogonality(self):
+        matrix = [[2, 1, -1], [1, 0, 1]]
+        for vec in nullspace(matrix):
+            for row in matrix:
+                assert sum(F(a) * b for a, b in zip(row, vec)) == 0
+
+    def test_rank_nullity(self):
+        matrix = [[1, 2, 3], [2, 4, 6], [1, 0, 1]]
+        assert rank(matrix) + len(nullspace(matrix)) == 3
+
+
+class TestRref:
+    def test_pivots(self):
+        reduced, pivots = rref([[0, 1], [1, 0]])
+        assert pivots == [0, 1]
+        assert reduced == [[F(1), F(0)], [F(0), F(1)]]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(-5, 5), min_size=3, max_size=3),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_rref_idempotent(self, rows):
+        reduced, _ = rref(rows)
+        again, _ = rref(reduced)
+        assert again == reduced
+
+
+class TestInterpolation:
+    def test_line(self):
+        pts = [(F(0), F(1)), (F(1), F(3))]
+        assert lagrange_interpolate(pts) == [F(1), F(2)]
+
+    def test_quadratic(self):
+        # n^2 + n through 3 points
+        pts = [(F(1), F(2)), (F(2), F(6)), (F(3), F(12))]
+        assert lagrange_interpolate(pts) == [F(0), F(1), F(1)]
+
+    def test_duplicate_abscissae_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate([(F(1), F(1)), (F(1), F(2))])
+
+    def test_fit_uses_extra_points_as_checks(self):
+        pts = [(F(i), F(i * i)) for i in range(1, 7)]
+        assert fit_polynomial(pts) == [F(0), F(0), F(1)]
+
+    def test_fit_rejects_non_polynomial(self):
+        # 2^n is not a polynomial of degree <= 3.
+        pts = [(F(i), F(2**i)) for i in range(1, 8)]
+        assert fit_polynomial(pts, max_degree=3) is None
+
+    def test_fit_constant(self):
+        pts = [(F(i), F(7)) for i in range(1, 5)]
+        assert fit_polynomial(pts) == [F(7)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-9, 9), min_size=1, max_size=5))
+    def test_fit_recovers_coefficients(self, coeffs):
+        def poly(x):
+            total = F(0)
+            for c in reversed(coeffs):
+                total = total * x + c
+            return total
+
+        pts = [(F(i), poly(F(i))) for i in range(1, len(coeffs) + 3)]
+        fitted = fit_polynomial(pts)
+        assert fitted is not None
+        # Compare as functions (trailing zeros trimmed).
+        for x, y in pts:
+            total = F(0)
+            for c in reversed(fitted):
+                total = total * x + c
+            assert total == y

@@ -1,0 +1,145 @@
+"""Unit and property tests for the polynomial ring."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.polynomial import Poly, mono_div, mono_divides, mono_mul
+
+X = Poly.var("x")
+Y = Poly.var("y")
+
+
+def small_polys():
+    """Random polynomials in x, y with small integer coefficients."""
+    monomials = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        max_size=5,
+    )
+
+    def build(spec):
+        poly = Poly.zero()
+        for dx, dy, coeff in spec:
+            poly = poly + Poly.var("x", dx) * Poly.var("y", dy) * coeff
+        return poly
+
+    return monomials.map(build)
+
+
+class TestMonomials:
+    def test_mono_mul_merges_exponents(self):
+        assert mono_mul((("x", 1),), (("x", 2), ("y", 1))) == (("x", 3), ("y", 1))
+
+    def test_mono_mul_identity(self):
+        assert mono_mul((), (("x", 1),)) == (("x", 1),)
+
+    def test_divides(self):
+        assert mono_divides((("x", 1),), (("x", 2), ("y", 1)))
+        assert not mono_divides((("z", 1),), (("x", 2),))
+
+    def test_div(self):
+        assert mono_div((("x", 3), ("y", 1)), (("x", 1),)) == (("x", 2), ("y", 1))
+
+
+class TestBasicOps:
+    def test_constant_arithmetic(self):
+        assert Poly.const(2) + Poly.const(3) == Poly.const(5)
+        assert Poly.const(2) * Poly.const(3) == Poly.const(6)
+
+    def test_cancellation(self):
+        assert (X - X).is_zero()
+        assert (X + Y - Y) == X
+
+    def test_binomial_square(self):
+        assert (X + Y) ** 2 == X * X + 2 * X * Y + Y * Y
+
+    def test_degree(self):
+        assert ((X**2) * Y + X).degree() == 3
+        assert Poly.const(5).degree() == 0
+
+    def test_degree_in(self):
+        p = (X**2) * Y + Y**3
+        assert p.degree_in("x") == 2
+        assert p.degree_in("y") == 3
+
+    def test_variables(self):
+        assert (X * Y + 1).variables() == frozenset({"x", "y"})
+
+    def test_evaluate(self):
+        p = X**2 + 2 * Y
+        assert p.evaluate({"x": 3, "y": Fraction(1, 2)}) == 10
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(KeyError):
+            X.evaluate({})
+
+    def test_content(self):
+        p = 4 * X + 6 * Y
+        assert p.content() == 2
+        assert Poly.zero().content() == 0
+
+    def test_substitute_poly(self):
+        p = X**2 + 1
+        q = p.substitute_poly({"x": Y + 1})
+        assert q == Y**2 + 2 * Y + 2
+
+    def test_coefficients_in(self):
+        p = X**2 * Y + X**2 + Y
+        buckets = p.coefficients_in(frozenset({"x"}))
+        assert buckets[(("x", 2),)] == Y + 1
+        assert buckets[()] == Y
+
+
+class TestDivision:
+    def test_exact_division(self):
+        product = (X + Y) * (X - Y)
+        assert product.exact_div(X + Y) == X - Y
+
+    def test_inexact_division_returns_none(self):
+        assert (X + 1).exact_div(Y) is None
+
+    def test_divides(self):
+        assert (X + 1).divides((X + 1) * (X + 2))
+        assert not (X + 1).divides(X + 2)
+
+
+class TestRingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_polys(), small_polys())
+    def test_addition_commutative(self, p, q):
+        assert p + q == q + p
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_polys(), small_polys())
+    def test_multiplication_commutative(self, p, q):
+        assert p * q == q * p
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_polys(), small_polys(), small_polys())
+    def test_distributivity(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_polys())
+    def test_additive_inverse(self, p):
+        assert (p + (-p)).is_zero()
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_polys(), small_polys())
+    def test_product_then_exact_division(self, p, q):
+        if q.is_zero():
+            return
+        assert (p * q).exact_div(q) == p
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_polys())
+    def test_evaluation_homomorphism(self, p):
+        env = {"x": Fraction(2, 3), "y": Fraction(-1, 2)}
+        assert (p + p).evaluate(env) == 2 * p.evaluate(env)
+        assert (p * p).evaluate(env) == p.evaluate(env) ** 2

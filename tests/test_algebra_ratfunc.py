@@ -1,0 +1,129 @@
+"""Unit and property tests for rational functions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.polynomial import Poly
+from repro.algebra.ratfunc import RatFunc
+
+X = RatFunc.var("x")
+Y = RatFunc.var("y")
+
+
+def small_ratfuncs():
+    coeffs = st.integers(min_value=-4, max_value=4)
+
+    @st.composite
+    def build(draw):
+        a, b, c = draw(coeffs), draw(coeffs), draw(coeffs)
+        d, e = draw(coeffs), draw(coeffs)
+        num = Poly.var("x") * a + Poly.var("y") * b + Poly.const(c)
+        den = Poly.var("x") * d + Poly.const(e if e != 0 else 1)
+        if den.is_zero():
+            den = Poly.one()
+        return RatFunc(num, den)
+
+    return build()
+
+
+class TestConstruction:
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            RatFunc(Poly.one(), Poly.zero())
+
+    def test_zero_numerator_normalizes(self):
+        r = RatFunc(Poly.zero(), Poly.var("x"))
+        assert r.is_zero()
+        assert r.den == Poly.one()
+
+    def test_constant_collapse(self):
+        r = RatFunc(Poly.const(6), Poly.const(3))
+        assert r.is_constant()
+        assert r.constant_value() == 2
+
+
+class TestNormalization:
+    def test_monomial_cancellation(self):
+        # (x^2 y) / (x y) -> x
+        r = RatFunc(Poly.var("x", 2) * Poly.var("y"), Poly.var("x") * Poly.var("y"))
+        assert r == X
+
+    def test_exact_division_cancellation(self):
+        # (x^2 - y^2) / (x + y) -> x - y
+        num = Poly.var("x") ** 2 - Poly.var("y") ** 2
+        den = Poly.var("x") + Poly.var("y")
+        assert RatFunc(num, den) == X - Y
+
+    def test_univariate_gcd_cancellation(self):
+        # (x^2 + 2x + 1) / (x^2 - 1) == (x+1)/(x-1)
+        num = (Poly.var("x") + 1) ** 2
+        den = Poly.var("x") ** 2 - Poly.const(1)
+        expected = RatFunc(Poly.var("x") + 1, Poly.var("x") - Poly.const(1))
+        assert RatFunc(num, den) == expected
+
+    def test_denominator_sign_normalized(self):
+        r = RatFunc(Poly.var("x"), Poly.const(-2))
+        assert r.den.constant_value() > 0
+
+
+class TestFieldOps:
+    def test_addition_common_denominator(self):
+        assert X / Y + X / Y == (2 * X) / Y
+
+    def test_division(self):
+        assert (X / Y) / (X / Y) == RatFunc.const(1)
+
+    def test_negative_power(self):
+        assert X**-1 == RatFunc(Poly.one(), Poly.var("x"))
+
+    def test_substitution(self):
+        r = X / (Y + 1)
+        s = r.substitute({"x": RatFunc.const(4), "y": RatFunc.const(1)})
+        assert s.constant_value() == 2
+
+    def test_substitution_with_ratfunc(self):
+        r = X + 1
+        s = r.substitute({"x": RatFunc.var("a") / RatFunc.var("b")})
+        assert s == (RatFunc.var("a") + RatFunc.var("b")) / RatFunc.var("b")
+
+    def test_evaluate_safe_division(self):
+        r = X / Y
+        assert r.evaluate({"x": 3, "y": 0}) == 0  # paper's convention
+
+
+class TestFieldProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(small_ratfuncs(), small_ratfuncs())
+    def test_add_commutes(self, r, s):
+        assert r + s == s + r
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_ratfuncs(), small_ratfuncs())
+    def test_mul_commutes(self, r, s):
+        assert r * s == s * r
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_ratfuncs())
+    def test_sub_self_is_zero(self, r):
+        assert (r - r).is_zero()
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_ratfuncs())
+    def test_mul_div_roundtrip(self, r):
+        if r.is_zero():
+            return
+        assert (r * r) / r == r
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_ratfuncs(), small_ratfuncs())
+    def test_evaluation_consistent_with_ops(self, r, s):
+        env = {"x": Fraction(3, 2), "y": Fraction(-2)}
+        if r.den.evaluate(env) == 0 or s.den.evaluate(env) == 0:
+            return
+        total = r + s
+        if total.den.evaluate(env) == 0:
+            return
+        assert total.evaluate(env) == r.evaluate(env) + s.evaluate(env)

@@ -1,0 +1,103 @@
+"""Tests for the SyGuS baselines and the ablation wrappers."""
+
+import pytest
+
+from repro.baselines import (
+    SOLVERS,
+    Cvc5Style,
+    OperaFull,
+    OperaNoDecomp,
+    OperaNoSymbolic,
+    SketchStyle,
+)
+from repro.core import SynthesisConfig
+from repro.suites import get_benchmark
+
+
+def run(solver, name, timeout=15.0):
+    bench = get_benchmark(name)
+    config = SynthesisConfig(
+        timeout_s=timeout, element_arity=bench.element_arity
+    )
+    return solver.synthesize(bench.program, config, name)
+
+
+class TestRegistry:
+    def test_all_solvers_registered(self):
+        assert set(SOLVERS) == {
+            "opera",
+            "opera-nodecomp",
+            "opera-nosymbolic",
+            "cvc5",
+            "sketch",
+        }
+
+    def test_names_match(self):
+        for name, cls in SOLVERS.items():
+            assert cls().name == name
+
+
+class TestCvc5Style:
+    def test_solves_trivial_sum(self):
+        report = run(Cvc5Style(), "sum")
+        assert report.success
+
+    def test_solves_count(self):
+        report = run(Cvc5Style(), "q_bid_count")
+        assert report.success
+
+    def test_fails_variance_within_budget(self):
+        report = run(Cvc5Style(), "variance", timeout=4.0)
+        assert not report.success
+        assert "Timeout" in report.failure_reason
+
+    def test_result_is_valid_scheme(self):
+        from repro.core import check_scheme_equivalence
+
+        bench = get_benchmark("sum")
+        report = run(Cvc5Style(), "sum")
+        assert check_scheme_equivalence(
+            bench.program, report.scheme, SynthesisConfig()
+        )
+
+
+class TestSketchStyle:
+    def test_solves_trivial_max(self):
+        report = run(SketchStyle(), "max")
+        assert report.success
+
+    def test_fails_mean_or_is_slower_than_opera(self):
+        # Sketch-style search has no OE pruning; at equal budget it must not
+        # beat full Opera on the same task.
+        sketch_report = run(SketchStyle(), "mean", timeout=4.0)
+        opera_report = run(OperaFull(), "mean", timeout=4.0)
+        assert opera_report.success
+        if sketch_report.success:
+            assert sketch_report.elapsed_s >= opera_report.elapsed_s
+
+
+class TestAblations:
+    def test_nodecomp_solves_single_accumulator(self):
+        report = run(OperaNoDecomp(), "sum")
+        assert report.success
+
+    def test_nosymbolic_solves_single_accumulator(self):
+        report = run(OperaNoSymbolic(), "sum")
+        assert report.success
+
+    def test_nosymbolic_never_uses_symbolic_methods(self):
+        report = run(OperaNoSymbolic(), "mean")
+        assert report.success
+        assert set(report.method_counts) <= {"enumerative"}
+
+    def test_full_opera_beats_ablations_on_variance(self):
+        full = run(OperaFull(), "variance", timeout=8.0)
+        nosym = run(OperaNoSymbolic(), "variance", timeout=8.0)
+        assert full.success
+        assert not nosym.success  # needs mined templates
+
+    def test_ablation_does_not_mutate_shared_config(self):
+        config = SynthesisConfig(timeout_s=15)
+        bench = get_benchmark("sum")
+        OperaNoSymbolic().synthesize(bench.program, config, "sum")
+        assert config.use_symbolic is True  # original untouched

@@ -1,0 +1,136 @@
+"""Tests for decomposition (Figure 9) and the combinator axioms (Figure 10)."""
+
+from repro.core.axioms import apply_lambda, push_snoc
+from repro.core.decompose import decompose
+from repro.core.rfs import construct_rfs
+from repro.ir.dsl import (
+    XS,
+    add,
+    div,
+    ffilter,
+    fmap,
+    fold,
+    fold_sum,
+    gt,
+    lam,
+    length,
+    mul,
+    powi,
+    program,
+    sub,
+)
+from repro.ir.nodes import Call, Const, Hole, If, Snoc, Var
+from repro.ir.traversal import collect_holes, iter_subexprs
+
+
+def _snoc_xs():
+    return Snoc(XS, Var("x"))
+
+
+class TestAxioms:
+    def test_fold_over_snoc(self):
+        # foldl(g, c, xs ++ [x]) -> g(foldl(g, c, xs), x)
+        expr = fold(lam("a", "b", add("a", "b")), 0, _snoc_xs())
+        rewritten = push_snoc(expr)
+        assert rewritten == add(fold_sum(XS), "x")
+
+    def test_length_over_snoc(self):
+        expr = length(_snoc_xs())
+        assert push_snoc(expr) == add(length(XS), 1)
+
+    def test_map_over_snoc(self):
+        sq = lam("v", mul("v", "v"))
+        expr = fmap(sq, _snoc_xs())
+        rewritten = push_snoc(expr)
+        assert isinstance(rewritten, Snoc)
+        assert rewritten.elem == mul("x", "x")
+
+    def test_filter_over_snoc_introduces_conditional(self):
+        pos = lam("v", gt("v", 0))
+        expr = ffilter(pos, _snoc_xs())
+        rewritten = push_snoc(expr)
+        assert isinstance(rewritten, If)
+        assert rewritten.cond == gt("x", 0)
+
+    def test_fold_over_filter_over_snoc(self):
+        # The count-positive pattern: the conditional floats above the fold.
+        pos = lam("v", gt("v", 0))
+        expr = fold(lam("a", "b", add("a", 1)), 0, ffilter(pos, _snoc_xs()))
+        rewritten = push_snoc(expr)
+        assert isinstance(rewritten, If)
+        # then-branch applies the fold lambda once more
+        then = rewritten.then
+        assert then == add(fold(lam("a", "b", add("a", 1)), 0, ffilter(pos, XS)), 1)
+        # else-branch is the untouched fold
+        assert rewritten.orelse == fold(lam("a", "b", add("a", 1)), 0, ffilter(pos, XS))
+
+    def test_fold_over_map_over_snoc(self):
+        sq = lam("v", mul("v", "v"))
+        expr = fold(lam("a", "b", add("a", "b")), 0, fmap(sq, _snoc_xs()))
+        rewritten = push_snoc(expr)
+        assert rewritten == add(
+            fold(lam("a", "b", add("a", "b")), 0, fmap(sq, XS)), mul("x", "x")
+        )
+
+    def test_no_snoc_is_identity(self):
+        expr = fold_sum(XS)
+        assert push_snoc(expr) == expr
+
+    def test_apply_lambda_beta_reduces(self):
+        assert apply_lambda(lam("a", "b", add("a", "b")), Const(1), Const(2)) == add(1, 2)
+
+    def test_nested_captured_snoc_rewritten(self):
+        # Variance-like: the lambda captures avg over xs ++ [x]; the inner
+        # fold and length over Snoc must also be rewritten.
+        avg = div(fold_sum(_snoc_xs()), length(_snoc_xs()))
+        expr = fold(
+            lam("acc", "v", add("acc", powi(sub("v", avg), 2))), 0, _snoc_xs()
+        )
+        rewritten = push_snoc(expr)
+        assert not any(isinstance(e, Snoc) for e in iter_subexprs(rewritten))
+
+
+class TestDecompose:
+    def test_mean_sketch_matches_example_5_2(self):
+        rfs = construct_rfs(program(div(fold_sum(XS), length(XS))))
+        sketch = decompose(rfs)
+        # Two independent sub-problems: the sum fold and the length.
+        assert len(sketch.specs) == 2
+        # The body output is □1 / □2.
+        body_out = sketch.program.outputs[0]
+        assert isinstance(body_out, Call) and body_out.func == "div"
+        assert all(isinstance(a, Hole) for a in body_out.args)
+
+    def test_holes_shared_across_outputs(self):
+        rfs = construct_rfs(program(div(fold_sum(XS), length(XS))))
+        sketch = decompose(rfs)
+        holes = [h.hole_id for out in sketch.program.outputs for h in collect_holes(out)]
+        # fold hole appears twice (in body and as its own output), same id.
+        assert len(holes) > len(set(holes))
+
+    def test_variance_sketch_has_three_holes(self):
+        avg = div(fold_sum(XS), length(XS))
+        sq = fold(lam("acc", "v", add("acc", powi(sub("v", avg), 2))), 0, XS)
+        rfs = construct_rfs(program(div(sq, length(XS))))
+        sketch = decompose(rfs)
+        assert len(sketch.specs) == 3  # sq fold, length, sum fold (Figure 5)
+
+    def test_specs_are_offline_list_exprs(self):
+        from repro.ir.traversal import is_list_expr
+
+        rfs = construct_rfs(program(div(fold_sum(XS), length(XS))))
+        sketch = decompose(rfs)
+        assert all(is_list_expr(spec) for spec in sketch.specs.values())
+
+    def test_structure_copied_verbatim(self):
+        # Non-list operators of the offline program survive in the sketch.
+        rfs = construct_rfs(program(add(div(fold_sum(XS), length(XS)), 1)))
+        sketch = decompose(rfs)
+        top = sketch.program.outputs[0]
+        assert isinstance(top, Call) and top.func == "add"
+
+    def test_elem_param_and_state_params(self):
+        rfs = construct_rfs(program(fold_sum(XS)))
+        sketch = decompose(rfs)
+        assert sketch.program.elem_param == "x"
+        assert sketch.program.state_params == rfs.names

@@ -1,0 +1,73 @@
+"""Tests for the report and configuration plumbing."""
+
+import time
+
+from repro.core.config import SynthesisConfig
+from repro.core.report import HoleOutcome, SynthesisReport
+from repro.core.scheme import OnlineScheme
+from repro.ir.dsl import add
+from repro.ir.nodes import OnlineProgram
+
+
+class TestConfig:
+    def test_defaults_match_paper_shape(self):
+        config = SynthesisConfig()
+        assert config.unroll_depth == 3  # Example 5.6's k
+        assert config.use_decomposition and config.use_symbolic
+
+    def test_clock(self):
+        config = SynthesisConfig(timeout_s=0.05)
+        config.start_clock()
+        assert not config.expired()
+        time.sleep(0.06)
+        assert config.expired()
+        assert config.remaining() <= 0
+
+    def test_remaining_before_start(self):
+        config = SynthesisConfig(timeout_s=9.0)
+        assert config.remaining() == 9.0
+        assert not config.expired()
+
+    def test_replace_preserves_flags(self):
+        from dataclasses import replace
+
+        config = SynthesisConfig(timeout_s=1.0)
+        ablated = replace(config, use_symbolic=False)
+        assert ablated.timeout_s == 1.0
+        assert not ablated.use_symbolic
+        assert config.use_symbolic
+
+
+class TestReport:
+    def _scheme(self):
+        return OnlineScheme((0,), OnlineProgram(("s",), "x", (add("s", "x"),)))
+
+    def test_record_hole_accumulates_methods(self):
+        report = SynthesisReport("t", True, 1.0)
+        report.record_hole(HoleOutcome(1, "implicate", 5, 3))
+        report.record_hole(HoleOutcome(2, "implicate", 5, 3))
+        report.record_hole(HoleOutcome(3, "template", 9, 12))
+        assert report.method_counts == {"implicate": 2, "template": 1}
+
+    def test_online_size(self):
+        report = SynthesisReport("t", True, 1.0, scheme=self._scheme())
+        assert report.online_size() == 3  # add(s, x)
+
+    def test_online_size_none_when_unsolved(self):
+        report = SynthesisReport("t", False, 1.0)
+        assert report.online_size() is None
+
+    def test_summary_line_failure(self):
+        report = SynthesisReport("t", False, 2.0, failure_reason="boom")
+        assert "FAIL" in report.summary_line()
+        assert "boom" in report.summary_line()
+
+
+class TestSchemeDescribe:
+    def test_describe_contains_init_and_program(self):
+        scheme = OnlineScheme(
+            (0,), OnlineProgram(("s",), "x", (add("s", "x"),))
+        )
+        text = scheme.describe()
+        assert "initializer" in text
+        assert "s + x" in text

@@ -1,0 +1,263 @@
+"""Tests for the symbolic synthesis machinery: encoding, implicates,
+unrolling, mining, power-sum rewriting and template solving."""
+
+from fractions import Fraction
+
+from repro.algebra.polynomial import Poly
+from repro.algebra.symmetric import psum_name, rewrite_symmetric
+from repro.core import (
+    SynthesisConfig,
+    check_expr_equivalence,
+    construct_rfs,
+)
+from repro.core.encode import EncodingContext, decode_term, encode_expr, replace_list_exprs
+from repro.core.implicate import find_implicate, find_implicates
+from repro.core.mining import mine_expressions
+from repro.core.templates import solve_template, templatize
+from repro.core.unroll import UnrollFailure, unroll, unroll_on_elements
+from repro.ir.dsl import (
+    XS,
+    add,
+    div,
+    ffilter,
+    fold,
+    fold_sum,
+    gt,
+    ite,
+    lam,
+    length,
+    maximum,
+    minimum,
+    mul,
+    powi,
+    program,
+    proj,
+    sub,
+    tup,
+)
+from repro.ir.nodes import Const, If, MakeTuple, Var
+from repro.ir.pretty import pretty
+
+
+def cfg(**kw) -> SynthesisConfig:
+    config = SynthesisConfig(**kw)
+    config.start_clock()
+    return config
+
+
+class TestEncodeDecode:
+    def test_arithmetic_roundtrip(self):
+        ctx = EncodingContext()
+        expr = add(mul("a", "a"), div("b", 2))
+        term = encode_expr(expr, ctx)
+        decoded = decode_term(term, ctx)
+        # Semantically equal (2a^2 + b) / 2
+        env = {"a": Fraction(3), "b": Fraction(4)}
+        from repro.ir.evaluator import evaluate
+
+        assert evaluate(decoded, env) == evaluate(expr, env)
+
+    def test_min_becomes_atom(self):
+        ctx = EncodingContext()
+        term = encode_expr(minimum("a", "b"), ctx)
+        assert len(ctx.table) == 1
+        assert decode_term(term, ctx) == minimum("a", "b")
+
+    def test_conditional_becomes_atom(self):
+        ctx = EncodingContext()
+        expr = ite(gt("a", 0), "a", 0)
+        term = encode_expr(expr, ctx)
+        decoded = decode_term(term, ctx)
+        assert isinstance(decoded, If)
+
+    def test_tuple_projection_roundtrip(self):
+        ctx = EncodingContext()
+        expr = proj(tup("a", "b"), 1)
+        decoded = decode_term(encode_expr(expr, ctx), ctx)
+        assert decoded == expr
+
+    def test_replace_list_exprs_shares_variables(self):
+        ctx = EncodingContext()
+        body = div(fold_sum(XS), fold_sum(XS))
+        replaced = replace_list_exprs(body, ctx)
+        assert len(ctx.list_expr_vars) == 1
+        assert replaced == div(Var("_v1"), Var("_v1"))
+
+    def test_pow_integer_is_polynomial(self):
+        ctx = EncodingContext()
+        term = encode_expr(powi("a", 3), ctx)
+        assert len(ctx.table) == 0  # no atoms needed
+        assert term.num.degree() == 3
+
+
+class TestFindImplicate:
+    def test_sum_is_example_from_section_2(self):
+        rfs = construct_rfs(program(div(fold_sum(XS), length(XS))))
+        result = find_implicate(rfs, fold_sum(XS))
+        names = {n for n, s in rfs.entries.items() if s == fold_sum(XS)}
+        # The expression y_sum + x (possibly reordered).
+        assert result is not None
+        rendered = pretty(result)
+        assert "x" in rendered and any(n in rendered for n in names)
+
+    def test_length_increments(self):
+        rfs = construct_rfs(program(div(fold_sum(XS), length(XS))))
+        result = find_implicate(rfs, length(XS))
+        assert result is not None
+        assert check_expr_equivalence(length(XS), result, rfs, cfg())
+
+    def test_min_fold_through_atom(self):
+        spec = fold(lam("a", "b", minimum("a", "b")), 10**9, XS)
+        rfs = construct_rfs(program(spec))
+        result = find_implicate(rfs, spec)
+        assert result is not None
+        assert check_expr_equivalence(spec, result, rfs, cfg())
+
+    def test_conditional_fold(self):
+        spec = fold(lam("a", "v", ite(gt("v", 0), add("a", 1), Var("a"))), 0, XS)
+        rfs = construct_rfs(program(spec))
+        result = find_implicate(rfs, spec)
+        assert result is not None
+        assert check_expr_equivalence(spec, result, rfs, cfg())
+
+    def test_tuple_accumulator_fold(self):
+        top2 = fold(
+            lam(
+                "t",
+                "v",
+                tup(
+                    maximum(proj("t", 0), "v"),
+                    maximum(proj("t", 1), minimum(proj("t", 0), "v")),
+                ),
+            ),
+            tup(-100, -100),
+            XS,
+        )
+        rfs = construct_rfs(program(proj(top2, 1)))
+        result = find_implicate(rfs, top2)
+        assert result is not None
+        assert isinstance(result, MakeTuple)
+
+    def test_captured_avg_defeats_axioms(self):
+        # The sq fold of variance: implicates alone cannot solve it
+        # (Example 5.6's "true is not useful" situation).
+        avg = div(fold_sum(XS), length(XS))
+        sq = fold(lam("acc", "v", add("acc", powi(sub("v", avg), 2))), 0, XS)
+        rfs = construct_rfs(program(div(sq, length(XS))))
+        candidates = find_implicates(rfs, sq)
+        config = cfg()
+        assert all(
+            not check_expr_equivalence(sq, c, rfs, config) for c in candidates
+        )
+
+
+class TestUnroll:
+    def test_fold_unrolls_to_nested_sum(self):
+        expr = unroll_on_elements(fold_sum(XS), "xs", 3)
+        from repro.ir.evaluator import evaluate
+
+        env = {"_e1": 1, "_e2": 2, "_e3": 3}
+        assert evaluate(expr, env) == 6
+
+    def test_length_becomes_constant(self):
+        assert unroll_on_elements(length(XS), "xs", 4) == Const(4)
+
+    def test_constant_folding(self):
+        expr = unroll_on_elements(add(length(XS), length(XS)), "xs", 2)
+        assert expr == Const(4)
+
+    def test_filter_fails(self):
+        expr = length(ffilter(lam("v", gt("v", 0)), XS))
+        try:
+            unroll_on_elements(expr, "xs", 3)
+            raised = False
+        except UnrollFailure:
+            raised = True
+        assert raised
+
+    def test_map_unrolls_pointwise(self):
+        from repro.ir.dsl import fmap
+
+        expr = fold_sum(fmap(lam("v", mul("v", "v")), XS))
+        unrolled = unroll_on_elements(expr, "xs", 2)
+        from repro.ir.evaluator import evaluate
+
+        assert evaluate(unrolled, {"_e1": 2, "_e2": 3}) == 13
+
+    def test_captured_list_var_resolves(self):
+        avg = div(fold_sum(XS), length(XS))
+        sq = fold(lam("acc", "v", add("acc", powi(sub("v", avg), 2))), 0, XS)
+        unrolled = unroll_on_elements(sq, "xs", 2)
+        from repro.ir.evaluator import evaluate
+
+        # variance numerator of [1, 3]: (1-2)^2 + (3-2)^2 = 2
+        assert evaluate(unrolled, {"_e1": 1, "_e2": 3}) == 2
+
+
+class TestPowerSums:
+    def test_p2(self):
+        poly = (
+            Poly.var("x1", 2) + Poly.var("x2", 2) + Poly.var("x3", 2)
+        )
+        assert rewrite_symmetric(poly, ["x1", "x2", "x3"]) == Poly.var(psum_name(2))
+
+    def test_square_of_sum(self):
+        p = (Poly.var("x1") + Poly.var("x2") + Poly.var("x3")) ** 2
+        rewritten = rewrite_symmetric(p, ["x1", "x2", "x3"])
+        assert rewritten == Poly.var(psum_name(1)) ** 2
+
+    def test_mixed_with_other_vars(self):
+        p = Poly.var("y") * (Poly.var("x1") + Poly.var("x2"))
+        rewritten = rewrite_symmetric(p, ["x1", "x2"])
+        assert rewritten == Poly.var("y") * Poly.var(psum_name(1))
+
+    def test_asymmetric_fails(self):
+        p = Poly.var("x1") * 2 + Poly.var("x2")
+        assert rewrite_symmetric(p, ["x1", "x2"]) is None
+
+    def test_elementary_symmetric_e2(self):
+        # x1 x2 + x1 x3 + x2 x3 = (p1^2 - p2)/2
+        p = (
+            Poly.var("x1") * Poly.var("x2")
+            + Poly.var("x1") * Poly.var("x3")
+            + Poly.var("x2") * Poly.var("x3")
+        )
+        rewritten = rewrite_symmetric(p, ["x1", "x2", "x3"])
+        p1, p2 = Poly.var(psum_name(1)), Poly.var(psum_name(2))
+        assert rewritten == (p1 * p1 - p2).scale(Fraction(1, 2))
+
+
+class TestMiningAndTemplates:
+    def _variance_parts(self):
+        avg = div(fold_sum(XS), length(XS))
+        sq = fold(lam("acc", "v", add("acc", powi(sub("v", avg), 2))), 0, XS)
+        prog = program(div(sq, length(XS)))
+        return construct_rfs(prog), sq
+
+    def test_variance_sq_mines(self):
+        rfs, sq = self._variance_parts()
+        mined = mine_expressions(rfs, sq, cfg())
+        assert mined is not None
+        # The mined term mentions the new element and some accumulators.
+        assert "x" in mined.term.variables()
+
+    def test_variance_template_solves(self):
+        rfs, sq = self._variance_parts()
+        config = cfg()
+        mined = mine_expressions(rfs, sq, config)
+        template = templatize(mined)
+        solved = solve_template(template, rfs, sq, config, salt="test")
+        assert solved is not None
+        assert check_expr_equivalence(sq, solved, rfs, config)
+
+    def test_template_has_basis_and_hints(self):
+        rfs, sq = self._variance_parts()
+        mined = mine_expressions(rfs, sq, cfg())
+        template = templatize(mined)
+        assert template.unknowns == len(template.num_terms) + len(template.den_terms)
+        assert len(template.num_hints) == len(template.num_terms)
+
+    def test_filter_spec_does_not_mine(self):
+        spec = length(ffilter(lam("v", gt("v", 0)), XS))
+        rfs = construct_rfs(program(spec))
+        assert mine_expressions(rfs, spec, cfg()) is None

@@ -1,0 +1,117 @@
+"""Focused tests for the template machinery (Appendix B)."""
+
+from fractions import Fraction
+
+from repro.core import SynthesisConfig, construct_rfs
+from repro.core.mining import mine_expressions
+from repro.core.templates import (
+    Template,
+    _poly_in_n,
+    _projective_fits,
+    solve_template,
+    templatize,
+)
+from repro.ir.dsl import XS, add, div, fold, fold_sum, lam, length, powi, program, sub
+from repro.ir.evaluator import evaluate
+from repro.ir.nodes import Const, Var
+
+F = Fraction
+
+
+def cfg(**kw):
+    config = SynthesisConfig(**kw)
+    config.start_clock()
+    return config
+
+
+class TestPolyInN:
+    def test_constant(self):
+        expr = _poly_in_n([F(3)], Var("n"))
+        assert evaluate(expr, {"n": 7}) == 3
+
+    def test_linear(self):
+        expr = _poly_in_n([F(1), F(2)], Var("n"))
+        assert evaluate(expr, {"n": 5}) == 11
+
+    def test_quadratic(self):
+        expr = _poly_in_n([F(0), F(1), F(1)], Var("n"))  # n + n^2
+        assert evaluate(expr, {"n": 4}) == 20
+
+    def test_zero(self):
+        assert _poly_in_n([F(0)], Var("n")) == Const(0)
+
+
+class TestProjectiveFits:
+    def _fit(self, alphas, max_degree=4):
+        config = SynthesisConfig(interpolation_max_degree=max_degree)
+        lengths = sorted(alphas)
+        return list(_projective_fits(alphas, lengths, config))
+
+    def test_recovers_polynomial_vector(self):
+        # alpha(l) proportional to (l, l^2) with per-length noise scales.
+        alphas = {
+            l: [F(l) * F(s), F(l * l) * F(s)]
+            for l, s in zip(range(1, 9), (1, 3, 2, 5, 1, 2, 7, 1))
+        }
+        fits = self._fit(alphas)
+        assert fits
+        q1, q2 = fits[0]
+
+        def evaluate_poly(coeffs, x):
+            total = F(0)
+            for c in reversed(coeffs):
+                total = total * x + c
+            return total
+
+        # The fit is projective: q must be proportional to alpha at every
+        # sampled length, i.e. q1(l)·α2(l) == q2(l)·α1(l).
+        for length, (a1, a2) in alphas.items():
+            v1 = evaluate_poly(q1, F(length))
+            v2 = evaluate_poly(q2, F(length))
+            assert v1 * a2 == v2 * a1
+            assert (v1, v2) != (0, 0)
+
+    def test_integer_normalized(self):
+        alphas = {
+            l: [F(l, 3), F(2 * l, 3)] for l in range(1, 9)
+        }
+        fits = self._fit(alphas)
+        assert fits
+        q1, q2 = fits[0]
+        # Cleared denominators: coefficients are integers with gcd 1.
+        values = [c for poly in (q1, q2) for c in poly if c != 0]
+        assert all(v.denominator == 1 for v in values)
+
+    def test_non_polynomial_relationship_fails(self):
+        # alpha2/alpha1 = 2^l cannot be matched by bounded degree.
+        alphas = {l: [F(1), F(2**l)] for l in range(1, 10)}
+        assert self._fit(alphas, max_degree=3) == []
+
+
+class TestEndToEndTemplates:
+    def test_variance_coefficients_match_example_5_6(self):
+        """The solved template instantiates the paper's Example 5.6 pattern:
+        sq' = (s² - 2n·sx + n(n+1)·sq + n²·x²) / (n(n+1))."""
+        avg = div(fold_sum(XS), length(XS))
+        sq = fold(lam("acc", "v", add("acc", powi(sub("v", avg), 2))), 0, XS)
+        prog = program(div(sq, length(XS)))
+        rfs = construct_rfs(prog)
+        config = cfg()
+        mined = mine_expressions(rfs, sq, config)
+        solved = solve_template(templatize(mined), rfs, sq, config, "t")
+        assert solved is not None
+        # Check it numerically against the closed form at a concrete point.
+        sum_name = rfs.param_for_spec(fold_sum(XS))
+        n_name = rfs.length_param
+        sq_name = rfs.param_for_spec(sq)
+        env = {sum_name: F(10), n_name: F(4), sq_name: F(5), "x": F(2)}
+        expected = (
+            F(10) ** 2 - 2 * 4 * F(10) * F(2) + 4 * 5 * F(5) + 16 * F(2) ** 2
+        ) / (4 * 5)
+        assert evaluate(solved, env) == expected
+
+    def test_template_requires_length_param(self):
+        template = Template([Var("y1")], [Const(1)], [F(1)], [F(1)])
+        rfs = construct_rfs(program(fold_sum(XS)), add_length=False)
+        assert rfs.length_param is None
+        assert solve_template(template, rfs, fold_sum(XS), cfg(), "x") is None

@@ -1,0 +1,124 @@
+"""Tests for the bounded-exhaustive and symbolic verification modes."""
+
+from fractions import Fraction
+
+from repro.baselines import OperaFull
+from repro.core import SynthesisConfig, construct_rfs
+from repro.core.verify import (
+    bounded_streams,
+    check_bounded_exhaustive,
+    check_symbolic,
+    verify_scheme,
+)
+from repro.ir.dsl import (
+    XS,
+    add,
+    div,
+    fold_sum,
+    length,
+    mean_of,
+    minimum,
+    mul,
+    powi,
+    program,
+    sub,
+)
+from repro.ir.nodes import Var
+from repro.suites import get_benchmark
+
+
+class TestBoundedStreams:
+    def test_lengths(self):
+        streams = list(bounded_streams(2, (Fraction(0), Fraction(1))))
+        # lengths 0,1,2 over a 2-element grid: 1 + 2 + 4
+        assert len(streams) == 7
+
+    def test_tuple_elements(self):
+        streams = list(bounded_streams(1, (Fraction(0), Fraction(1)), arity=2))
+        assert ((Fraction(0), Fraction(1)),) in streams
+
+
+class TestBoundedExhaustive:
+    def test_accepts_sum_update(self):
+        rfs = construct_rfs(program(fold_sum(XS)))
+        y = rfs.result_param
+        assert check_bounded_exhaustive(
+            fold_sum(XS), add(Var(y), "x"), rfs, max_len=2
+        )
+
+    def test_rejects_wrong_update(self):
+        rfs = construct_rfs(program(fold_sum(XS)))
+        y = rfs.result_param
+        assert not check_bounded_exhaustive(
+            fold_sum(XS), mul(Var(y), "x"), rfs, max_len=2
+        )
+
+    def test_catches_safe_division_corner(self):
+        # y + 1/x vs (x*y + 1)/x differ only at x = 0: the grid hits it.
+        rfs = construct_rfs(program(fold_sum(XS)))
+        y = rfs.result_param
+        good = add(Var(y), div(1, "x"))
+        bad = div(add(mul("x", Var(y)), 1), "x")
+        spec = add(fold_sum(XS), div(1, Var("_probe")))  # not a real spec;
+        # instead compare the two candidates against each other through the
+        # oracle by checking bad against the semantics of good's spec:
+        from repro.ir.dsl import fold, lam
+
+        recip_fold = fold(lam("a", "v", add("a", div(1, "v"))), 0, XS)
+        rfs2 = construct_rfs(program(recip_fold))
+        y2 = rfs2.result_param
+        good2 = add(Var(y2), div(1, "x"))
+        bad2 = div(add(mul("x", Var(y2)), 1), "x")
+        assert check_bounded_exhaustive(recip_fold, good2, rfs2, max_len=2)
+        assert not check_bounded_exhaustive(recip_fold, bad2, rfs2, max_len=2)
+
+
+class TestSymbolic:
+    def test_proves_sum(self):
+        rfs = construct_rfs(program(fold_sum(XS)))
+        y = rfs.result_param
+        assert check_symbolic(fold_sum(XS), add(Var(y), "x"), rfs) is True
+
+    def test_refutes_wrong(self):
+        rfs = construct_rfs(program(fold_sum(XS)))
+        y = rfs.result_param
+        assert check_symbolic(fold_sum(XS), sub(Var(y), "x"), rfs) is False
+
+    def test_length_increment(self):
+        rfs = construct_rfs(program(fold_sum(XS)))
+        n = rfs.length_param
+        assert check_symbolic(length(XS), add(Var(n), 1), rfs) is True
+
+    def test_division_outside_fragment(self):
+        rfs = construct_rfs(program(mean_of(XS)))
+        assert check_symbolic(mean_of(XS), Var(rfs.result_param), rfs) is None
+
+    def test_atoms_outside_fragment(self):
+        rfs = construct_rfs(program(fold_sum(XS)))
+        y = rfs.result_param
+        assert check_symbolic(fold_sum(XS), minimum(Var(y), "x"), rfs) is None
+
+    def test_proves_sum_of_squares(self):
+        from repro.ir.dsl import fold_sum_of
+
+        spec = fold_sum_of("v", powi("v", 2), XS)
+        rfs = construct_rfs(program(spec))
+        y = rfs.result_param
+        assert check_symbolic(spec, add(Var(y), powi("x", 2)), rfs) is True
+
+
+class TestVerifyScheme:
+    def test_accepts_synthesized_sum(self):
+        bench = get_benchmark("sum")
+        report = OperaFull().synthesize(
+            bench.program, SynthesisConfig(timeout_s=30), "sum"
+        )
+        assert verify_scheme(bench.program, report.scheme, bounded_len=2)
+
+    def test_rejects_ground_truth_with_wrong_init(self):
+        from repro.core.scheme import OnlineScheme
+
+        bench = get_benchmark("sum")
+        gt = bench.ground_truth
+        broken = OnlineScheme((1,), gt.program)
+        assert not verify_scheme(bench.program, broken, bounded_len=1)

@@ -1,0 +1,186 @@
+"""Tests for the Python-to-IR frontend."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.frontend import FrontendError, python_to_ir
+from repro.ir import run_offline
+from repro.ir.nodes import Fold, MakeTuple, Proj
+from repro.ir.traversal import iter_subexprs
+
+
+def translate_and_run(source: str, xs, extra=None):
+    program = python_to_ir(source)
+    return run_offline(program, xs, extra or {})
+
+
+class TestBasics:
+    def test_sum_loop(self):
+        src = "def f(xs):\n    s = 0\n    for x in xs:\n        s += x\n    return s\n"
+        assert translate_and_run(src, [1, 2, 3]) == 6
+
+    def test_mean(self):
+        src = (
+            "def f(xs):\n"
+            "    s = 0\n"
+            "    for x in xs:\n"
+            "        s = s + x\n"
+            "    return s / len(xs)\n"
+        )
+        assert translate_and_run(src, [1, 2, 3, 4]) == Fraction(5, 2)
+
+    def test_variance_matches_figure_2a(self):
+        src = (
+            "def variance(xs):\n"
+            "    s = 0\n"
+            "    for x in xs:\n"
+            "        s += x\n"
+            "    avg = s / len(xs)\n"
+            "    sq = 0\n"
+            "    for x in xs:\n"
+            "        sq += (x - avg) ** 2\n"
+            "    return sq / len(xs)\n"
+        )
+        assert translate_and_run(src, [1, 2, 3, 4]) == Fraction(5, 4)
+
+    def test_sum_builtin(self):
+        src = "def f(xs):\n    return sum(xs) / len(xs)\n"
+        assert translate_and_run(src, [2, 4]) == 3
+
+    def test_generator_expression(self):
+        src = "def f(xs):\n    return sum(x * x for x in xs)\n"
+        assert translate_and_run(src, [1, 2, 3]) == 14
+
+    def test_list_comprehension_with_guard(self):
+        src = "def f(xs):\n    return len([x for x in xs if x > 0])\n"
+        assert translate_and_run(src, [1, -2, 3]) == 2
+
+    def test_min_max_builtins(self):
+        src = "def f(xs):\n    return max(xs) - min(xs)\n"
+        assert translate_and_run(src, [3, 9, 1]) == 8
+
+    def test_conditional_expression_in_loop(self):
+        src = (
+            "def f(xs):\n"
+            "    c = 0\n"
+            "    for x in xs:\n"
+            "        c = c + 1 if x > 0 else c\n"
+            "    return c\n"
+        )
+        assert translate_and_run(src, [5, -1, 2]) == 2
+
+    def test_extra_parameters(self):
+        src = (
+            "def f(xs, t):\n"
+            "    c = 0\n"
+            "    for x in xs:\n"
+            "        c = c + 1 if x > t else c\n"
+            "    return c\n"
+        )
+        assert translate_and_run(src, [1, 5, 9], {"t": 4}) == 2
+
+    def test_math_functions(self):
+        src = "def f(xs):\n    import_unused = 0\n    return abs(sum(xs))\n"
+        # simple expression statements are skipped; abs works
+        src = "def f(xs):\n    return abs(sum(xs))\n"
+        assert translate_and_run(src, [-1, -2]) == 3
+
+    def test_power_operator(self):
+        src = "def f(xs):\n    return sum(xs) ** 2\n"
+        assert translate_and_run(src, [1, 2]) == 9
+
+    def test_unary_minus(self):
+        src = "def f(xs):\n    return -sum(xs)\n"
+        assert translate_and_run(src, [1, 2]) == -3
+
+
+class TestLoopTranslation:
+    def test_independent_accumulators_become_separate_folds(self):
+        src = (
+            "def f(xs):\n"
+            "    s = 0\n"
+            "    q = 0\n"
+            "    for x in xs:\n"
+            "        s += x\n"
+            "        q += x * x\n"
+            "    return q - s\n"
+        )
+        program = python_to_ir(src)
+        folds = [e for e in iter_subexprs(program.body) if isinstance(e, Fold)]
+        assert len(folds) == 2
+        assert run_offline(program, [1, 2]) == 5 - 3
+
+    def test_coupled_accumulators_become_tuple_fold(self):
+        # b reads a inside the loop -> single tuple-accumulator fold.
+        src = (
+            "def f(xs):\n"
+            "    a = 0\n"
+            "    b = 0\n"
+            "    for x in xs:\n"
+            "        b = b + a\n"
+            "        a = a + x\n"
+            "    return b\n"
+        )
+        program = python_to_ir(src)
+        assert any(isinstance(e, MakeTuple) for e in iter_subexprs(program.body))
+        assert any(isinstance(e, Proj) for e in iter_subexprs(program.body))
+        # reference semantics
+        def ref(xs):
+            a = b = 0
+            for x in xs:
+                b = b + a
+                a = a + x
+            return b
+
+        for xs in ([], [1], [1, 2, 3], [5, -2, 7, 0]):
+            assert run_offline(program, xs) == ref(xs)
+
+
+class TestErrors:
+    def test_uninitialized_accumulator(self):
+        src = "def f(xs):\n    for x in xs:\n        s += x\n    return s\n"
+        with pytest.raises(FrontendError):
+            python_to_ir(src)
+
+    def test_if_statement_in_loop_rejected_with_hint(self):
+        src = (
+            "def f(xs):\n"
+            "    c = 0\n"
+            "    for x in xs:\n"
+            "        if x > 0:\n"
+            "            c += 1\n"
+            "    return c\n"
+        )
+        with pytest.raises(FrontendError):
+            python_to_ir(src)
+
+    def test_no_return(self):
+        src = "def f(xs):\n    s = 0\n"
+        with pytest.raises(FrontendError):
+            python_to_ir(src)
+
+    def test_two_functions_rejected(self):
+        src = "def f(xs):\n    return 0\n\ndef g(xs):\n    return 1\n"
+        with pytest.raises(FrontendError):
+            python_to_ir(src)
+
+    def test_while_loop_rejected(self):
+        src = "def f(xs):\n    while True:\n        pass\n    return 0\n"
+        with pytest.raises(FrontendError):
+            python_to_ir(src)
+
+
+class TestEndToEnd:
+    def test_suite_python_sources_match_ir(self):
+        """Benchmarks that carry Python source must agree with their IR."""
+        from repro.suites import all_benchmarks
+
+        for bench in all_benchmarks():
+            if bench.python_source is None:
+                continue
+            translated = python_to_ir(bench.python_source)
+            for xs in ([], [1], [1, 2, 3, 4], [2, 2, 2]):
+                assert run_offline(translated, xs) == run_offline(
+                    bench.program, xs
+                ), bench.name

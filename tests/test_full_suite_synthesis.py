@@ -1,0 +1,76 @@
+"""Broad integration sweep: Opera over a large sample of the suite.
+
+The benchmark harness measures the full 51-task matrix; this test keeps a
+representative 20-task sample inside the regular test run so regressions in
+any synthesis path (implicate / mining / template / enumeration, scalar /
+pair / parameterized / tuple-accumulator) surface in `pytest tests/`.
+"""
+
+import pytest
+
+from repro.baselines import OperaFull
+from repro.core import SynthesisConfig, check_inductiveness, construct_rfs
+from repro.core.verify import verify_scheme
+from repro.suites import get_benchmark
+
+SAMPLE = [
+    # implicate-only scalar folds
+    "sum", "count", "last", "product", "min", "max",
+    # composed bodies
+    "mean", "rms", "range", "variance_onepass",
+    # conditionals + extra params
+    "count_positive", "sum_above", "q_hit_rate",
+    # mining + templates
+    "variance", "sum_sq_dev", "sem",
+    # pairs and tuple accumulators
+    "weighted_mean", "q_revenue", "q_top2",
+    # transcendental atoms
+    "geometric_mean",
+]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for name in SAMPLE:
+        bench = get_benchmark(name)
+        config = SynthesisConfig(timeout_s=60, element_arity=bench.element_arity)
+        out[name] = (bench, OperaFull().synthesize(bench.program, config, name))
+    return out
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_solved(reports, name):
+    _, report = reports[name]
+    assert report.success, report.failure_reason
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_scheme_verifies_thoroughly(reports, name):
+    bench, report = reports[name]
+    config = SynthesisConfig(element_arity=bench.element_arity)
+    assert verify_scheme(bench.program, report.scheme, config, bounded_len=2)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in SAMPLE if n in ("sum", "mean", "variance", "range")]
+)
+def test_unpruned_scheme_is_inductive(reports, name):
+    """Definition 4.3 for schemes whose signature survived pruning intact."""
+    bench, report = reports[name]
+    rfs = construct_rfs(bench.program)
+    if report.scheme.arity != len(rfs):
+        pytest.skip("post-processing pruned the signature")
+    config = SynthesisConfig(element_arity=bench.element_arity)
+    assert check_inductiveness(rfs, report.scheme, config)
+
+
+def test_solution_sizes_comparable_to_ground_truth(reports):
+    """Section 7.1: synthesized schemes are comparable in size to the
+    hand-written ones (no degenerate blow-ups)."""
+    from repro.ir.traversal import ast_size
+
+    for name, (bench, report) in reports.items():
+        got = sum(ast_size(o) for o in report.scheme.program.outputs)
+        gt = sum(ast_size(o) for o in bench.ground_truth.program.outputs)
+        assert got <= 6 * gt + 20, (name, got, gt)

@@ -1,0 +1,128 @@
+"""Unit tests for the definitional interpreter."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.dsl import (
+    XS,
+    add,
+    div,
+    ffilter,
+    fmap,
+    fold,
+    fold_max,
+    fold_sum,
+    gt,
+    ite,
+    lam,
+    length,
+    lt,
+    mul,
+    powi,
+    program,
+    proj,
+    sub,
+    tup,
+)
+from repro.ir.evaluator import EvaluationError, evaluate, run_offline, step_online
+from repro.ir.nodes import Const, Let, OnlineProgram, Snoc, Var
+
+
+class TestScalarEvaluation:
+    def test_constant(self):
+        assert evaluate(Const(5), {}) == 5
+
+    def test_variable_lookup(self):
+        assert evaluate(Var("a"), {"a": 7}) == 7
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(Var("nope"), {})
+
+    def test_arithmetic_exact(self):
+        expr = div(add(1, 2), 4)
+        assert evaluate(expr, {}) == Fraction(3, 4)
+
+    def test_safe_division_by_zero(self):
+        assert evaluate(div(5, 0), {}) == 0
+
+    def test_pow_integer(self):
+        assert evaluate(powi(Fraction(1, 2), 2), {}) == Fraction(1, 4)
+
+    def test_conditional_branches(self):
+        expr = ite(lt("a", 0), sub(0, "a"), "a")
+        assert evaluate(expr, {"a": -3}) == 3
+        assert evaluate(expr, {"a": 3}) == 3
+
+    def test_let_binding(self):
+        expr = Let("t", add(1, 2), mul("t", "t"))
+        assert evaluate(expr, {}) == 9
+
+    def test_let_shadowing(self):
+        expr = Let("t", Const(1), Let("t", Const(2), Var("t")))
+        assert evaluate(expr, {}) == 2
+
+    def test_tuple_and_projection(self):
+        expr = proj(tup(1, add(2, 3)), 1)
+        assert evaluate(expr, {}) == 5
+
+
+class TestListCombinators:
+    def test_fold_sum(self):
+        assert evaluate(fold_sum(XS), {"xs": [1, 2, 3]}) == 6
+
+    def test_fold_on_empty_list_gives_init(self):
+        assert evaluate(fold_sum(XS), {"xs": []}) == 0
+
+    def test_fold_left_associativity(self):
+        # foldl (-) 0 [1,2,3] = ((0-1)-2)-3 = -6
+        f = fold(lam("a", "b", sub("a", "b")), 0, XS)
+        assert evaluate(f, {"xs": [1, 2, 3]}) == -6
+
+    def test_map(self):
+        expr = fold_sum(fmap(lam("v", mul("v", "v")), XS))
+        assert evaluate(expr, {"xs": [1, 2, 3]}) == 14
+
+    def test_filter(self):
+        expr = length(ffilter(lam("v", gt("v", 0)), XS))
+        assert evaluate(expr, {"xs": [1, -2, 3, -4, 5]}) == 3
+
+    def test_nested_combinators(self):
+        expr = fold_sum(fmap(lam("v", add("v", 1)), ffilter(lam("v", gt("v", 0)), XS)))
+        assert evaluate(expr, {"xs": [1, -1, 2]}) == 5
+
+    def test_snoc(self):
+        assert evaluate(Snoc(XS, Const(9)), {"xs": [1, 2]}) == [1, 2, 9]
+
+    def test_length(self):
+        assert evaluate(length(XS), {"xs": [5, 5, 5]}) == 3
+
+    def test_fold_max_sentinel(self):
+        assert evaluate(fold_max(XS), {"xs": []}) == -(10**9)
+        assert evaluate(fold_max(XS), {"xs": [3, 9, 1]}) == 9
+
+
+class TestProgramExecution:
+    def test_run_offline_mean(self):
+        mean = program(div(fold_sum(XS), length(XS)))
+        assert run_offline(mean, [1, 2, 3, 4]) == Fraction(5, 2)
+
+    def test_run_offline_empty(self):
+        mean = program(div(fold_sum(XS), length(XS)))
+        assert run_offline(mean, []) == 0  # safe division
+
+    def test_extra_params(self):
+        count_above = program(
+            length(ffilter(lam("v", gt("v", "t")), XS)), extra=("t",)
+        )
+        assert run_offline(count_above, [1, 5, 9], {"t": 4}) == 2
+
+    def test_step_online(self):
+        prog = OnlineProgram(("s", "n"), "x", (add("s", "x"), add("n", 1)))
+        assert step_online(prog, (10, 3), 5) == (15, 4)
+
+    def test_step_online_arity_mismatch(self):
+        prog = OnlineProgram(("s",), "x", (add("s", "x"),))
+        with pytest.raises(EvaluationError):
+            step_online(prog, (1, 2), 5)

@@ -1,0 +1,186 @@
+"""Tests for type inference, runtime values and the builtin registry."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builtins import all_builtins, get_builtin, is_builtin
+from repro.ir.dsl import (
+    XS,
+    add,
+    div,
+    ffilter,
+    fmap,
+    fold,
+    fold_sum,
+    gt,
+    ite,
+    lam,
+    length,
+    program,
+    proj,
+    tup,
+)
+from repro.ir.infer import (
+    TypeError_,
+    check_well_typed,
+    infer_program_type,
+    infer_type,
+)
+from repro.ir.nodes import Const, ListVar, Snoc, Var
+from repro.ir.types import BOOL, NUM, ListType, TupleType
+from repro.ir.values import (
+    safe_div,
+    safe_exp,
+    safe_log,
+    safe_pow,
+    safe_sqrt,
+    values_close,
+)
+
+
+class TestInference:
+    def test_constants(self):
+        assert infer_type(Const(3)) == NUM
+        assert infer_type(Const(True)) == BOOL
+
+    def test_comparison_is_bool(self):
+        assert infer_type(gt("a", 0)) == BOOL
+
+    def test_list_variable(self):
+        assert infer_type(ListVar("xs")) == ListType(NUM)
+
+    def test_fold_takes_init_type(self):
+        assert infer_type(fold_sum(XS)) == NUM
+
+    def test_map_produces_list(self):
+        assert isinstance(infer_type(fmap(lam("v", add("v", 1)), XS)), ListType)
+
+    def test_filter_preserves_list(self):
+        assert isinstance(
+            infer_type(ffilter(lam("v", gt("v", 0)), XS)), ListType
+        )
+
+    def test_tuple_and_projection(self):
+        t = infer_type(tup(1, gt("a", 0)))
+        assert isinstance(t, TupleType)
+        assert t.elements == (NUM, BOOL)
+        assert infer_type(proj(tup(1, gt("a", 0)), 1)) == BOOL
+
+    def test_snoc(self):
+        assert infer_type(Snoc(XS, Var("x"))) == ListType(NUM)
+
+    def test_conditional_unifies(self):
+        assert infer_type(ite(gt("a", 0), 1, 2)) == NUM
+
+    def test_list_into_scalar_op_rejected(self):
+        with pytest.raises(TypeError_):
+            infer_type(add(XS, 1))
+
+    def test_program_types(self):
+        assert infer_program_type(program(mean := div(fold_sum(XS), length(XS)))) == NUM
+        assert check_well_typed(program(mean))
+
+    def test_suite_is_well_typed(self):
+        from repro.ir.types import tuple_of
+        from repro.suites import all_benchmarks
+
+        for bench in all_benchmarks():
+            elem = NUM if bench.element_arity == 1 else tuple_of(NUM, NUM)
+            assert check_well_typed(bench.program, elem), bench.name
+
+
+class TestSafeOps:
+    def test_safe_div_by_zero(self):
+        assert safe_div(5, 0) == 0
+        assert safe_div(Fraction(1, 2), Fraction(0)) == 0
+
+    def test_safe_div_exact(self):
+        assert safe_div(1, 3) == Fraction(1, 3)
+
+    def test_safe_pow_integer(self):
+        assert safe_pow(Fraction(2, 3), 2) == Fraction(4, 9)
+        assert safe_pow(2, -1) == Fraction(1, 2)
+        assert safe_pow(0, -1) == 0
+
+    def test_safe_pow_fractional(self):
+        assert safe_pow(4, Fraction(1, 2)) == 2.0
+        assert safe_pow(-4, Fraction(1, 2)) == 0  # safe convention
+
+    def test_safe_pow_huge_degrades(self):
+        result = safe_pow(Fraction(10) ** 100, 1000)
+        assert isinstance(result, (int, float))  # no exact blow-up
+
+    def test_safe_sqrt(self):
+        assert safe_sqrt(Fraction(9, 4)) == Fraction(3, 2)
+        assert safe_sqrt(-1) == 0
+        assert safe_sqrt(2) == pytest.approx(math.sqrt(2))
+
+    def test_safe_log_exp(self):
+        assert safe_log(0) == 0
+        assert safe_log(1) == 0
+        assert safe_exp(0) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.fractions(min_value=-50, max_value=50, max_denominator=12),
+        st.fractions(min_value=-50, max_value=50, max_denominator=12),
+    )
+    def test_safe_div_total(self, a, b):
+        result = safe_div(a, b)
+        if b != 0:
+            assert result == a / b
+        else:
+            assert result == 0
+
+
+class TestValuesClose:
+    def test_exact_equal(self):
+        assert values_close(Fraction(1, 3), Fraction(1, 3))
+
+    def test_float_tolerance(self):
+        assert values_close(0.1 + 0.2, 0.3)
+
+    def test_mixed_exact_float(self):
+        assert values_close(Fraction(1, 2), 0.5)
+
+    def test_tuples_recursive(self):
+        assert values_close((1, (2, 3)), (1, (2, 3)))
+        assert not values_close((1, 2), (1, 3))
+
+    def test_nan_equal_nan(self):
+        assert values_close(float("nan"), float("nan"))
+
+    def test_bool_not_number(self):
+        assert not values_close(True, 2)
+
+
+class TestBuiltins:
+    def test_registry_lookup(self):
+        assert is_builtin("add")
+        assert not is_builtin("frobnicate")
+        with pytest.raises(KeyError):
+            get_builtin("frobnicate")
+
+    def test_kinds_partition(self):
+        kinds = {b.kind for b in all_builtins()}
+        assert kinds == {"poly", "uninterp", "predicate", "list"}
+
+    def test_identities(self):
+        assert get_builtin("add").identity == 0
+        assert get_builtin("mul").identity == 1
+
+    def test_tuple_arithmetic_rejected(self):
+        with pytest.raises(TypeError):
+            get_builtin("mul").impl((1, 2), 3)
+
+    def test_huge_operands_degrade_to_float(self):
+        huge = Fraction(10) ** 400_000
+        result = get_builtin("mul").impl(huge, huge)
+        assert isinstance(result, (int, float))
+        # value is inf or 0 — but never a 2.6-million-bit exact integer
+        if isinstance(result, int):
+            assert result == 0

@@ -1,0 +1,140 @@
+"""Property-based tests: the axiom rewriter and the unroller are
+semantics-preserving transformations.
+
+These are the load-bearing invariants behind FindImplicate and
+MineExpressions — if either transformation changed meaning, the whole
+pipeline would quietly synthesize wrong programs that only the testing
+oracle might catch.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.axioms import push_snoc
+from repro.core.unroll import unroll_on_elements
+from repro.ir.dsl import (
+    XS,
+    add,
+    div,
+    ffilter,
+    fmap,
+    fold,
+    fold_sum,
+    gt,
+    lam,
+    length,
+    mul,
+    powi,
+    sub,
+)
+from repro.ir.evaluator import evaluate
+from repro.ir.nodes import Expr, Snoc, Var
+
+small_fracs = st.fractions(min_value=-10, max_value=10, max_denominator=4)
+small_lists = st.lists(small_fracs, max_size=6)
+
+#: Offline expressions over ``xs`` covering each axiom of Figure 10.
+SNOC_EXPRS: list[Expr] = [
+    fold_sum(Snoc(XS, Var("x"))),
+    length(Snoc(XS, Var("x"))),
+    fold(lam("a", "v", mul("a", "v")), 1, Snoc(XS, Var("x"))),
+    fold_sum(fmap(lam("v", powi("v", 2)), Snoc(XS, Var("x")))),
+    length(ffilter(lam("v", gt("v", 0)), Snoc(XS, Var("x")))),
+    fold(
+        lam("a", "v", add("a", powi("v", 2))),
+        0,
+        ffilter(lam("v", gt("v", 0)), Snoc(XS, Var("x"))),
+    ),
+    div(fold_sum(Snoc(XS, Var("x"))), length(Snoc(XS, Var("x")))),
+    fold(
+        lam(
+            "acc",
+            "v",
+            add(
+                "acc",
+                powi(
+                    sub(
+                        "v",
+                        div(
+                            fold_sum(Snoc(XS, Var("x"))),
+                            length(Snoc(XS, Var("x"))),
+                        ),
+                    ),
+                    2,
+                ),
+            ),
+        ),
+        0,
+        Snoc(XS, Var("x")),
+    ),
+]
+
+
+class TestPushSnocPreservesSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(xs=small_lists, x=small_fracs)
+    def test_all_axiom_shapes(self, xs, x):
+        env = {"xs": list(xs), "x": x}
+        for expr in SNOC_EXPRS:
+            before = evaluate(expr, env)
+            after = evaluate(push_snoc(expr), env)
+            assert before == after, expr
+
+    @settings(max_examples=30, deadline=None)
+    @given(xs=small_lists, x=small_fracs)
+    def test_rewrite_removes_all_snocs_under_combinators(self, xs, x):
+        from repro.ir.nodes import Filter, Fold, Map
+        from repro.ir.traversal import iter_subexprs
+
+        for expr in SNOC_EXPRS:
+            rewritten = push_snoc(expr)
+            for node in iter_subexprs(rewritten):
+                if isinstance(node, (Fold, Map, Filter)):
+                    assert not isinstance(node.lst, Snoc)
+
+
+#: Unrollable offline expressions (no filter — element-dependent branching).
+UNROLL_EXPRS: list[Expr] = [
+    fold_sum(XS),
+    length(XS),
+    div(fold_sum(XS), length(XS)),
+    fold(lam("a", "v", mul("a", "v")), 1, XS),
+    fold_sum(fmap(lam("v", powi("v", 2)), XS)),
+    fold(
+        lam(
+            "acc",
+            "v",
+            add("acc", powi(sub("v", div(fold_sum(XS), length(XS))), 2)),
+        ),
+        0,
+        XS,
+    ),
+]
+
+
+class TestUnrollPreservesSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(small_fracs, min_size=3, max_size=3),
+    )
+    def test_unroll_at_depth_3(self, values):
+        env_concrete = {"xs": list(values)}
+        env_symbolic = {f"_e{i + 1}": v for i, v in enumerate(values)}
+        for expr in UNROLL_EXPRS:
+            expected = evaluate(expr, env_concrete)
+            unrolled = unroll_on_elements(expr, "xs", 3)
+            assert evaluate(unrolled, env_symbolic) == expected, expr
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(small_fracs, min_size=1, max_size=5),
+    )
+    def test_unroll_any_depth(self, values):
+        k = len(values)
+        env_concrete = {"xs": list(values)}
+        env_symbolic = {f"_e{i + 1}": v for i, v in enumerate(values)}
+        expr = div(fold_sum(XS), length(XS))
+        unrolled = unroll_on_elements(expr, "xs", k)
+        assert evaluate(unrolled, env_symbolic) == evaluate(expr, env_concrete)

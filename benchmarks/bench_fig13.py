@@ -15,9 +15,7 @@ from repro.evaluation import ascii_cdf, cdf_series
 
 
 def test_fig13_ablations(benchmark, ablation_matrix):
-    series = benchmark(
-        lambda: {n: cdf_series(s) for n, s in ablation_matrix.items()}
-    )
+    benchmark(lambda: {n: cdf_series(s) for n, s in ablation_matrix.items()})
     print("\n" + ascii_cdf(ablation_matrix, title="Figure 13: ablation CDF"))
     solved = {n: len(s.solved()) for n, s in ablation_matrix.items()}
     total = len(next(iter(ablation_matrix.values())).reports)

@@ -15,29 +15,37 @@ mining-dependent tasks and reports which depths suffice.  Expected shape:
 Run:  pytest benchmarks/bench_unroll_depth.py --benchmark-only -s
 """
 
-from dataclasses import replace
+import os
 
 from repro.baselines import OperaFull
 from repro.core import SynthesisConfig
-from repro.evaluation import default_timeout
+from repro.evaluation import (
+    default_timeout,
+    default_workers,
+    resolve_cache,
+    run_suite,
+)
 from repro.suites import get_benchmark
 
 MINING_TASKS = ["variance", "sum_sq_dev", "std", "skewness", "kurtosis"]
 DEPTHS = [2, 3, 4]
 
+_WORKERS = default_workers(fallback=max(1, min(4, os.cpu_count() or 1)))
+_CACHE = resolve_cache()
+
 
 def _run(depth: int) -> dict[str, bool]:
-    outcome = {}
-    for name in MINING_TASKS:
-        bench = get_benchmark(name)
-        config = SynthesisConfig(
-            timeout_s=default_timeout(5.0),
-            unroll_depth=depth,
-            element_arity=bench.element_arity,
-        )
-        report = OperaFull().synthesize(bench.program, config, name)
-        outcome[name] = report.success
-    return outcome
+    # Each depth is a distinct config fingerprint, so the sweep caches per
+    # depth and an edited default invalidates exactly its own column.
+    config = SynthesisConfig(timeout_s=default_timeout(5.0), unroll_depth=depth)
+    suite = run_suite(
+        OperaFull(),
+        [get_benchmark(name) for name in MINING_TASKS],
+        config,
+        workers=_WORKERS,
+        cache=_CACHE,
+    )
+    return {name: suite.reports[name].success for name in MINING_TASKS}
 
 
 def test_depth_sweep(benchmark):

@@ -10,9 +10,20 @@ finish in well under a second here, and failing tasks consume whatever budget
 they get, so the default per-task budget is ``REPRO_BENCH_TIMEOUT`` (env var,
 default 5 s) — enough to regenerate every qualitative result in minutes.
 Raise it to approach the paper's exact regime.
+
+Execution: the matrices run through the parallel suite runner
+(``REPRO_BENCH_WORKERS`` workers, default min(4, cpu); runaway tasks are
+hard-killed at their budget) and reuse the persistent result cache, so only
+the first regeneration after a task/config change pays for synthesis.  Set
+``REPRO_CACHE=0`` to force everything to re-run, ``REPRO_BENCH_WORKERS=1``
+for the old in-process sequential behaviour.  Cached reports keep their
+original ``elapsed_s``, so the timing-shape assertions of the figure
+benchmarks are unaffected by where a report came from.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -24,12 +35,27 @@ from repro.baselines import (
     SketchStyle,
 )
 from repro.core import SynthesisConfig
-from repro.evaluation import default_timeout, run_suite
+from repro.evaluation import (
+    SuiteResult,
+    default_timeout,
+    default_workers,
+    resolve_cache,
+    run_suite,
+)
 from repro.suites import benchmarks_for
+
+_WORKERS = default_workers(fallback=max(1, min(4, os.cpu_count() or 1)))
+_CACHE = resolve_cache()
 
 
 def _config() -> SynthesisConfig:
     return SynthesisConfig(timeout_s=default_timeout(5.0))
+
+
+def _run(solver, benchmarks) -> SuiteResult:
+    return run_suite(
+        solver, benchmarks, _config(), workers=_WORKERS, cache=_CACHE
+    )
 
 
 @pytest.fixture(scope="session")
@@ -43,19 +69,16 @@ def main_matrix():
     results: dict[str, dict] = {}
     for solver in solvers:
         results[solver.name] = {
-            domain: run_suite(solver, benchmarks_for(domain), _config())
+            domain: _run(solver, benchmarks_for(domain))
             for domain in ("stats", "auction")
         }
     try:
         from repro.evaluation import write_artifacts
-        from repro.evaluation.runner import SuiteResult
 
-        merged: dict[str, SuiteResult] = {}
-        for solver_name, by_domain in results.items():
-            suite = SuiteResult(solver=solver_name)
-            for domain_result in by_domain.values():
-                suite.reports.update(domain_result.reports)
-            merged[solver_name] = suite
+        merged = {
+            solver_name: SuiteResult.merged(solver_name, by_domain.values())
+            for solver_name, by_domain in results.items()
+        }
         write_artifacts(merged, "bench_results.json", "bench_results.csv")
     except OSError:
         pass  # read-only working directory: artifacts are best-effort
@@ -67,18 +90,10 @@ def ablation_matrix():
     """Opera and its two ablations over all tasks (Figure 13)."""
     solvers = [OperaFull(), OperaNoDecomp(), OperaNoSymbolic()]
     benchmarks = benchmarks_for("stats") + benchmarks_for("auction")
-    return {
-        solver.name: run_suite(solver, benchmarks, _config())
-        for solver in solvers
-    }
+    return {solver.name: _run(solver, benchmarks) for solver in solvers}
 
 
 @pytest.fixture(scope="session")
 def opera_all(main_matrix):
     """Opera's reports over the full suite, merged across domains."""
-    from repro.evaluation.runner import SuiteResult
-
-    merged = SuiteResult(solver="opera")
-    for domain_result in main_matrix["opera"].values():
-        merged.reports.update(domain_result.reports)
-    return merged
+    return SuiteResult.merged("opera", main_matrix["opera"].values())

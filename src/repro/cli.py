@@ -9,9 +9,21 @@ Three subcommands cover the tool's workflows:
       python -m repro synthesize --benchmark variance
       python -m repro synthesize --sexpr mean.sexp --timeout 60
 
-* ``bench`` — run a solver over a benchmark domain and print the summary::
+* ``bench`` — run solvers over the suite and print summaries or regenerate
+  a paper artifact.  The target is either a domain (``stats`` / ``auction``
+  / ``all``, default) or a named artifact (``table1``, ``table2``,
+  ``fig11``, ``fig13``)::
 
       python -m repro bench --solver opera --domain stats --timeout 10
+      python -m repro bench table1 --workers 4
+      python -m repro bench table2 --workers 8 --no-cache
+
+  Runs shard (solver, benchmark) tasks over ``--workers`` processes with
+  hard wall-clock kills, and reuse cached per-task results from previous
+  invocations unless ``--no-cache`` is given (``--cache-dir`` overrides the
+  location; see :mod:`repro.evaluation.cache` for the key scheme).  The env
+  knobs ``REPRO_BENCH_TIMEOUT``, ``REPRO_BENCH_WORKERS``, ``REPRO_CACHE``
+  and ``REPRO_CACHE_DIR`` provide the defaults.
 
 * ``list`` — enumerate the benchmark suite.
 """
@@ -19,15 +31,29 @@ Three subcommands cover the tool's workflows:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
-from .baselines import SOLVERS
+from .baselines import SOLVERS, OperaFull, OperaNoDecomp, OperaNoSymbolic
 from .core import SynthesisConfig, synthesize
-from .evaluation import run_suite
+from .evaluation import (
+    ascii_cdf,
+    default_timeout,
+    default_workers,
+    resolve_cache,
+    run_matrix,
+    run_suite,
+    table1,
+    table2,
+)
 from .frontend import python_to_ir
 from .ir.parser import parse_program
 from .ir.pretty import pretty_program
 from .suites import all_benchmarks, benchmarks_for, get_benchmark
+
+#: Artifact names accepted as ``bench`` targets, besides domains.
+ARTIFACTS = ("table1", "table2", "fig11", "fig13")
+DOMAINS = ("stats", "auction", "all")
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
@@ -58,25 +84,114 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+def _bench_domain(args, config, workers, cache) -> int:
     solver_cls = SOLVERS.get(args.solver)
     if solver_cls is None:
         print(f"unknown solver {args.solver!r}; choices: {sorted(SOLVERS)}",
               file=sys.stderr)
         return 2
-    benches = (
-        all_benchmarks() if args.domain == "all" else benchmarks_for(args.domain)
-    )
+    domain = args.target or args.domain
+    benches = all_benchmarks() if domain == "all" else benchmarks_for(domain)
     if args.task:
         benches = [b for b in benches if b.name in set(args.task)]
-    config = SynthesisConfig(timeout_s=args.timeout)
-    result = run_suite(solver_cls(), benches, config, verbose=True)
+    result = run_suite(
+        solver_cls(), benches, config, verbose=True, workers=workers, cache=cache
+    )
     print()
     print(
         f"{result.solver}: {len(result.solved())}/{len(result.reports)} solved, "
-        f"avg {result.average_time():.2f}s on solved tasks"
+        f"avg {result.average_time(default=0.0):.2f}s on solved tasks"
     )
     return 0
+
+
+def _bench_table1(args, config, workers, cache) -> int:
+    benches = all_benchmarks()
+    suite = run_suite(
+        OperaFull(), benches, config, verbose=True, workers=workers, cache=cache
+    )
+    print()
+    print(table1(benches))
+    print()
+    print(
+        f"{suite.solver}: {len(suite.solved())}/{len(suite.reports)} solved, "
+        f"avg {suite.average_time(default=0.0):.2f}s on solved tasks"
+    )
+    return 0
+
+
+def _bench_matrix(args, config, workers, cache, figure: bool) -> int:
+    solvers = [SOLVERS["opera"](), SOLVERS["cvc5"](), SOLVERS["sketch"]()]
+    results: dict[str, dict] = {s.name: {} for s in solvers}
+    for domain in ("stats", "auction"):
+        matrix = run_matrix(
+            solvers,
+            benchmarks_for(domain),
+            config,
+            verbose=True,
+            workers=workers,
+            cache=cache,
+        )
+        for name, suite in matrix.items():
+            results[name][domain] = suite
+        if figure:
+            print()
+            print(ascii_cdf(matrix, title=f"% of {domain} benchmarks solved by time"))
+    if not figure:
+        print()
+        print(table2(results))
+    print()
+    return 0
+
+
+def _bench_fig13(args, config, workers, cache) -> int:
+    solvers = [OperaFull(), OperaNoDecomp(), OperaNoSymbolic()]
+    matrix = run_matrix(
+        solvers,
+        all_benchmarks(),
+        config,
+        verbose=True,
+        workers=workers,
+        cache=cache,
+    )
+    print()
+    print(ascii_cdf(matrix, title="Figure 13: ablation CDF"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        timeout = args.timeout if args.timeout is not None else default_timeout()
+        workers = args.workers if args.workers is not None else default_workers()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not math.isfinite(timeout) or timeout <= 0:
+        # nan/inf would disable both the cooperative budget and the hard
+        # wall-clock kill (nan never compares past a deadline).
+        print(f"error: --timeout must be positive and finite, got {timeout}",
+              file=sys.stderr)
+        return 2
+    if workers < 1:
+        print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    cache = resolve_cache(
+        enabled=False if args.no_cache else None, directory=args.cache_dir
+    )
+    config = SynthesisConfig(timeout_s=timeout)
+
+    if args.target == "table1":
+        code = _bench_table1(args, config, workers, cache)
+    elif args.target in ("table2", "fig11"):
+        code = _bench_matrix(args, config, workers, cache,
+                             figure=args.target == "fig11")
+    elif args.target == "fig13":
+        code = _bench_fig13(args, config, workers, cache)
+    else:
+        code = _bench_domain(args, config, workers, cache)
+    if cache is not None and code == 0:
+        print(cache.stats_line())
+    return code
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -105,15 +220,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.add_argument("--timeout", type=float, default=60.0)
     p_syn.set_defaults(func=_cmd_synthesize)
 
-    p_bench = sub.add_parser("bench", help="run a solver over the suite")
+    p_bench = sub.add_parser(
+        "bench", help="run solvers over the suite / regenerate an artifact"
+    )
+    p_bench.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        choices=DOMAINS + ARTIFACTS,
+        help="domain to run or paper artifact to regenerate",
+    )
     p_bench.add_argument("--solver", default="opera", choices=sorted(SOLVERS))
-    p_bench.add_argument("--domain", default="all", choices=["stats", "auction", "all"])
+    p_bench.add_argument("--domain", default="all", choices=list(DOMAINS))
     p_bench.add_argument("--task", action="append", help="restrict to named tasks")
-    p_bench.add_argument("--timeout", type=float, default=10.0)
+    p_bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-task budget in seconds (default: REPRO_BENCH_TIMEOUT or 10)",
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_BENCH_WORKERS or 1; >1 "
+        "enables hard wall-clock kills of runaway tasks)",
+    )
+    p_bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the persistent result cache",
+    )
+    p_bench.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("list", help="list benchmarks")
-    p_list.add_argument("--domain", default="all", choices=["stats", "auction", "all"])
+    p_list.add_argument("--domain", default="all", choices=list(DOMAINS))
     p_list.set_defaults(func=_cmd_list)
 
     return parser

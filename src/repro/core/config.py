@@ -3,12 +3,18 @@
 A single :class:`SynthesisConfig` travels through the pipeline; the ablations
 of Section 7.2 are expressed as flags here (``use_decomposition``,
 ``use_symbolic``), and the evaluation harness scales ``timeout_s``.
+
+Configs are picklable (they cross process boundaries in the parallel suite
+runner) and expose a stable :meth:`SynthesisConfig.fingerprint` used as part
+of the on-disk result-cache key (:mod:`repro.evaluation.cache`).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -65,3 +71,29 @@ class SynthesisConfig:
 
     def expired(self) -> bool:
         return self.remaining() <= 0
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of every behaviour-relevant knob.
+
+        Two configs with equal fingerprints make the synthesizer explore the
+        same search space in the same order (the RNG is seeded), so cached
+        results keyed by this digest are safe to reuse.  ``timeout_s`` is
+        deliberately *excluded*: the budget decides only whether the search
+        finishes, not what it finds, and the result cache re-checks budgets
+        for failed entries itself.  ``_deadline`` is process-local transient
+        state and is likewise excluded.
+        """
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("timeout_s", "_deadline")
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def __getstate__(self) -> dict:
+        # Deadlines are ``time.monotonic()`` instants, meaningless in another
+        # process; a config always crosses a process boundary unstarted.
+        state = dict(self.__dict__)
+        state["_deadline"] = None
+        return state

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ir.dsl import XS, length
+from ..ir.dsl import length
 from ..ir.nodes import Call, Expr, ListVar, Program
 from ..ir.pretty import pretty
 from ..ir.traversal import inline_lets, list_exprs

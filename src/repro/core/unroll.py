@@ -36,7 +36,6 @@ from ..ir.nodes import (
     const,
 )
 from ..ir.values import is_number
-from .axioms import apply_lambda
 
 
 class UnrollFailure(Exception):

@@ -25,8 +25,7 @@ import itertools
 from fractions import Fraction
 from typing import Sequence
 
-from ..algebra.elimination import Equation, eliminate_variables
-from ..algebra.ratfunc import RatFunc
+from ..algebra.elimination import eliminate_variables
 from ..ir.evaluator import EvaluationError, evaluate
 from ..ir.nodes import Expr, Program
 from ..ir.traversal import iter_subexprs, used_builtins

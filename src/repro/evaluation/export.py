@@ -10,6 +10,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from typing import Mapping
 
 from .cdf import cdf_series
@@ -43,8 +44,8 @@ def matrix_to_json(
             "percent_solved": suite.percent_solved(),
             "average_time_s": (
                 None
-                if suite.average_time() != suite.average_time()  # NaN check
-                else round(suite.average_time(), 6)
+                if math.isnan(avg := suite.average_time())
+                else round(avg, 6)
             ),
             "cdf": [[round(t, 6), pct] for t, pct in cdf_series(suite)],
             "tasks": suite_to_records(suite),

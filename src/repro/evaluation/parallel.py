@@ -1,0 +1,224 @@
+"""Process-pool task execution with hard wall-clock timeouts.
+
+The sequential runner relies on the solver *cooperatively* polling
+``config.expired()``; one runaway enumeration (or a pathological algebra
+call that never reaches a poll point) stalls the whole suite.  This module
+executes each (solver, benchmark) task in its own worker process so the
+supervisor can enforce the budget from the outside:
+
+* tasks are sharded across at most ``workers`` concurrent processes;
+* a task that exceeds ``timeout_s`` (plus a small grace period, giving the
+  solver's own cooperative timeout a chance to produce its richer failure
+  report) is **killed** — SIGKILL, not a poll — and recorded as a timeout
+  failure, while sibling workers keep running undisturbed;
+* results stream back incrementally (``execute_tasks`` is a generator
+  yielding in completion order), and the caller re-orders them into the
+  deterministic benchmark order of the final
+  :class:`~repro.evaluation.runner.SuiteResult`.
+
+Workers are forked where available (Linux; solver and program reach the
+child by inheritance) and spawned elsewhere, in which case task payloads
+must be picklable — which :class:`~repro.core.config.SynthesisConfig`,
+:class:`~repro.suites.registry.Benchmark` and the registered solvers all
+guarantee.  One process per task keeps the kill path trivial (no pool
+state to repair) and is cheap relative to a synthesis call.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.config import SynthesisConfig
+from ..core.report import SynthesisReport
+from ..suites.registry import Benchmark
+
+#: Environment knob for the default worker count of the benchmark harness.
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+#: Extra wall-clock slack past ``timeout_s`` before the supervisor kills a
+#: worker, so cooperative in-process timeouts (which produce more precise
+#: failure reasons) win the race on well-behaved solvers.
+KILL_GRACE_S = 0.5
+
+
+def default_workers(fallback: int = 1) -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS``, validated like a budget."""
+    value = os.environ.get(WORKERS_ENV)
+    if value is None:
+        return fallback
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV} must be a positive integer, got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise ValueError(
+            f"{WORKERS_ENV} must be a positive integer, got {value!r}"
+        )
+    return parsed
+
+
+@dataclass(frozen=True)
+class Task:
+    """One (solver, benchmark) cell of the evaluation matrix."""
+
+    index: int
+    solver: object
+    benchmark: Benchmark
+    config: SynthesisConfig
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+
+def _mp_context() -> mp.context.BaseContext:
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn")
+
+
+def _worker_entry(conn, solver, program, config, task_name: str) -> None:
+    """Child-process body: run one synthesis task, ship the report back."""
+    try:
+        report = solver.synthesize(program, config, task_name)
+    except BaseException as exc:  # crashes become failed reports, not hangs
+        report = SynthesisReport(
+            task=task_name,
+            success=False,
+            elapsed_s=0.0,
+            failure_reason=f"WorkerError: {type(exc).__name__}: {exc}",
+        )
+    try:
+        conn.send(report)
+    except (BrokenPipeError, OSError):  # supervisor already gave up on us
+        pass
+    finally:
+        conn.close()
+
+
+def _timeout_report(task: Task, elapsed: float) -> SynthesisReport:
+    budget = task.config.timeout_s
+    return SynthesisReport(
+        task=task.name,
+        success=False,
+        elapsed_s=budget,
+        failure_reason=(
+            f"SynthesisTimeout: worker killed at the {budget:g}s "
+            f"wall-clock budget (ran {elapsed:.1f}s)"
+        ),
+    )
+
+
+def _crash_report(task: Task, exitcode: int | None) -> SynthesisReport:
+    return SynthesisReport(
+        task=task.name,
+        success=False,
+        elapsed_s=0.0,
+        failure_reason=f"WorkerCrashed: exit code {exitcode}",
+    )
+
+
+def _reap(proc, conn, task: Task, started: float) -> SynthesisReport:
+    """Collect the report from a finished worker (or synthesize a crash)."""
+    try:
+        report = conn.recv() if conn.poll() else _crash_report(task, proc.exitcode)
+    except (EOFError, OSError):
+        report = _crash_report(task, proc.exitcode)
+    finally:
+        conn.close()
+    proc.join()
+    return report
+
+
+def execute_tasks(
+    tasks: list[Task],
+    workers: int,
+    kill_grace_s: float = KILL_GRACE_S,
+) -> Iterator[tuple[Task, SynthesisReport]]:
+    """Run tasks across a pool of worker processes; yield in completion order.
+
+    Hard-timeout guarantee: no yielded report arrives later than
+    ``timeout_s + kill_grace_s`` after its task started, regardless of what
+    the solver does — the supervisor kills the worker outright.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    ctx = _mp_context()
+    pending = list(reversed(tasks))  # pop() preserves submission order
+    active: dict = {}  # sentinel -> (proc, conn, task, started, deadline)
+
+    try:
+        while pending or active:
+            while pending and len(active) < workers:
+                task = pending.pop()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(
+                        child_conn,
+                        task.solver,
+                        task.benchmark.program,
+                        task.config,
+                        task.name,
+                    ),
+                    daemon=True,
+                )
+                started = time.monotonic()
+                proc.start()
+                child_conn.close()  # child owns its end now
+                deadline = started + task.config.timeout_s + kill_grace_s
+                active[proc.sentinel] = (
+                    proc,
+                    parent_conn,
+                    task,
+                    started,
+                    deadline,
+                )
+
+            now = time.monotonic()
+            next_deadline = min(entry[4] for entry in active.values())
+            ready = mp.connection.wait(
+                list(active), timeout=max(0.0, min(next_deadline - now, 0.1))
+            )
+
+            finished = [key for key in ready if key in active]
+            for key in finished:
+                proc, conn, task, started, _ = active.pop(key)
+                yield task, _reap(proc, conn, task, started)
+
+            now = time.monotonic()
+            expired = [
+                key
+                for key, (_, _, _, _, deadline) in active.items()
+                if now >= deadline
+            ]
+            for key in expired:
+                proc, conn, task, started, _ = active.pop(key)
+                proc.kill()
+                proc.join()
+                # The real report may have landed just inside the grace
+                # window while the supervisor was busy reaping elsewhere;
+                # prefer it over fabricating a timeout failure (pipe data
+                # survives the writer's death).
+                try:
+                    report = (
+                        conn.recv()
+                        if conn.poll()
+                        else _timeout_report(task, now - started)
+                    )
+                except (EOFError, OSError):
+                    report = _timeout_report(task, now - started)
+                conn.close()
+                yield task, report
+    finally:
+        for proc, conn, _, _, _ in active.values():
+            proc.kill()
+            proc.join()
+            conn.close()

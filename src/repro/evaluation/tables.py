@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+import math
 from statistics import mean, median
 
 from ..ir.traversal import ast_size, inline_lets
@@ -70,8 +71,10 @@ def table2(results: dict[str, dict[str, SuiteResult]]) -> str:
                 cells.extend(["-", "-"])
                 continue
             pct = f"{suite.percent_solved():.0f}%"
+            # A solver that solves nothing has no average; render "N/A"
+            # rather than leaking "nan" into the generated table.
             avg = suite.average_time()
-            cells.extend([pct, f"{avg:.1f}" if avg == avg else "N/A"])
+            cells.extend([pct, "N/A" if math.isnan(avg) else f"{avg:.1f}"])
         lines.append(
             f"{solver:18} {cells[0]:>10} {cells[1]:>11} {cells[2]:>11} {cells[3]:>12}"
         )
@@ -114,7 +117,7 @@ def qualitative(
     ]
     if size_ratio_den:
         lines.append(
-            f"  synthesized/GT online size ratio : "
+            "  synthesized/GT online size ratio : "
             f"{size_ratio_num / size_ratio_den:.2f}"
         )
     lines.append(

@@ -1,6 +1,5 @@
 """Tests for the quantifier-elimination engine."""
 
-from fractions import Fraction
 
 from repro.algebra.atoms import AtomTable
 from repro.algebra.elimination import (

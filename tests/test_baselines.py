@@ -1,6 +1,5 @@
 """Tests for the SyGuS baselines and the ablation wrappers."""
 
-import pytest
 
 from repro.baselines import (
     SOLVERS,

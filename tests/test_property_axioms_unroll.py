@@ -7,7 +7,6 @@ pipeline would quietly synthesize wrong programs that only the testing
 oracle might catch.
 """
 
-from fractions import Fraction
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,11 +1,12 @@
-"""Live auction monitoring with synthesized online queries (Nexmark-style).
+"""Live auction monitoring with compiled online queries (Nexmark-style).
 
 The paper's second evaluation domain: queries over continuous auction bid
 streams.  We take four batch-style auction queries from the benchmark suite
-(highest bid, count above reserve, hit rate, category volume), synthesize
-their online versions, and drive them with a simulated bid feed — including
-parameterized queries (reserve price, watched category) and record-shaped
-events (price, category).
+(highest bid, count above reserve, hit rate, category volume), compile their
+online versions through the store-backed API, and drive them with a simulated
+bid feed — including parameterized queries (reserve price, watched category),
+record-shaped events (price, category), and a per-category `KeyedOperator`
+partitioning one scheme over all categories at once (the streaming GROUP BY).
 
 Run:  python examples/auction_monitor.py
 """
@@ -13,8 +14,7 @@ Run:  python examples/auction_monitor.py
 import random
 from fractions import Fraction
 
-from repro import SynthesisConfig, synthesize
-from repro.core.config import SynthesisConfig as _Cfg
+from repro import KeyedOperator, SynthesisConfig, compile
 from repro.runtime import OnlineOperator
 from repro.suites import get_benchmark
 
@@ -34,20 +34,31 @@ def main() -> None:
 
     operators: dict[str, OnlineOperator] = {}
     programs = {}
+    compiled_schemes = {}
     for name in scalar_queries + record_queries:
         bench = get_benchmark(name)
         config = SynthesisConfig(timeout_s=120, element_arity=bench.element_arity)
-        report = synthesize(bench.program, config, name)
-        if not report.scheme:
-            raise SystemExit(f"{name}: synthesis failed ({report.failure_reason})")
-        print(f"synthesized {name:<24} in {report.elapsed_s:5.2f}s")
+        compiled = compile(bench.program, config=config, name=name)
+        how = ("store hit" if compiled.from_store
+               else f"synthesized in {compiled.elapsed_s:5.2f}s")
+        print(f"compiled {name:<24} {how}")
         programs[name] = bench.program
+        compiled_schemes[name] = compiled
         extra = {}
         if "reserve" in bench.program.extra_params:
             extra["reserve"] = Fraction(400)
         if "cat" in bench.program.extra_params:
             extra["cat"] = 3
-        operators[name] = OnlineOperator(report.scheme, extra=extra, name=name)
+        operators[name] = compiled.operator(extra=extra, name=name)
+
+    # One scheme, one accumulator per category: the per-key runtime turns the
+    # global highest-bid query into a streaming GROUP BY.
+    per_category = KeyedOperator(
+        compiled_schemes["q_highest_bid"].scheme,
+        key_fn=lambda bid: bid[1],
+        value_fn=lambda bid: bid[0],
+        name="highest_bid_by_category",
+    )
 
     print("\nmonitoring 500 bids (reserve=400, watched category=3)...")
     bids = list(bid_feed(500))
@@ -57,9 +68,14 @@ def main() -> None:
             operators[name].push(price)
         for name in record_queries:
             operators[name].push((price, category))
+        per_category.push((price, category))
         if i in (10, 100, 500):
             snap = {n: str(op.value) for n, op in operators.items()}
             print(f"  after {i:>3} bids: {snap}")
+
+    print("\nper-category highest bid (KeyedOperator):")
+    for category in sorted(per_category.keys()):
+        print(f"  category {category}: {per_category.value(category)}")
 
     # Validate the final state against batch recomputation.
     from repro.ir import run_offline
@@ -79,6 +95,11 @@ def main() -> None:
     }
     for name, expected in checks.items():
         assert operators[name].value == expected, (name, operators[name].value, expected)
+    for category in per_category.keys():
+        batch = run_offline(
+            programs["q_highest_bid"], [p for p, c in bids if c == category]
+        )
+        assert per_category.value(category) == batch, (category,)
     print("\nonline monitors == batch recomputation ✓")
 
 

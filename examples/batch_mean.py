@@ -1,0 +1,19 @@
+"""A plain batch function, as input for the compile CLI.
+
+This file is what `repro compile` consumes: ordinary single-function batch
+Python, no imports, no framework.  Compile it once, deploy the scheme
+anywhere:
+
+    python -m repro compile examples/batch_mean.py -o mean.scheme.json
+    python -m repro run mean.scheme.json --source counter:100
+
+The second `compile` of the same file is served from the persistent scheme
+store without running synthesis.
+"""
+
+
+def mean(xs):
+    s = 0
+    for x in xs:
+        s += x
+    return s / len(xs)

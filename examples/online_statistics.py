@@ -1,10 +1,10 @@
-"""A streaming statistics dashboard built from synthesized online schemes.
+"""A streaming statistics dashboard built from compiled online schemes.
 
 Motivating scenario from the paper's introduction: continuous data processing
 (think Flink / Spark Streaming) wants online algorithms, but the natural way
 to *write* the statistics is batch-style.  Here we write five batch
-statistics in the IR, synthesize their online versions once, and then feed a
-simulated sensor stream through all five in lockstep — O(1) state per
+statistics in the IR, compile them once through the store-backed API, and
+feed a simulated sensor stream through all five in lockstep — O(1) state per
 statistic, one pass over the data.
 
 Run:  python examples/online_statistics.py
@@ -13,7 +13,7 @@ Run:  python examples/online_statistics.py
 from fractions import Fraction
 import random
 
-from repro import SynthesisConfig, synthesize
+from repro import SynthesisConfig, StreamPipeline, compile
 from repro.ir.dsl import (
     XS,
     add,
@@ -28,7 +28,6 @@ from repro.ir.dsl import (
     program,
     sub,
 )
-from repro.runtime import OnlineOperator, StreamPipeline
 
 # -- batch definitions (what a data scientist would naturally write) --------
 
@@ -56,20 +55,20 @@ def sensor_stream(n: int, seed: int = 7):
 def main() -> None:
     config = SynthesisConfig(timeout_s=120)
 
-    print("Synthesizing online versions of 5 batch statistics...")
+    print("Compiling online versions of 5 batch statistics...")
     operators = {}
     for name, batch in BATCH_STATS.items():
-        report = synthesize(batch, config, name)
-        if not report.scheme:
-            raise SystemExit(f"{name}: synthesis failed ({report.failure_reason})")
-        state = report.scheme.arity
-        print(f"  {name:<9} solved in {report.elapsed_s:5.2f}s "
+        compiled = compile(batch, config=config, name=name)
+        state = compiled.scheme.arity
+        how = ("store hit" if compiled.from_store
+               else f"synthesized in {compiled.elapsed_s:5.2f}s")
+        print(f"  {name:<9} {how} "
               f"({state} accumulator{'s' if state != 1 else ''})")
-        operators[name] = OnlineOperator(report.scheme, name=name)
+        operators[name] = compiled.operator(name=name)
 
     pipeline = StreamPipeline(operators)
     print("\nStreaming 1000 sensor readings through the pipeline...")
-    last = {}
+    last = pipeline.snapshot()  # defined even before the first element
     for i, reading in enumerate(sensor_stream(1000), start=1):
         last = pipeline.push(reading)
         if i in (1, 10, 100, 1000):

@@ -1,11 +1,11 @@
 """From plain Python batch code to a deployed stream operator, end to end.
 
-The full user journey the paper envisions:
+The full user journey the paper envisions, on the compile/load/deploy API:
 
 1. write ordinary batch Python (loops, sum/len/min/max, comprehensions);
-2. the frontend translates it to the functional IR;
-3. Opera synthesizes the online scheme;
-4. the runtime runs it over an unbounded source with tumbling/sliding
+2. `@streamify` / `repro.compile` synthesize the online scheme — once, with
+   the result persisted in the scheme store for every later run;
+3. the runtime runs it over an unbounded source with tumbling/sliding
    windows.
 
 Run:  python examples/python_to_stream.py
@@ -13,9 +13,10 @@ Run:  python examples/python_to_stream.py
 
 from fractions import Fraction
 
-from repro import SynthesisConfig, python_to_ir, synthesize
-from repro.ir import pretty_program
+from repro import SynthesisConfig, compile, streamify
 from repro.runtime import sliding, tumbling
+
+CONFIG = SynthesisConfig(timeout_s=120)
 
 BATCH_SNIPPETS = {
     # root-mean-square of a window of readings
@@ -26,20 +27,23 @@ def rms(xs):
         q += x ** 2
     return (q / len(xs)) ** 0.5
 """,
-    # fraction of readings above a configurable alarm threshold
-    "alarm_rate": """
-def alarm_rate(xs, threshold):
-    hits = 0
-    for x in xs:
-        hits = hits + 1 if x > threshold else hits
-    return hits / len(xs)
-""",
     # peak-to-peak amplitude
     "amplitude": """
 def amplitude(xs):
     return max(xs) - min(xs)
 """,
 }
+
+
+# The decorator form: a batch function wearing an online operator's
+# interface.  Compilation happens lazily on first push — and is a store hit
+# on every run of this script after the first.
+@streamify(config=CONFIG, extra={"threshold": Fraction(12)})
+def alarm_rate(xs, threshold):
+    hits = 0
+    for x in xs:
+        hits = hits + 1 if x > threshold else hits
+    return hits / len(xs)
 
 
 def readings(n: int):
@@ -50,19 +54,16 @@ def readings(n: int):
 def main() -> None:
     schemes = {}
     for name, source in BATCH_SNIPPETS.items():
-        ir_program = python_to_ir(source)
-        print(f"{name}:")
-        print("  IR:", pretty_program(ir_program))
-        report = synthesize(ir_program, SynthesisConfig(timeout_s=120), name)
-        if not report.scheme:
-            raise SystemExit(f"  synthesis failed: {report.failure_reason}")
-        print(f"  synthesized online scheme in {report.elapsed_s:.2f}s "
-              f"({report.scheme.arity} accumulators)\n")
-        schemes[name] = report.scheme
+        compiled = compile(source, config=CONFIG, name=name)
+        how = ("store hit" if compiled.from_store
+               else f"synthesized in {compiled.elapsed_s:.2f}s")
+        print(f"{name}: {how}")
+        print("  scheme arity:", compiled.scheme.arity)
+        schemes[name] = compiled.scheme
 
     data = list(readings(60))
 
-    print("tumbling windows of 20 readings (rms):")
+    print("\ntumbling windows of 20 readings (rms):")
     for i, value in enumerate(tumbling(schemes["rms"], data, size=20)):
         print(f"  window {i}: rms = {float(value):.3f}")
 
@@ -71,13 +72,11 @@ def main() -> None:
         if i % 15 == 14:
             print(f"  t={i}: amplitude = {value}")
 
-    print("\nalarm rate with threshold 12 over the full stream:")
-    from repro.runtime import OnlineOperator
-
-    op = OnlineOperator(schemes["alarm_rate"], extra={"threshold": Fraction(12)})
+    print("\nalarm rate with threshold 12, one push at a time:")
     for x in data:
-        op.push(x)
-    print(f"  {float(op.value):.3f} of readings above threshold")
+        alarm_rate(x)
+    print(f"  {float(alarm_rate.value):.3f} of readings above threshold "
+          f"(after {alarm_rate.count} readings)")
 
 
 if __name__ == "__main__":

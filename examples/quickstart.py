@@ -1,18 +1,18 @@
-"""Quickstart: derive Welford's online variance from the two-pass batch code.
+"""Quickstart: compile Welford's online variance from the two-pass batch code.
 
-This is the paper's headline example (Figures 2 and 3): you write the
-*offline* algorithm in plain Python; Opera infers a relational function
-signature, decomposes the problem, and synthesizes an equivalent *online*
-scheme that processes one element at a time in O(1) memory.
+This is the paper's headline example (Figures 2 and 3) through the
+compile/load/deploy lifecycle: you write the *offline* algorithm in plain
+Python; `repro.compile` synthesizes an equivalent *online* scheme that
+processes one element at a time in O(1) memory — once.  The result persists
+in the scheme store, so re-running this script skips synthesis entirely.
 
 Run:  python examples/quickstart.py
 """
 
 from fractions import Fraction
 
-from repro import SynthesisConfig, python_to_ir, synthesize
+from repro import SynthesisConfig, compile, python_to_ir
 from repro.ir import pretty_program, run_offline
-from repro.runtime import OnlineOperator
 
 OFFLINE_VARIANCE = """
 def variance(xs):
@@ -28,23 +28,26 @@ def variance(xs):
 
 
 def main() -> None:
-    # 1. Translate the Python batch code to the functional IR (Figure 3a).
+    # 1. The batch code, as the functional IR (Figure 3a).
     program = python_to_ir(OFFLINE_VARIANCE)
     print("Offline program (IR):")
     print(" ", pretty_program(program))
     print()
 
-    # 2. Synthesize the online scheme (Welford's algorithm, Figure 3b).
-    report = synthesize(program, SynthesisConfig(timeout_s=120), "variance")
-    if not report.scheme:
-        raise SystemExit(f"synthesis failed: {report.failure_reason}")
-    print(f"Synthesized in {report.elapsed_s:.2f}s; scheme:")
-    print(report.scheme.describe())
+    # 2. Compile once: a store hit after the first run of this script.
+    compiled = compile(
+        OFFLINE_VARIANCE, config=SynthesisConfig(timeout_s=120), name="variance"
+    )
+    how = "loaded from scheme store" if compiled.from_store else (
+        f"synthesized in {compiled.elapsed_s:.2f}s"
+    )
+    print(f"Online scheme ({how}):")
+    print(compiled.scheme.describe())
     print()
 
     # 3. Deploy it as a streaming operator and compare against the batch run.
     stream = [Fraction(v) for v in (2, 4, 4, 4, 5, 5, 7, 9)]
-    op = OnlineOperator(report.scheme)
+    op = compiled.operator()
     print(f"{'element':>8} {'online variance':>16} {'batch variance':>15}")
     for i, x in enumerate(stream, start=1):
         online = op.push(x)
@@ -52,6 +55,9 @@ def main() -> None:
         assert online == offline, (online, offline)
         print(f"{str(x):>8} {str(online):>16} {str(offline):>15}")
     print("\nonline == offline on every prefix ✓")
+
+    # Bonus: the compiled artifact is also the batch function, in O(1) memory.
+    assert compiled(stream) == run_offline(program, stream)
 
 
 if __name__ == "__main__":

@@ -2,22 +2,48 @@
 batch (offline) versions.
 
 Reproduction of Wang, Pailoor, Prakash, Wang, Dillig — *From Batch to Stream:
-Automatic Generation of Online Algorithms*, PLDI 2024.
+Automatic Generation of Online Algorithms*, PLDI 2024 — grown into a
+deployable streaming library around a **compile / load / deploy** lifecycle:
 
-Typical use::
+1. **Compile once.** :func:`repro.api.compile` turns a batch Python function
+   into an :class:`OnlineScheme`.  Results persist in a content-addressed
+   scheme store (:mod:`repro.store`), keyed by task x config x synthesizer
+   implementation digest, so every later compile — in any process — is a
+   disk read, not a synthesis search::
 
-    from repro import synthesize, SynthesisConfig, python_to_ir
+       from repro import compile
 
-    program = python_to_ir('''
-    def mean(xs):
-        s = 0
-        for x in xs:
-            s += x
-        return s / len(xs)
-    ''')
-    report = synthesize(program, SynthesisConfig(timeout_s=60), "mean")
-    scheme = report.scheme          # (initializer, online program)
-    list(scheme.run([1, 2, 3]))     # -> [1, 3/2, 2]
+       compiled = compile('''
+       def mean(xs):
+           s = 0
+           for x in xs:
+               s += x
+           return s / len(xs)
+       ''', name="mean")
+       compiled.save("mean.scheme.json")      # versioned JSON, exact rationals
+
+   Or, inline, the decorator form::
+
+       from repro import streamify
+
+       @streamify
+       def mean(xs): ...
+
+       mean(3); mean(5)        # online updates, O(1) state
+
+2. **Load anywhere.** Serialized schemes are plain validated JSON
+   (:mod:`repro.core.serialize`): ``OnlineScheme.load("mean.scheme.json")``
+   in a process that never imports the synthesizer.
+
+3. **Deploy.** The runtime (:mod:`repro.runtime`) wraps schemes in stateful
+   operators: :class:`OnlineOperator` (one stream),
+   :class:`KeyedOperator` (per-key partitions for group-by workloads),
+   :class:`StreamPipeline` (lockstep fan-out), windowing helpers, and
+   restart-safe ``checkpoint()``/``restore()``
+   (:mod:`repro.runtime.checkpoint`).
+
+The same lifecycle drives the CLI: ``repro compile f.py -o s.json``,
+``repro run s.json --source counter:100``, ``repro cache stats``.
 
 Package map:
 
@@ -27,15 +53,25 @@ Package map:
 * :mod:`repro.algebra` — exact polynomial/rational symbolic algebra and
   quantifier elimination (the REDUCE replacement);
 * :mod:`repro.core` — the synthesis pipeline (RFS, decomposition, implicates,
-  mining, templates, enumeration);
-* :mod:`repro.runtime` — stream operators for deploying schemes;
+  mining, templates, enumeration) and scheme serialization;
+* :mod:`repro.api` — the compile/load/deploy surface;
+* :mod:`repro.store` — the persistent compiled-scheme store;
+* :mod:`repro.runtime` — stream operators, keyed partitioning, checkpoints;
 * :mod:`repro.suites` — the 51 evaluation benchmarks;
 * :mod:`repro.baselines` — SyGuS-style baselines and ablations;
 * :mod:`repro.evaluation` — the Table/Figure regeneration harness.
 """
 
+from .api import (
+    CompiledScheme,
+    CompileError,
+    StreamFunction,
+    compile,
+    streamify,
+)
 from .core import (
     OnlineScheme,
+    SchemeFormatError,
     SynthesisConfig,
     SynthesisReport,
     synthesize,
@@ -43,21 +79,39 @@ from .core import (
 )
 from .frontend import python_to_ir
 from .ir import parse_program, pretty_online, pretty_program, run_offline
-from .runtime import OnlineOperator, StreamPipeline
+from .runtime import (
+    KeyedOperator,
+    OnlineOperator,
+    StreamPipeline,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .store import SchemeStore, resolve_store
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CompileError",
+    "CompiledScheme",
+    "KeyedOperator",
     "OnlineOperator",
     "OnlineScheme",
+    "SchemeFormatError",
+    "SchemeStore",
+    "StreamFunction",
     "StreamPipeline",
     "SynthesisConfig",
     "SynthesisReport",
+    "compile",
+    "load_checkpoint",
     "parse_program",
     "pretty_online",
     "pretty_program",
     "python_to_ir",
+    "resolve_store",
     "run_offline",
+    "save_checkpoint",
+    "streamify",
     "synthesize",
     "synthesize_expr",
 ]

@@ -1,9 +1,30 @@
 """Command-line interface.
 
-Three subcommands cover the tool's workflows:
+The compile/load/deploy lifecycle, plus the evaluation workflows:
 
-* ``synthesize`` — offline program in (s-expression file, Python file, or a
-  named benchmark), online scheme out::
+* ``compile`` — batch function in (Python or s-expression file), persisted
+  scheme out.  Backed by the scheme store: the first call synthesizes, any
+  later call (any process) is a store hit::
+
+      python -m repro compile examples/batch_mean.py -o mean.scheme.json
+      python -m repro compile mean.sexp -o s.json --timeout 120
+
+* ``run`` — deploy a compiled scheme over a stream source, optionally
+  partitioned per key and checkpointed for restart-safe resumption::
+
+      python -m repro run mean.scheme.json --source counter:100
+      python -m repro run s.json --source bids:500 --key-field 1 --value-field 0
+      python -m repro run s.json --source counter:50 --checkpoint ck.json
+      python -m repro run s.json --source counter:50 --resume ck.json
+
+* ``cache`` — maintain the on-disk result cache and scheme store::
+
+      python -m repro cache stats
+      python -m repro cache clear --schemes
+      python -m repro cache gc --older-than 30d
+
+* ``synthesize`` — one-shot synthesis without persistence (s-expression
+  file, Python file, or a named benchmark)::
 
       python -m repro synthesize --python my_variance.py
       python -m repro synthesize --benchmark variance
@@ -32,11 +53,17 @@ from __future__ import annotations
 
 import argparse
 import math
+import re
 import sys
+from pathlib import Path
 
+from . import api
 from .baselines import SOLVERS, OperaFull, OperaNoDecomp, OperaNoSymbolic
 from .core import SynthesisConfig, synthesize
+from .core.scheme import OnlineScheme
+from .core.serialize import SchemeFormatError
 from .evaluation import (
+    ResultCache,
     ascii_cdf,
     default_timeout,
     default_workers,
@@ -49,6 +76,15 @@ from .evaluation import (
 from .frontend import python_to_ir
 from .ir.parser import parse_program
 from .ir.pretty import pretty_program
+from .runtime import (
+    CheckpointError,
+    KeyedOperator,
+    OnlineOperator,
+    load_checkpoint,
+    save_checkpoint,
+    sources,
+)
+from .store import SchemeStore, resolve_store
 from .suites import all_benchmarks, benchmarks_for, get_benchmark
 
 #: Artifact names accepted as ``bench`` targets, besides domains.
@@ -194,6 +230,196 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    # Extension decides the frontend; content sniffing would misread a Python
+    # file that opens with a parenthesized expression.
+    try:
+        if path.suffix == ".py":
+            program = python_to_ir(source)
+        else:
+            program = parse_program(source)
+    except Exception as exc:
+        print(f"error: cannot parse {args.file}: {exc}", file=sys.stderr)
+        return 2
+    name = args.name or path.stem
+    config = SynthesisConfig(timeout_s=args.timeout, element_arity=args.arity)
+    store = resolve_store(
+        enabled=False if args.no_store else None, directory=args.store_dir
+    )
+
+    try:
+        compiled = api.compile(
+            program, config=config, store=store, name=name, force=args.force
+        )
+    except api.CompileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    # Without -o the scheme JSON goes to stdout so it can be redirected into
+    # a file; diagnostics then move to stderr to keep that stream loadable.
+    diag = sys.stdout if args.output else sys.stderr
+    if compiled.from_store:
+        print(f"scheme store: hit — {name} served without synthesis", file=diag)
+    else:
+        print(f"scheme store: miss — synthesized {name} in {compiled.elapsed_s:.2f}s",
+              file=diag)
+    print(compiled.scheme.describe(), file=diag)
+    if args.output:
+        compiled.save(args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(compiled.dumps())
+    if store is not None:
+        print(store.stats_line(), file=diag)
+    return 0
+
+
+def _parse_extra(pairs: list[str] | None) -> dict:
+    extra = {}
+    for pair in pairs or []:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--extra takes name=value, got {pair!r}")
+        extra[name] = sources._spec_value(raw)
+    return extra
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        scheme = OnlineScheme.load(args.scheme)
+    except (OSError, SchemeFormatError) as exc:
+        print(f"error: cannot load scheme {args.scheme}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        stream = sources.from_spec(args.source)
+        extra = _parse_extra(args.extra)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    keyed = args.key_field is not None
+    key_fn = value_fn = None
+    if keyed:
+        key_index = args.key_field
+        key_fn = lambda e: e[key_index]  # noqa: E731
+        if args.value_field is not None:
+            value_index = args.value_field
+            value_fn = lambda e: e[value_index]  # noqa: E731
+    elif args.value_field is not None:
+        print("error: --value-field requires --key-field", file=sys.stderr)
+        return 2
+
+    try:
+        if args.resume:
+            op = load_checkpoint(args.resume, key_fn=key_fn, value_fn=value_fn)
+            if not isinstance(op, (OnlineOperator, KeyedOperator)) or (
+                keyed != isinstance(op, KeyedOperator)
+            ):
+                raise CheckpointError(
+                    "checkpoint shape does not match the --key-field flags "
+                    "(pipeline checkpoints cannot be resumed by `repro run`)"
+                )
+            if op.scheme != scheme:
+                raise CheckpointError(
+                    "checkpoint was taken under a different scheme"
+                )
+            if extra:
+                # Fresh bindings override the checkpointed ones, everywhere
+                # (keyed partitions each hold their own copy).
+                op.extra.update(extra)
+                for part in getattr(op, "partitions", {}).values():
+                    part.extra.update(extra)
+        elif keyed:
+            op = KeyedOperator(scheme, key_fn, value_fn=value_fn, extra=extra)
+        else:
+            op = OnlineOperator(scheme, extra)
+    except (OSError, CheckpointError) as exc:
+        message = str(exc)
+        if "key_fn" in message:
+            # Translate the library-level hint into the CLI's vocabulary.
+            message = (
+                "this is a keyed checkpoint; pass --key-field (and "
+                "optionally --value-field) matching the original run"
+            )
+        print(f"error: cannot resume: {message}", file=sys.stderr)
+        return 2
+
+    for element in stream:
+        result = op.push(element)
+        if args.trace:
+            if keyed:
+                key, value = result
+                print(f"[{op.count}] {key!r}: {value}")
+            else:
+                print(f"[{op.count}] {result}")
+    if keyed:
+        print(f"consumed {op.count} elements over {len(op)} keys:")
+        for key in sorted(op.partitions, key=repr):
+            print(f"  {key!r}: {op.value(key)}")
+    else:
+        print(f"consumed {op.count} elements; result: {op.value}")
+    if args.checkpoint:
+        save_checkpoint(op, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+_AGE_RE = re.compile(r"^(\d+(?:\.\d+)?)([smhd]?)$")
+_AGE_UNIT_S = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "": 86400.0}
+
+
+def _parse_age(text: str) -> float:
+    """``30d`` / ``12h`` / ``45m`` / ``90s``; a bare number means days."""
+    m = _AGE_RE.match(text.strip())
+    if not m:
+        raise ValueError(
+            f"bad age {text!r}; use e.g. 30d, 12h, 45m, 90s (bare number = days)"
+        )
+    return float(m.group(1)) * _AGE_UNIT_S[m.group(2)]
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    # One root holds both stores (objects/ and schemes/); --results/--schemes
+    # restrict the action to one of them.
+    results = ResultCache(args.cache_dir)
+    schemes = SchemeStore(args.cache_dir)
+    on_results = not args.schemes
+    on_schemes = not args.results
+    if args.action == "stats":
+        r_count, r_bytes = results.entry_stats()
+        s_count, s_bytes = schemes.entry_stats()
+        print(f"cache root: {results.root}")
+        print(f"  results: {r_count} entries, {r_bytes / 1024:.1f} KiB")
+        print(f"  schemes: {s_count} entries, {s_bytes / 1024:.1f} KiB")
+        return 0
+    if args.action == "clear":
+        if on_results:
+            print(f"results: removed {results.clear()} entries")
+        if on_schemes:
+            print(f"schemes: removed {schemes.clear()} entries")
+        return 0
+    # gc
+    if args.older_than is None:
+        print("error: gc requires --older-than (e.g. --older-than 30d)",
+              file=sys.stderr)
+        return 2
+    try:
+        age_s = _parse_age(args.older_than)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if on_results:
+        print(f"results: removed {results.gc(age_s)} entries")
+    if on_schemes:
+        print(f"schemes: removed {schemes.gc(age_s)} entries")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     benches = (
         all_benchmarks() if args.domain == "all" else benchmarks_for(args.domain)
@@ -212,6 +438,66 @@ def build_parser() -> argparse.ArgumentParser:
         description="Opera: synthesize online streaming algorithms from batch programs",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="compile a batch function to a persisted online scheme (store-backed)",
+    )
+    p_compile.add_argument("file", help="Python (.py) or s-expression batch program")
+    p_compile.add_argument("-o", "--output", default=None,
+                           help="scheme file to write (default: print to stdout)")
+    p_compile.add_argument("--name", default=None,
+                           help="task name for provenance (default: file stem)")
+    p_compile.add_argument("--timeout", type=float, default=60.0,
+                           help="synthesis budget in seconds")
+    p_compile.add_argument("--arity", type=int, default=1,
+                           help="stream element arity (tuples: k)")
+    p_compile.add_argument("--force", action="store_true",
+                           help="recompile even on a store hit")
+    p_compile.add_argument("--no-store", action="store_true",
+                           help="do not read or write the persistent scheme store")
+    p_compile.add_argument("--store-dir", default=None,
+                           help="scheme store root (default: REPRO_CACHE_DIR or "
+                                "~/.cache/repro)")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_run = sub.add_parser(
+        "run", help="deploy a compiled scheme over a stream source"
+    )
+    p_run.add_argument("scheme", help="scheme file produced by `repro compile`")
+    p_run.add_argument("--source", required=True,
+                       help="source spec, e.g. counter:100, bids:500, list:1,2,3")
+    p_run.add_argument("--extra", action="append", metavar="NAME=VALUE",
+                       help="bind an extra scalar parameter of the scheme")
+    p_run.add_argument("--key-field", type=int, default=None, metavar="I",
+                       help="partition per element[I] (KeyedOperator)")
+    p_run.add_argument("--value-field", type=int, default=None, metavar="J",
+                       help="with --key-field: push element[J] instead of the "
+                            "whole element")
+    p_run.add_argument("--trace", action="store_true",
+                       help="print every per-element result")
+    p_run.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="write an operator checkpoint after the run")
+    p_run.add_argument("--resume", default=None, metavar="FILE",
+                       help="resume from a checkpoint before consuming the source")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect/maintain the result cache and scheme store"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear", "gc"))
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache root (default: REPRO_CACHE_DIR or "
+                              "~/.cache/repro)")
+    p_cache.add_argument("--older-than", default=None, metavar="AGE",
+                         help="gc: remove entries older than AGE "
+                              "(30d, 12h, 45m, 90s; bare number = days)")
+    which = p_cache.add_mutually_exclusive_group()
+    which.add_argument("--results", action="store_true",
+                       help="only the synthesis result cache")
+    which.add_argument("--schemes", action="store_true",
+                       help="only the compiled scheme store")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_syn = sub.add_parser("synthesize", help="derive an online scheme")
     p_syn.add_argument("--benchmark", help="name of a suite benchmark")
@@ -268,7 +554,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piping into `head` and friends closes stdout early; exit quietly
+        # with the conventional SIGPIPE status instead of a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

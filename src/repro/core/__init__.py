@@ -22,6 +22,13 @@ from .mining import mine_expressions
 from .report import HoleOutcome, SynthesisReport
 from .rfs import RFS, construct_rfs
 from .scheme import OnlineScheme
+from .serialize import (
+    SchemeFormatError,
+    dumps_scheme,
+    loads_scheme,
+    scheme_from_dict,
+    scheme_to_dict,
+)
 from .simplify import simplify_expr
 from .synthesize import synthesize, synthesize_expr
 from .templates import solve_template, templatize
@@ -36,6 +43,7 @@ __all__ = [
     "HoleSynthesisFailure",
     "OnlineScheme",
     "RFS",
+    "SchemeFormatError",
     "Sketch",
     "SynthesisConfig",
     "SynthesisError",
@@ -50,9 +58,13 @@ __all__ = [
     "check_scheme_equivalence",
     "construct_rfs",
     "decompose",
+    "dumps_scheme",
     "find_implicate",
     "find_implicates",
+    "loads_scheme",
     "mine_expressions",
+    "scheme_from_dict",
+    "scheme_to_dict",
     "simplify_expr",
     "solve_template",
     "synthesize",

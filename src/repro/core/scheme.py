@@ -25,7 +25,9 @@ class OnlineScheme:
     initializer: tuple[Value, ...]
     program: OnlineProgram
     #: Human-readable note on how the scheme was obtained (for reports).
-    provenance: str = field(default="synthesized")
+    #: Excluded from equality: two schemes that compute the same thing are
+    #: the same scheme regardless of where they came from.
+    provenance: str = field(default="synthesized", compare=False)
 
     def __post_init__(self) -> None:
         if len(self.initializer) != self.program.arity:
@@ -105,3 +107,45 @@ class OnlineScheme:
     def describe(self) -> str:
         init = ", ".join(repr(v) for v in self.initializer)
         return f"initializer: ({init})\nprogram:\n{pretty_online(self.program)}"
+
+    # -- serialization (compile once, deploy anywhere) --------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready envelope (see :mod:`repro.core.serialize`)."""
+        from .serialize import scheme_to_dict
+
+        return scheme_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OnlineScheme":
+        from .serialize import scheme_from_dict
+
+        return scheme_from_dict(data)
+
+    def dumps(self, *, indent: int | None = 2) -> str:
+        """Serialize to versioned JSON text; exact values (rationals included)
+        survive the round trip bit-for-bit."""
+        from .serialize import dumps_scheme
+
+        return dumps_scheme(self, indent=indent)
+
+    @classmethod
+    def loads(cls, text: str) -> "OnlineScheme":
+        """Parse :meth:`dumps` output with strict validation
+        (:class:`repro.core.serialize.SchemeFormatError` on anything off)."""
+        from .serialize import loads_scheme
+
+        return loads_scheme(text)
+
+    def save(self, path) -> None:
+        """Write :meth:`dumps` to ``path`` (text, UTF-8)."""
+        from pathlib import Path
+
+        Path(path).write_text(self.dumps() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "OnlineScheme":
+        """Read a scheme previously written by :meth:`save`."""
+        from pathlib import Path
+
+        return cls.loads(Path(path).read_text(encoding="utf-8"))

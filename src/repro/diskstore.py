@@ -1,0 +1,103 @@
+"""Shared on-disk plumbing for content-addressed object directories.
+
+Both persistent stores — the synthesis result cache
+(:mod:`repro.evaluation.cache`, ``objects/*.pkl``) and the compiled scheme
+store (:mod:`repro.store`, ``schemes/*.json``) — keep hex-keyed files in a
+two-level fan-out under a shared root, write them atomically, and support
+the same maintenance verbs (``repro cache stats|clear|gc``).  This helper
+owns that machinery once so the two stores cannot drift apart.
+
+All maintenance I/O is best-effort: unreadable or vanishing entries are
+skipped, never fatal — the conservative behaviour for caches on shared or
+read-only file systems.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+
+class ObjectDirectory:
+    """A ``<root>/<subdir>/<key[:2]>/<key><suffix>`` file tree."""
+
+    def __init__(self, root: Path, subdir: str, suffix: str) -> None:
+        self.root = root
+        self.subdir = subdir
+        self.suffix = suffix
+
+    def path(self, key: str) -> Path:
+        # Two-level fan-out so a full run never piles thousands of entries
+        # into one directory.
+        return self.root / self.subdir / key[:2] / f"{key}{self.suffix}"
+
+    def entries(self) -> Iterator[Path]:
+        base = self.root / self.subdir
+        if base.is_dir():
+            yield from base.glob(f"*/*{self.suffix}")
+
+    def write_atomic(
+        self, key: str, write: Callable, binary: bool = False
+    ) -> None:
+        """Create parents and write via temp file + ``os.replace`` so
+        readers and Ctrl-C never observe a torn entry.  ``write(handle)``
+        does the serialization; OSError propagates to the caller, which
+        decides whether an unwritable store is fatal (it never is)."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            if binary:
+                handle = os.fdopen(fd, "wb")
+            else:
+                handle = os.fdopen(fd, "w", encoding="utf-8")
+            with handle:
+                write(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance (the ``repro cache`` subcommand) ---------------------
+
+    def entry_stats(self) -> tuple[int, int]:
+        """``(entry count, total bytes)`` currently on disk."""
+        count = size = 0
+        for path in self.entries():
+            try:
+                size += path.stat().st_size
+                count += 1
+            except OSError:
+                pass
+        return count, size
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def gc(self, max_age_s: float) -> int:
+        """Delete entries older than ``max_age_s`` seconds (by mtime);
+        returns the number removed."""
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for path in self.entries():
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed

@@ -8,12 +8,13 @@ Cache key
     ``sha256`` over the benchmark source hash
     (:meth:`repro.suites.registry.Benchmark.source_fingerprint`), the solver
     name, the config fingerprint
-    (:meth:`repro.core.config.SynthesisConfig.fingerprint`) and the package
-    version.  Any semantic change to the task, the knobs, or the release
-    invalidates the entry; editing docs or unrelated code does not.  NOTE:
-    the key does not hash the synthesizer *implementation* — after hacking on
-    the pipeline itself, bump ``repro.__version__``, pass ``--no-cache``, or
-    call :meth:`ResultCache.clear`.
+    (:meth:`repro.core.config.SynthesisConfig.fingerprint`), the package
+    version, and the synthesizer implementation digest
+    (:func:`repro.fingerprint.implementation_digest` — a source-tree hash of
+    ``repro.core``/``repro.algebra``/``repro.ir``/``repro.frontend``).  Any
+    change to the task, the knobs, the release, or the synthesizer's own
+    code invalidates the entry automatically; editing docs, the harness, or
+    the runtime does not.
 
 On-disk layout
     ``<root>/objects/<key[:2]>/<key>.pkl`` — two-level fan-out so a full
@@ -39,11 +40,11 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from pathlib import Path
 
 from ..core.config import SynthesisConfig
 from ..core.report import SynthesisReport
+from ..diskstore import ObjectDirectory
 from ..suites.registry import Benchmark
 
 #: Root directory override for the on-disk cache.
@@ -99,6 +100,7 @@ class ResultCache:
 
     def __init__(self, root: str | os.PathLike | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self._objects = ObjectDirectory(self.root, "objects", ".pkl")
         self.hits = 0
         self.misses = 0
 
@@ -108,7 +110,7 @@ class ResultCache:
     def task_key(
         solver_name: str, benchmark: Benchmark, config: SynthesisConfig
     ) -> str:
-        from .. import __version__
+        from .. import __version__, fingerprint
 
         blob = "\n".join(
             (
@@ -116,12 +118,13 @@ class ResultCache:
                 solver_name,
                 config.fingerprint(),
                 __version__,
+                fingerprint.implementation_digest(),
             )
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
-        return self.root / "objects" / key[:2] / f"{key}.pkl"
+        return self._objects.path(key)
 
     # -- store -----------------------------------------------------------
 
@@ -154,40 +157,31 @@ class ResultCache:
         return report
 
     def put(self, key: str, timeout_s: float, report: SynthesisReport) -> None:
-        path = self._path(key)
+        def write(handle):
+            pickle.dump(
+                (float(timeout_s), report),
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(
-                        (float(timeout_s), report),
-                        handle,
-                        protocol=pickle.HIGHEST_PROTOCOL,
-                    )
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            self._objects.write_atomic(key, write, binary=True)
         except (OSError, pickle.PicklingError):
             pass  # best-effort: an unwritable cache is just a slow cache
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
-        removed = 0
-        objects = self.root / "objects"
-        if not objects.is_dir():
-            return 0
-        for entry in objects.glob("*/*.pkl"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
+        return self._objects.clear()
+
+    def entry_stats(self) -> tuple[int, int]:
+        """``(entry count, total bytes)`` currently on disk (for
+        ``repro cache stats``)."""
+        return self._objects.entry_stats()
+
+    def gc(self, max_age_s: float) -> int:
+        """Delete entries older than ``max_age_s`` seconds (by mtime);
+        returns the number removed (for ``repro cache gc``)."""
+        return self._objects.gc(max_age_s)
 
     def stats_line(self) -> str:
         return f"cache: {self.hits} hits, {self.misses} misses ({self.root})"

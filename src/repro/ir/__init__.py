@@ -32,8 +32,15 @@ from .nodes import (
 )
 from .evaluator import EvaluationError, evaluate, run_offline, step_online
 from .infer import check_well_typed, infer_program_type, infer_type
-from .parser import ParseError, parse_expr, parse_program
-from .pretty import pretty, pretty_online, pretty_program, program_to_sexpr, to_sexpr
+from .parser import ParseError, parse_expr, parse_online_program, parse_program
+from .pretty import (
+    online_program_to_sexpr,
+    pretty,
+    pretty_online,
+    pretty_program,
+    program_to_sexpr,
+    to_sexpr,
+)
 from .traversal import (
     ast_size,
     fill_holes,
@@ -77,7 +84,9 @@ __all__ = [
     "inline_lets",
     "is_list_expr",
     "list_exprs",
+    "online_program_to_sexpr",
     "parse_expr",
+    "parse_online_program",
     "parse_program",
     "pretty",
     "pretty_online",

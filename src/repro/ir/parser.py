@@ -36,6 +36,7 @@ from .nodes import (
     ListVar,
     MakeTuple,
     Map,
+    OnlineProgram,
     Program,
     Proj,
     Snoc,
@@ -45,7 +46,7 @@ from .nodes import (
 _TOKEN_RE = re.compile(r"""\(|\)|[^\s()]+""")
 _INT_RE = re.compile(r"^-?\d+$")
 _RAT_RE = re.compile(r"^(-?\d+)/(\d+)$")
-_FLOAT_RE = re.compile(r"^-?\d+\.\d+([eE][+-]?\d+)?$")
+_FLOAT_RE = re.compile(r"^-?\d+(\.\d+([eE][+-]?\d+)?|[eE][+-]?\d+)$")
 _HOLE_RE = re.compile(r"^\?hole(\d+)$")
 
 
@@ -209,3 +210,87 @@ def parse_program(text: str) -> Program:
     list_param, *extra = params
     body = _to_expr(sexpr[2], frozenset({list_param}))
     return Program(list_param, body, tuple(extra))
+
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_']*$")
+
+
+def _name_section(sexpr, what: str) -> tuple[str, ...]:
+    """Validate a ``(head name...)`` section of the online form."""
+    names = sexpr[1:]
+    if not names:
+        raise ParseError(f"({what} ...) needs at least one name")
+    for name in names:
+        if not (isinstance(name, str) and _NAME_RE.match(name)):
+            raise ParseError(f"({what} ...) entries must be plain names, got {name!r}")
+    if len(set(names)) != len(names):
+        raise ParseError(f"duplicate name in ({what} ...)")
+    return tuple(names)
+
+
+def parse_online_program(text: str) -> OnlineProgram:
+    """Parse the canonical online-program form produced by
+    :func:`repro.ir.pretty.online_program_to_sexpr`::
+
+        (online (state y z) (elem x) [(extra a b)] (outputs E1 E2))
+
+    Validation is strict — this is the load path for persisted schemes
+    (:mod:`repro.core.serialize`), so malformed or inconsistent input must
+    fail loudly rather than produce a scheme that misbehaves at stream time:
+
+    * exactly one output per state parameter;
+    * all names are distinct identifiers;
+    * every free variable of every output is bound by ``state``/``elem``/
+      ``extra``;
+    * outputs are genuinely *online* (no list combinators, list variables,
+      ``snoc`` or holes — :func:`repro.ir.traversal.validate_online_expr`).
+    """
+    tokens = tokenize(text)
+    sexpr, pos = _read(tokens, 0)
+    if pos != len(tokens):
+        raise ParseError(f"trailing tokens after online program: {tokens[pos:]}")
+    if not (isinstance(sexpr, list) and sexpr and sexpr[0] == "online"):
+        raise ParseError("an online program must be a top-level (online ...) form")
+    sections: dict[str, list] = {}
+    for section in sexpr[1:]:
+        if not (isinstance(section, list) and section and isinstance(section[0], str)):
+            raise ParseError("online sections must be (state|elem|extra|outputs ...)")
+        head = section[0]
+        if head not in ("state", "elem", "extra", "outputs"):
+            raise ParseError(f"unknown online section {head!r}")
+        if head in sections:
+            raise ParseError(f"duplicate online section {head!r}")
+        sections[head] = section
+    for required in ("state", "elem", "outputs"):
+        if required not in sections:
+            raise ParseError(f"online program is missing the ({required} ...) section")
+
+    state_params = _name_section(sections["state"], "state")
+    elem_names = _name_section(sections["elem"], "elem")
+    if len(elem_names) != 1:
+        raise ParseError("(elem ...) takes exactly one name")
+    elem_param = elem_names[0]
+    extra_params = (
+        _name_section(sections["extra"], "extra") if "extra" in sections else ()
+    )
+    bound = set(state_params) | {elem_param} | set(extra_params)
+    if len(bound) != len(state_params) + 1 + len(extra_params):
+        raise ParseError("state/elem/extra names must be pairwise distinct")
+
+    raw_outputs = sections["outputs"][1:]
+    if len(raw_outputs) != len(state_params):
+        raise ParseError(
+            f"online program has {len(state_params)} state parameters but "
+            f"{len(raw_outputs)} outputs"
+        )
+    outputs = tuple(_to_expr(s, frozenset()) for s in raw_outputs)
+
+    from .traversal import free_vars, validate_online_expr
+
+    for i, out in enumerate(outputs):
+        if not validate_online_expr(out):
+            raise ParseError(f"output {i} is not a valid online expression")
+        unbound = free_vars(out) - bound
+        if unbound:
+            raise ParseError(f"output {i} has unbound variables {sorted(unbound)}")
+    return OnlineProgram(state_params, elem_param, outputs, extra_params)

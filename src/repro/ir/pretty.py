@@ -99,6 +99,28 @@ def program_to_sexpr(program: Program) -> str:
     return f"(lambda ({params}) {to_sexpr(program.body)})"
 
 
+def online_program_to_sexpr(program: OnlineProgram) -> str:
+    """Canonical s-expression form of an online program (Figure 7).
+
+    Round-trips through :func:`repro.ir.parser.parse_online_program`; this is
+    the on-disk representation used by scheme serialization
+    (:mod:`repro.core.serialize`)::
+
+        (online (state y z) (elem x) (outputs (div ... ) (add z 1)))
+
+    An ``(extra a b)`` section appears between ``elem`` and ``outputs`` when
+    the program takes pass-through scalar parameters (Section 6).
+    """
+    sections = [
+        "(state " + " ".join(program.state_params) + ")",
+        f"(elem {program.elem_param})",
+    ]
+    if program.extra_params:
+        sections.append("(extra " + " ".join(program.extra_params) + ")")
+    sections.append("(outputs " + " ".join(to_sexpr(o) for o in program.outputs) + ")")
+    return "(online " + " ".join(sections) + ")"
+
+
 def pretty(expr: Expr, prec: int = 0) -> str:
     """Infix rendering; ``prec`` is the enclosing precedence for parens."""
     if isinstance(expr, Const):

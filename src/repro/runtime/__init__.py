@@ -1,6 +1,15 @@
-"""Streaming runtime for deploying synthesized online schemes."""
+"""Streaming runtime for deploying compiled online schemes.
+
+The deployment half of the compile/load/deploy lifecycle: stateful operators
+(:class:`OnlineOperator`), per-key partitioned operators
+(:class:`KeyedOperator`), lockstep pipelines (:class:`StreamPipeline`),
+windowing helpers, and restart-safe checkpointing
+(:mod:`repro.runtime.checkpoint`).
+"""
 
 from . import sources
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .keyed import KeyedOperator
 from .stream import (
     OnlineOperator,
     StreamPipeline,
@@ -11,10 +20,14 @@ from .stream import (
 )
 
 __all__ = [
+    "CheckpointError",
+    "KeyedOperator",
     "OnlineOperator",
     "sources",
     "StreamPipeline",
     "compare_with_offline",
+    "load_checkpoint",
+    "save_checkpoint",
     "scan",
     "sliding",
     "tumbling",

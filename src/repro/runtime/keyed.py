@@ -1,0 +1,122 @@
+"""Per-key partitioned operators for group-by streaming workloads.
+
+Nexmark-style queries rarely want one global aggregate; they want one *per
+auction*, *per category*, *per user*.  A :class:`KeyedOperator` wraps a
+single online scheme and maintains an independent accumulator tuple per key,
+creating partitions on demand as keys first appear — the streaming analogue
+of ``GROUP BY`` over an append-only source.
+
+State is O(#keys x scheme arity): exactly the per-group accumulators a batch
+``GROUP BY`` would materialize, with O(1) work per element.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+from ..core.scheme import OnlineScheme
+from ..ir.values import Value
+from .stream import OnlineOperator
+
+
+class KeyedOperator:
+    """One online scheme, one accumulator per key.
+
+    ``key_fn`` extracts the partition key from each element; ``value_fn``
+    (default: identity) extracts what is actually pushed into that
+    partition's scheme.  E.g. per-category max bid over ``(price, category)``
+    events::
+
+        op = KeyedOperator(max_scheme, key_fn=lambda e: e[1],
+                           value_fn=lambda e: e[0])
+        op.push((Fraction(120), 3))   # -> (3, Fraction(120))
+    """
+
+    def __init__(
+        self,
+        scheme: OnlineScheme,
+        key_fn: Callable[[Value], Hashable],
+        *,
+        value_fn: Callable[[Value], Value] | None = None,
+        extra: Mapping[str, Value] | None = None,
+        name: str | None = None,
+    ):
+        self.scheme = scheme
+        self.key_fn = key_fn
+        self.value_fn = value_fn
+        self.extra = dict(extra or {})
+        self.name = name or scheme.provenance
+        self.partitions: dict[Hashable, OnlineOperator] = {}
+        self.count = 0
+
+    def operator(self, key: Hashable) -> OnlineOperator:
+        """The partition for ``key``, created fresh on first touch."""
+        op = self.partitions.get(key)
+        if op is None:
+            op = self.partitions[key] = OnlineOperator(
+                self.scheme, self.extra, f"{self.name}[{key!r}]"
+            )
+        return op
+
+    def push(self, element: Value) -> tuple[Hashable, Value]:
+        """Route one element to its partition; returns ``(key, new value)``."""
+        key = self.key_fn(element)
+        payload = element if self.value_fn is None else self.value_fn(element)
+        value = self.operator(key).push(payload)
+        self.count += 1  # only after a successful step, as OnlineOperator does
+        return key, value
+
+    def push_many(self, elements: Iterable[Value]) -> dict[Hashable, Value]:
+        """Consume a batch; returns the full per-key snapshot — a defined
+        value (``{}`` on a fresh operator) even for an empty batch."""
+        for element in elements:
+            self.push(element)
+        return self.snapshot()
+
+    def value(self, key: Hashable, default: Value | None = None) -> Value | None:
+        op = self.partitions.get(key)
+        return default if op is None else op.value
+
+    def snapshot(self) -> dict[Hashable, Value]:
+        """Current result per key (insertion order = key arrival order)."""
+        return {key: op.value for key, op in self.partitions.items()}
+
+    def keys(self) -> list[Hashable]:
+        return list(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def reset(self, key: Hashable | None = None) -> None:
+        """Drop one partition (``key``) or all of them (default); ``count``
+        always equals the elements held by the remaining partitions."""
+        if key is None:
+            self.partitions.clear()
+            self.count = 0
+        else:
+            dropped = self.partitions.pop(key, None)
+            if dropped is not None:
+                self.count -= dropped.count
+
+    # -- checkpointing ----------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-ready snapshot of the scheme and every partition's state
+        (see :mod:`repro.runtime.checkpoint`)."""
+        from .checkpoint import keyed_checkpoint
+
+        return keyed_checkpoint(self)
+
+    @classmethod
+    def restore(
+        cls,
+        data: dict,
+        key_fn: Callable[[Value], Hashable],
+        *,
+        value_fn: Callable[[Value], Value] | None = None,
+    ) -> "KeyedOperator":
+        """Rebuild from :meth:`checkpoint` output.  Key/value extractors are
+        code, not data — the caller supplies them again."""
+        from .checkpoint import restore_keyed
+
+        return restore_keyed(data, key_fn, value_fn=value_fn)

@@ -88,6 +88,52 @@ def pairs(
         yield (x, y)
 
 
+#: Sources reachable from ``repro run --source`` specs, by name.
+SPEC_SOURCES = {
+    "constant": constant,
+    "counter": counter,
+    "sawtooth": sawtooth,
+    "random_walk": random_walk,
+    "gaussian": gaussian_like,
+    "bids": bids,
+    "pairs": pairs,
+}
+
+
+def _spec_value(token: str):
+    """Numeric literal of a spec: int if it looks like one, else Fraction
+    (accepts ``p/q`` and decimal forms)."""
+    try:
+        return int(token)
+    except ValueError:
+        return Fraction(token)
+
+
+def from_spec(spec: str) -> Iterator[Value]:
+    """Build a source from a colon-separated CLI spec.
+
+    ``counter:100`` -> ``counter(100)``; further segments are positional
+    arguments (``sawtooth:50:17``, ``constant:3:10``).  The special form
+    ``list:1,2,5/2`` yields the literal comma-separated values.  Raises
+    ``ValueError`` on unknown names or malformed arguments.
+    """
+    name, _, rest = spec.partition(":")
+    if name == "list":
+        if not rest:
+            raise ValueError("list: spec needs comma-separated values")
+        return iter([_spec_value(tok) for tok in rest.split(",")])
+    source = SPEC_SOURCES.get(name)
+    if source is None:
+        raise ValueError(
+            f"unknown source {name!r}; choices: list, {', '.join(sorted(SPEC_SOURCES))}"
+        )
+    args = [_spec_value(tok) for tok in rest.split(":")] if rest else []
+    try:
+        return source(*args)
+    except TypeError as exc:
+        raise ValueError(f"bad arguments for source {name!r}: {exc}") from None
+
+
 def merge_round_robin(*sources: Iterator[Value]) -> Iterator[Value]:
     """Interleave several finite sources."""
     iterators = [iter(s) for s in sources]

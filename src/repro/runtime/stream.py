@@ -55,11 +55,18 @@ class OnlineOperator:
         return self.state[0]
 
     def push_many(self, elements: Iterable[Value]) -> Value:
+        """Consume a batch; returns the result after the last element.
+
+        Defined for every input, including ``[]``: an empty batch leaves the
+        state untouched and returns the current value — ``fst(I)`` on a
+        fresh operator, matching rule Lift-Nil of Figure 8.
+        """
         for element in elements:
             self.push(element)
         return self.value
 
     def reset(self) -> None:
+        """Back to the initializer, as if freshly constructed."""
         self.state = self.scheme.initializer
         self.count = 0
 
@@ -69,6 +76,21 @@ class OnlineOperator:
         clone.state = self.state
         clone.count = self.count
         return clone
+
+    def checkpoint(self) -> dict:
+        """JSON-ready snapshot of scheme + state for restart-safe
+        deployment (see :mod:`repro.runtime.checkpoint`)."""
+        from .checkpoint import operator_checkpoint
+
+        return operator_checkpoint(self)
+
+    @classmethod
+    def restore(cls, data: dict) -> "OnlineOperator":
+        """Rebuild an operator from :meth:`checkpoint` output; resuming is
+        bit-for-bit identical to never having stopped."""
+        from .checkpoint import restore_operator
+
+        return restore_operator(data)
 
 
 class StreamPipeline:
@@ -80,7 +102,17 @@ class StreamPipeline:
     def push(self, element: Value) -> dict[str, Value]:
         return {name: op.push(element) for name, op in self.operators.items()}
 
+    def push_many(self, elements: Iterable[Value]) -> dict[str, Value]:
+        """Consume a batch; returns the final snapshot — a defined value
+        (the current snapshot, initializers on a fresh pipeline) even when
+        ``elements`` is empty."""
+        for element in elements:
+            self.push(element)
+        return self.snapshot()
+
     def run(self, source: Iterable[Value]) -> Iterator[dict[str, Value]]:
+        """One snapshot per element; an empty source yields nothing (use
+        :meth:`snapshot` for the defined pre-stream value)."""
         for element in source:
             yield self.push(element)
 
@@ -90,6 +122,18 @@ class StreamPipeline:
     def reset(self) -> None:
         for op in self.operators.values():
             op.reset()
+
+    def checkpoint(self) -> dict:
+        """Snapshot every named operator (scheme + state) in one envelope."""
+        from .checkpoint import pipeline_checkpoint
+
+        return pipeline_checkpoint(self)
+
+    @classmethod
+    def restore(cls, data: dict) -> "StreamPipeline":
+        from .checkpoint import restore_pipeline
+
+        return restore_pipeline(data)
 
 
 def tumbling(

@@ -3,8 +3,14 @@
 Not a paper table, but the motivation behind all of them (Section 1): an
 online scheme processes each element in O(1) work and O(1) memory, whereas
 re-running the batch program on every prefix costs O(n) per element (O(n^2)
-total).  This benchmark measures both regimes on the synthesized variance
-scheme and asserts the asymptotic win.
+total).  This file measures three regimes on the variance scheme:
+
+* online (compiled scheme step, the default) vs per-prefix batch — the
+  asymptotic win of the paper;
+* compiled vs interpreted scheme steps — the constant-factor win of the
+  codegen backend (:mod:`repro.ir.compile`), also exported as the
+  ``BENCH_runtime.json`` throughput report (same machinery as
+  ``repro bench runtime`` and the CI perf smoke job).
 
 Run:  pytest benchmarks/bench_runtime.py --benchmark-only -s
 """
@@ -17,6 +23,12 @@ import pytest
 from repro.baselines import OperaFull
 from repro.core import SynthesisConfig
 from repro.evaluation import resolve_cache, run_suite
+from repro.evaluation.runtime_bench import (
+    DEFAULT_SCHEMES,
+    format_report,
+    run_runtime_benchmark,
+    write_report,
+)
 from repro.ir import run_offline
 from repro.runtime import OnlineOperator
 from repro.suites import get_benchmark
@@ -91,3 +103,36 @@ def test_asymptotic_win(variance_scheme):
     print(f"\nn={n}: online {online_t*1000:.1f} ms, per-prefix batch "
           f"{batch_t*1000:.1f} ms, speedup {speedup:.1f}x")
     assert speedup > 3.0
+
+
+def test_interpreted_vs_compiled_step(benchmark, variance_scheme):
+    """The interpreter backend on the same loop as test_online_per_prefix
+    (which runs compiled by default) — the pair quantifies the codegen win
+    in pytest-benchmark's own tables."""
+    _, scheme = variance_scheme
+    interpreted = scheme.interpreted_step
+
+    def run_interpreted():
+        state = scheme.initializer
+        for x in STREAM:
+            state = interpreted(state, x, None)
+        return state[0]
+
+    result = benchmark(run_interpreted)
+    assert result is not None
+
+
+def test_throughput_report(variance_scheme):
+    """The BENCH_runtime.json report: every default scheme must run faster
+    compiled than interpreted (generous slack; CI gates harder), and the
+    report's built-in differential check must hold."""
+    report = run_runtime_benchmark(DEFAULT_SCHEMES, elements=1000, repeats=2)
+    print()
+    print(format_report(report))
+    for name, entry in report["schemes"].items():
+        assert entry["states_match"], name
+        assert entry["speedup"] > 1.2, (name, entry)
+    try:
+        write_report(report, "BENCH_runtime.json")
+    except OSError:
+        pass  # read-only working directory: the artifact is best-effort

@@ -33,11 +33,18 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
 * ``bench`` — run solvers over the suite and print summaries or regenerate
   a paper artifact.  The target is either a domain (``stats`` / ``auction``
   / ``all``, default) or a named artifact (``table1``, ``table2``,
-  ``fig11``, ``fig13``)::
+  ``fig11``, ``fig13``, ``runtime``)::
 
       python -m repro bench --solver opera --domain stats --timeout 10
       python -m repro bench table1 --workers 4
       python -m repro bench table2 --workers 8 --no-cache
+      python -m repro bench runtime --out BENCH_runtime.json
+
+  ``bench runtime`` measures per-element throughput of compiled vs
+  interpreted scheme steps (see :mod:`repro.ir.compile`) over ground-truth
+  schemes — the CI perf smoke gates on ``--assert-speedup``; deployment
+  runs take ``--no-jit`` on ``repro run`` (or ``REPRO_JIT=0``) to force the
+  interpreter.
 
   Runs shard (solver, benchmark) tasks over ``--workers`` processes with
   hard wall-clock kills, and reuse cached per-task results from previous
@@ -88,7 +95,7 @@ from .store import SchemeStore, resolve_store
 from .suites import all_benchmarks, benchmarks_for, get_benchmark
 
 #: Artifact names accepted as ``bench`` targets, besides domains.
-ARTIFACTS = ("table1", "table2", "fig11", "fig13")
+ARTIFACTS = ("table1", "table2", "fig11", "fig13", "runtime")
 DOMAINS = ("stats", "auction", "all")
 
 
@@ -195,6 +202,56 @@ def _bench_fig13(args, config, workers, cache) -> int:
     return 0
 
 
+def _bench_runtime(args, timeout: float, workers: int) -> int:
+    """``repro bench runtime`` — per-element throughput, interpreted vs
+    compiled, over ground-truth schemes (no synthesis unless --synthesis).
+
+    Writes ``BENCH_runtime.json`` with --out and fails (exit 1) when any
+    scheme's speedup drops below --assert-speedup — the CI perf gate.
+    """
+    from .evaluation.runtime_bench import (
+        format_report,
+        run_runtime_benchmark,
+        write_report,
+    )
+
+    schemes = None
+    if args.schemes:
+        schemes = [s for chunk in args.schemes for s in chunk.split(",") if s]
+    try:
+        report = run_runtime_benchmark(
+            schemes,
+            elements=args.elements,
+            repeats=args.repeats,
+            stream_kind=args.stream,
+            synthesis=args.synthesis,
+            synthesis_timeout_s=timeout,
+            workers=workers,
+        )
+    except (KeyError, ValueError, AssertionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.assert_speedup is not None:
+        slow = {
+            name: entry["speedup"]
+            for name, entry in report["schemes"].items()
+            if entry["speedup"] < args.assert_speedup
+        }
+        if slow:
+            detail = ", ".join(f"{n}={v:.2f}x" for n, v in sorted(slow.items()))
+            print(
+                f"error: compiled speedup below {args.assert_speedup}x: {detail}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"all schemes >= {args.assert_speedup}x compiled speedup")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         timeout = args.timeout if args.timeout is not None else default_timeout()
@@ -211,6 +268,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if workers < 1:
         print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
         return 2
+    if args.target == "runtime":
+        # The throughput benchmark times both backends itself; the result
+        # cache never applies (ground-truth schemes, uncached synthesis).
+        return _bench_runtime(args, timeout, workers)
     cache = resolve_cache(
         enabled=False if args.no_cache else None, directory=args.cache_dir
     )
@@ -290,6 +351,13 @@ def _parse_extra(pairs: list[str] | None) -> dict:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.no_jit:
+        # Operators resolve their execution backend through jit_enabled();
+        # the env knob reaches every operator this process creates,
+        # including ones rebuilt from checkpoints.
+        import os
+
+        os.environ["REPRO_JIT"] = "0"
     try:
         scheme = OnlineScheme.load(args.scheme)
     except (OSError, SchemeFormatError) as exc:
@@ -476,6 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "whole element")
     p_run.add_argument("--trace", action="store_true",
                        help="print every per-element result")
+    p_run.add_argument("--no-jit", action="store_true",
+                       help="run on the tree-walking interpreter instead of "
+                            "the compiled scheme step (same results; "
+                            "equivalent to REPRO_JIT=0)")
     p_run.add_argument("--checkpoint", default=None, metavar="FILE",
                        help="write an operator checkpoint after the run")
     p_run.add_argument("--resume", default=None, metavar="FILE",
@@ -541,6 +613,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="result cache location (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    runtime_group = p_bench.add_argument_group(
+        "runtime target", "options for `repro bench runtime` (throughput of "
+        "compiled vs interpreted scheme steps over ground-truth schemes)"
+    )
+    runtime_group.add_argument(
+        "--schemes", action="append", metavar="NAME[,NAME...]",
+        help="benchmark names to measure (default: a stats+auction spread)",
+    )
+    runtime_group.add_argument(
+        "--elements", type=int, default=4000,
+        help="stream length per measurement (default: 4000)",
+    )
+    runtime_group.add_argument(
+        "--repeats", type=int, default=3,
+        help="take the best of N runs (default: 3)",
+    )
+    runtime_group.add_argument(
+        "--stream", choices=("int", "fraction"), default="int",
+        help="element distribution: realistic integer events or "
+             "gcd-heavy exact rationals (default: int)",
+    )
+    runtime_group.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report as JSON (e.g. BENCH_runtime.json)",
+    )
+    runtime_group.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="X",
+        help="exit 1 if any scheme's compiled speedup is below X (CI gate)",
+    )
+    runtime_group.add_argument(
+        "--synthesis", action="store_true",
+        help="also time an uncached synthesis pass with and without oracle "
+             "compilation (uses --timeout/--workers)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

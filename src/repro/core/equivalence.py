@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import random
 from fractions import Fraction
+from functools import lru_cache
 from typing import Mapping, Sequence
 
+from ..ir.compile import IRCompileError, compile_expr, jit_enabled
 from ..ir.evaluator import EvaluationError, evaluate, run_offline
 from ..ir.nodes import Expr, Program
 from ..ir.values import Value, values_close
@@ -100,6 +102,35 @@ def rfs_environment(
     return bindings
 
 
+@lru_cache(maxsize=512)
+def _compile_cached(expr: Expr, params: tuple[str, ...]):
+    """Memoized positional compilation (IR nodes hash structurally, so the
+    offline spec — identical across the thousands of candidates one
+    enumeration run tests — compiles once, not once per candidate).
+    ``None`` marks uncompilable expressions, caching the failure too."""
+    try:
+        return compile_expr(expr, params, name="oracle")
+    except IRCompileError:
+        return None
+
+
+def _compiled_evaluator(expr: Expr, params: tuple[str, ...], what: str):
+    """Compile ``expr`` to ``fn(env) -> value`` over the fixed name set
+    ``params``, or ``None`` when compilation is unavailable (JIT disabled,
+    holes, free names outside ``params``) — callers then interpret, which is
+    behaviourally identical (:mod:`repro.ir.compile`)."""
+    if not jit_enabled():
+        return None
+    fn = _compile_cached(expr, params)
+    if fn is None:
+        return None
+
+    def call(env):
+        return fn(*[env[p] for p in params])
+
+    return call
+
+
 def check_expr_equivalence(
     spec: Expr,
     candidate: Expr,
@@ -113,8 +144,19 @@ def check_expr_equivalence(
     For random ``xs`` and ``x``: evaluate the offline ``spec`` on
     ``xs ++ [x]`` and the online ``candidate`` under the RFS bindings for
     ``xs``; all pairs must agree.
+
+    Both sides are compiled to native closures *once* before the test
+    battery (instead of re-walking the trees per test); anything the codegen
+    backend declines falls back to the interpreter, test by test, with
+    identical results and exceptions.
     """
     rng = make_rng(config, salt)
+    online_params = tuple(
+        dict.fromkeys((*rfs.extra_params, *rfs.names, elem_param))
+    )
+    offline_params = tuple(dict.fromkeys((*rfs.extra_params, rfs.list_param)))
+    candidate_fn = _compiled_evaluator(candidate, online_params, "oracle-candidate")
+    spec_fn = _compiled_evaluator(spec, offline_params, "oracle-spec")
     checked = 0
     attempts = 0
     while checked < config.equivalence_tests and attempts < config.equivalence_tests * 4:
@@ -128,13 +170,19 @@ def check_expr_equivalence(
         offline_env: dict[str, Value] = dict(extras)
         offline_env[rfs.list_param] = list(xs) + [x]
         try:
-            expected = evaluate(spec, offline_env)
+            if spec_fn is not None:
+                expected = spec_fn(offline_env)
+            else:
+                expected = evaluate(spec, offline_env)
         except EvaluationError:
             continue
         online_env = dict(bindings)
         online_env[elem_param] = x
         try:
-            actual = evaluate(candidate, online_env)
+            if candidate_fn is not None:
+                actual = candidate_fn(online_env)
+            else:
+                actual = evaluate(candidate, online_env)
         except (EvaluationError, ArithmeticError, TypeError, ValueError):
             return False
         if not values_close(expected, actual):
@@ -151,6 +199,7 @@ def check_scheme_equivalence(
 ) -> bool:
     """Definition 3.3, decided by testing on every prefix of random streams."""
     rng = make_rng(config, salt)
+    step = scheme._resolve_step()  # compiled once for the whole battery
     for _ in range(config.equivalence_tests):
         xs = random_list(rng, config.equivalence_max_len, arity=config.element_arity)
         extras = random_extras(rng, program.extra_params)
@@ -159,7 +208,7 @@ def check_scheme_equivalence(
             if not values_close(state[0], run_offline(program, [], extras)):
                 return False
             for i, element in enumerate(xs):
-                state = scheme.step(state, element, extras)
+                state = step(state, element, extras)
                 expected = run_offline(program, xs[: i + 1], extras)
                 if not values_close(state[0], expected):
                     return False
@@ -177,6 +226,7 @@ def check_inductiveness(
     """Definition 4.3, decided by testing: if the state satisfies the RFS on
     ``xs``, the stepped state satisfies it on ``xs ++ [x]``."""
     rng = make_rng(config, salt)
+    step = scheme._resolve_step()  # compiled once for the whole battery
     for _ in range(config.equivalence_tests):
         xs = random_list(rng, config.equivalence_max_len, arity=config.element_arity)
         x = random_element(rng, config.element_arity)
@@ -187,7 +237,7 @@ def check_inductiveness(
             continue
         state = tuple(before[name] for name in rfs.names)
         try:
-            stepped = scheme.step(state, x, extras)
+            stepped = step(state, x, extras)
         except (EvaluationError, ArithmeticError, TypeError, ValueError):
             return False
         expected = tuple(after[name] for name in rfs.names)

@@ -10,12 +10,17 @@ examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from ..ir.compile import IRCompileError, compile_online_step, jit_enabled
 from ..ir.evaluator import step_online
 from ..ir.nodes import OnlineProgram
 from ..ir.pretty import pretty_online
 from ..ir.values import Value
+
+#: Cache marker: the program was tried and cannot be compiled (holes etc.);
+#: the scheme then runs on the interpreter without retrying per resolve.
+_UNCOMPILABLE = object()
 
 
 @dataclass
@@ -28,6 +33,13 @@ class OnlineScheme:
     #: Excluded from equality: two schemes that compute the same thing are
     #: the same scheme regardless of where they came from.
     provenance: str = field(default="synthesized", compare=False)
+    #: Lazily-built native closure for ``program`` (see
+    #: :mod:`repro.ir.compile`).  Per-instance, so deserializing a scheme
+    #: starts with a cold cache; dropped on pickling (closures are process
+    #: artifacts, not data).
+    _compiled_step: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.initializer) != self.program.arity:
@@ -40,6 +52,68 @@ class OnlineScheme:
     def arity(self) -> int:
         return self.program.arity
 
+    # -- execution backends ------------------------------------------------
+
+    def compiled_step(
+        self,
+    ) -> Callable[[Sequence[Value], Value, Mapping[str, Value] | None], tuple]:
+        """The online program as a compiled native closure
+        ``step(state, element, extra=None)``, built once and cached.
+
+        Raises :class:`~repro.ir.compile.IRCompileError` if the program
+        cannot be compiled (e.g. it still contains sketch holes); the
+        interpreter remains available through :meth:`interpreted_step`.
+        """
+        cached = self._compiled_step
+        if cached is None:
+            try:
+                cached = compile_online_step(self.program, name=self.provenance)
+            except IRCompileError:
+                cached = _UNCOMPILABLE
+            self._compiled_step = cached
+        if cached is _UNCOMPILABLE:
+            raise IRCompileError(
+                f"online program of {self.provenance!r} is not compilable"
+            )
+        return cached  # type: ignore[return-value]
+
+    def interpreted_step(
+        self,
+        state: Sequence[Value],
+        element: Value,
+        extra: Mapping[str, Value] | None = None,
+    ) -> tuple[Value, ...]:
+        """One transition on the tree-walking interpreter (the ground truth
+        the compiled backend is differential-tested against)."""
+        return step_online(self.program, state, element, extra)
+
+    def invalidate_compiled(self) -> None:
+        """Drop the cached closure.  Only needed if ``program`` is mutated
+        in place, which nothing in this codebase does (schemes from
+        ``loads``/``from_dict`` are fresh objects with cold caches)."""
+        self._compiled_step = None
+
+    def _resolve_step(
+        self, jit: bool | None = None
+    ) -> Callable[[Sequence[Value], Value, Mapping[str, Value] | None], tuple]:
+        """The step callable honouring the ``REPRO_JIT`` escape hatch, with
+        automatic interpreter fallback for uncompilable programs."""
+        if jit is None:
+            jit = jit_enabled()
+        if jit:
+            try:
+                return self.compiled_step()
+            except IRCompileError:
+                pass
+        return self.interpreted_step
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_compiled_step"] = None  # exec'd closures do not pickle
+        return state
+
+    # -- semantics ---------------------------------------------------------
+
     def step(
         self,
         state: Sequence[Value],
@@ -47,7 +121,7 @@ class OnlineScheme:
         extra: Mapping[str, Value] | None = None,
     ) -> tuple[Value, ...]:
         """One S-Cons transition: ``(state, element) -> state'``."""
-        return step_online(self.program, state, element, extra)
+        return self._resolve_step()(state, element, extra)
 
     def run(
         self,
@@ -60,11 +134,12 @@ class OnlineScheme:
         (rule Lift-Nil); otherwise one output per consumed element
         (rule S-Cons via Lift-Cons).
         """
+        step = self._resolve_step()
         state = self.initializer
         consumed = False
         for element in stream:
             consumed = True
-            state = self.step(state, element, extra)
+            state = step(state, element, extra)
             yield state[0]
         if not consumed:
             yield self.initializer[0]
@@ -83,10 +158,11 @@ class OnlineScheme:
     ) -> Value:
         """``last([[S]]_stream)`` — the value compared against the offline
         program in Definition 3.3."""
+        step = self._resolve_step()
         result: Value = self.initializer[0]
         state = self.initializer
         for element in stream:
-            state = self.step(state, element, extra)
+            state = step(state, element, extra)
             result = state[0]
         return result
 
@@ -97,10 +173,11 @@ class OnlineScheme:
     ) -> list[tuple[Value, ...]]:
         """Full accumulator states after each element (used by the
         inductiveness property tests)."""
+        step = self._resolve_step()
         states = [self.initializer]
         state = self.initializer
         for element in stream:
-            state = self.step(state, element, extra)
+            state = step(state, element, extra)
             states.append(state)
         return states
 

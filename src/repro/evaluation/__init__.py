@@ -12,6 +12,11 @@ from .cdf import ascii_cdf, cdf_series
 from .export import matrix_to_csv, matrix_to_json, suite_to_records, write_artifacts
 from .parallel import Task, default_workers, execute_tasks
 from .runner import SuiteResult, default_timeout, run_matrix, run_suite
+from .runtime_bench import (
+    format_report,
+    run_runtime_benchmark,
+    write_report,
+)
 from .tables import qualitative, table1, table2
 
 __all__ = [
@@ -25,11 +30,13 @@ __all__ = [
     "default_timeout",
     "default_workers",
     "execute_tasks",
+    "format_report",
     "matrix_to_csv",
     "matrix_to_json",
     "qualitative",
     "resolve_cache",
     "run_matrix",
+    "run_runtime_benchmark",
     "run_suite",
     "suite_to_records",
     "table1",

@@ -1,0 +1,244 @@
+"""Runtime throughput benchmark: interpreted vs compiled execution backends.
+
+The point of the whole system is per-element cost: a deployed
+:class:`~repro.runtime.OnlineOperator` processes each stream element with one
+scheme step, and PR 3 made that step a compiled native closure
+(:mod:`repro.ir.compile`).  This module measures elements/second for both
+backends over the suite's ground-truth schemes — no synthesis required, so
+it runs in seconds — and optionally times a synthesis pass with and without
+oracle compilation.  Results are written as ``BENCH_runtime.json`` so the
+performance trajectory is tracked from PR 3 on (CI runs this on two suite
+schemes per push and fails if compiled throughput regresses below
+interpreted).
+
+Measured honestly: both backends run the same deterministic stream through
+the same ``step(state, element, extra)`` interface (best-of-``repeats``
+wall-clock), and the final accumulator states are asserted identical before
+any number is reported — every benchmark run is also a differential test.
+
+Entry points: ``repro bench runtime`` on the CLI, or
+:func:`run_runtime_benchmark` from Python/pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from fractions import Fraction
+from pathlib import Path
+from typing import Sequence
+
+from ..ir.values import Value
+
+#: Envelope identifiers for BENCH_runtime.json.
+BENCH_FORMAT = "repro/bench-runtime"
+BENCH_FORMAT_VERSION = 1
+
+#: Default scheme set: a spread over both domains, element shapes (scalars
+#: and pairs), extra parameters, and accumulator sizes.
+DEFAULT_SCHEMES = (
+    "mean",
+    "variance",
+    "skewness",
+    "q_highest_bid",
+    "q_avg_price",
+    "q_category_volume",
+)
+
+#: Benchmarks used by the optional synthesis-wall-clock comparison (quick
+#: tasks, so the comparison stays in CI-smoke territory).
+DEFAULT_SYNTHESIS_TASKS = ("mean", "variance", "count", "max", "q_highest_bid")
+
+
+def make_stream(element_arity: int, n: int, kind: str = "int") -> list[Value]:
+    """A deterministic element stream.
+
+    ``int`` (default) models realistic event data — prices, counts, ticks —
+    where per-op arithmetic is cheap and per-element overhead is what the
+    benchmark should expose.  ``fraction`` stresses exact-rational
+    arithmetic instead (gcd-heavy, the equivalence-oracle regime).
+    """
+    if kind == "int":
+        scalars = [1 + (i * 7919) % 997 for i in range(n)]
+    elif kind == "fraction":
+        scalars = [Fraction(i % 23) + Fraction(1, 1 + i % 5) for i in range(n)]
+    else:
+        raise ValueError(f"unknown stream kind {kind!r} (use int or fraction)")
+    if element_arity <= 1:
+        return scalars
+    return [(value, (i * 31) % 5) for i, value in enumerate(scalars)]
+
+
+def _time_steps(step, initializer, stream, extra, repeats: int) -> tuple[float, tuple]:
+    """Best-of-``repeats`` wall-clock for folding ``stream`` through
+    ``step``; returns (seconds, final state)."""
+    best = float("inf")
+    final = initializer
+    for _ in range(repeats):
+        state = initializer
+        start = time.perf_counter()
+        for element in stream:
+            state = step(state, element, extra)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        final = state
+    return best, final
+
+
+def bench_scheme(
+    benchmark, elements: int, repeats: int, stream_kind: str = "int"
+) -> dict:
+    """Throughput of one suite benchmark's ground-truth scheme, interpreted
+    vs compiled, with the final states differential-checked."""
+    scheme = benchmark.ground_truth
+    if scheme is None:
+        raise ValueError(f"benchmark {benchmark.name!r} has no ground-truth scheme")
+    stream = make_stream(benchmark.element_arity, elements, stream_kind)
+    extra = {name: 500 for name in scheme.program.extra_params}
+
+    interpreted = scheme.interpreted_step
+    compiled = scheme.compiled_step()
+    t_interp, state_interp = _time_steps(
+        interpreted, scheme.initializer, stream, extra, repeats
+    )
+    t_compiled, state_compiled = _time_steps(
+        compiled, scheme.initializer, stream, extra, repeats
+    )
+    if state_interp != state_compiled:
+        raise AssertionError(
+            f"compiled and interpreted states diverged on {benchmark.name!r}: "
+            f"{state_interp!r} != {state_compiled!r}"
+        )
+    return {
+        "domain": benchmark.domain,
+        "element_arity": benchmark.element_arity,
+        "interpreted_eps": elements / t_interp,
+        "compiled_eps": elements / t_compiled,
+        "speedup": t_interp / t_compiled,
+        "states_match": True,
+    }
+
+
+def _timed_suite(benches, timeout_s: float, workers: int) -> float:
+    """Wall-clock of one uncached suite run under the current REPRO_JIT."""
+    from ..baselines import OperaFull
+    from ..core import SynthesisConfig
+    from .runner import run_suite
+
+    config = SynthesisConfig(timeout_s=timeout_s)
+    start = time.perf_counter()
+    run_suite(OperaFull(), benches, config, workers=workers, cache=None)
+    return time.perf_counter() - start
+
+
+def synthesis_comparison(
+    tasks: Sequence[str], timeout_s: float, workers: int
+) -> dict:
+    """Synthesis wall-clock with and without oracle compilation.
+
+    The result cache is bypassed (both runs must actually synthesize), and
+    ``REPRO_JIT`` is toggled around otherwise-identical suite runs; the
+    oracle's compiled and interpreted paths are behaviourally identical, so
+    both runs find the same schemes.
+    """
+    from ..suites import get_benchmark
+
+    benches = [get_benchmark(name) for name in tasks]
+    saved = os.environ.get("REPRO_JIT")
+    try:
+        os.environ["REPRO_JIT"] = "1"
+        jit_wall = _timed_suite(benches, timeout_s, workers)
+        os.environ["REPRO_JIT"] = "0"
+        nojit_wall = _timed_suite(benches, timeout_s, workers)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_JIT", None)
+        else:
+            os.environ["REPRO_JIT"] = saved
+    return {
+        "tasks": list(tasks),
+        "timeout_s": timeout_s,
+        "workers": workers,
+        "jit_wall_s": jit_wall,
+        "nojit_wall_s": nojit_wall,
+        "speedup": nojit_wall / jit_wall if jit_wall > 0 else 1.0,
+    }
+
+
+def run_runtime_benchmark(
+    schemes: Sequence[str] | None = None,
+    *,
+    elements: int = 4000,
+    repeats: int = 3,
+    stream_kind: str = "int",
+    synthesis: bool = False,
+    synthesis_tasks: Sequence[str] | None = None,
+    synthesis_timeout_s: float = 10.0,
+    workers: int = 1,
+) -> dict:
+    """The full throughput report (the payload of ``BENCH_runtime.json``)."""
+    from ..suites import get_benchmark
+
+    names = tuple(schemes) if schemes else DEFAULT_SCHEMES
+    per_scheme = {
+        name: bench_scheme(get_benchmark(name), elements, repeats, stream_kind)
+        for name in names
+    }
+    speedups = [entry["speedup"] for entry in per_scheme.values()]
+    report = {
+        "format": BENCH_FORMAT,
+        "version": BENCH_FORMAT_VERSION,
+        "python": sys.version.split()[0],
+        "elements": elements,
+        "repeats": repeats,
+        "stream": stream_kind,
+        "schemes": per_scheme,
+        "summary": {
+            "median_speedup": statistics.median(speedups),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+        },
+    }
+    if synthesis:
+        report["synthesis"] = synthesis_comparison(
+            tuple(synthesis_tasks or DEFAULT_SYNTHESIS_TASKS),
+            synthesis_timeout_s,
+            workers,
+        )
+    return report
+
+
+def write_report(report: dict, path) -> None:
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table for the CLI."""
+    lines = [
+        f"runtime throughput ({report['elements']} elements, "
+        f"best of {report['repeats']}, {report['stream']} stream)",
+        f"{'scheme':<22} {'interpreted':>14} {'compiled':>14} {'speedup':>9}",
+    ]
+    for name, entry in report["schemes"].items():
+        lines.append(
+            f"{name:<22} {entry['interpreted_eps']:>11.0f} eps "
+            f"{entry['compiled_eps']:>11.0f} eps {entry['speedup']:>8.1f}x"
+        )
+    summary = report["summary"]
+    lines.append(
+        f"{'median':<22} {'':>14} {'':>14} {summary['median_speedup']:>8.1f}x"
+    )
+    synth = report.get("synthesis")
+    if synth:
+        lines.append(
+            f"synthesis wall-clock on {len(synth['tasks'])} tasks "
+            f"(uncached, workers={synth['workers']}): "
+            f"jit {synth['jit_wall_s']:.2f}s vs no-jit {synth['nojit_wall_s']:.2f}s "
+            f"({synth['speedup']:.2f}x)"
+        )
+    return "\n".join(lines)

@@ -6,6 +6,8 @@ Public surface:
 * :mod:`repro.ir.dsl` — concise builders for writing programs in Python;
 * :mod:`repro.ir.parser` / :mod:`repro.ir.pretty` — concrete syntax;
 * :mod:`repro.ir.evaluator` — the definitional interpreter;
+* :mod:`repro.ir.compile` — the closure-compilation backend (native Python
+  closures for fixed trees; the interpreter stays the ground truth);
 * :mod:`repro.ir.traversal` — structural utilities (substitution, AST size,
   list-expression discovery).
 """
@@ -29,6 +31,12 @@ from .nodes import (
     Snoc,
     Var,
     const,
+)
+from .compile import (
+    IRCompileError,
+    compile_expr,
+    compile_online_step,
+    jit_enabled,
 )
 from .evaluator import EvaluationError, evaluate, run_offline, step_online
 from .infer import check_well_typed, infer_program_type, infer_type
@@ -58,6 +66,7 @@ __all__ = [
     "Const",
     "EvaluationError",
     "Expr",
+    "IRCompileError",
     "Filter",
     "Fold",
     "Hole",
@@ -75,10 +84,13 @@ __all__ = [
     "Var",
     "ast_size",
     "check_well_typed",
+    "compile_expr",
+    "compile_online_step",
     "infer_program_type",
     "infer_type",
     "const",
     "evaluate",
+    "jit_enabled",
     "fill_holes",
     "free_vars",
     "inline_lets",

@@ -1,0 +1,951 @@
+"""Closure-compilation backend: IR trees to generated Python closures.
+
+Every hot path of the system — the per-element ``step`` of a deployed online
+scheme and the per-candidate test battery of the equivalence oracle —
+ultimately executes a *fixed* IR tree over and over.  The definitional
+interpreter (:mod:`repro.ir.evaluator`) pays per node and per evaluation:
+an ``isinstance`` dispatch chain, environment churn, and a registry lookup
+for every built-in call.  This module removes all of that by the standard
+closure-compilation / partial-evaluation trick: translate the tree *once*
+into Python source, ``compile()``/``exec`` it into a closure, and run that
+closure per element.  Three techniques stack up:
+
+* **direct references** — built-ins become names in the closure's globals
+  (no registry lookup), variables become Python locals (no env dicts),
+  lambdas/combinators become inlined Python lambdas and comprehensions;
+* **common-subexpression elimination** — unconditionally-evaluated repeated
+  subtrees (IR nodes are frozen dataclasses, so structural sharing is a
+  dict lookup) are computed once into single-assignment temporaries.  Sound
+  because IR expressions are pure and deterministic; the big win on
+  synthesized schemes, whose output tuples share whole update expressions
+  (Welford's ``sq'`` appears verbatim in two outputs of the variance
+  scheme);
+* **exact arithmetic fast paths** — ``add``/``sub``/``mul``/``div``/``neg``
+  go through hand-specialized helpers that skip the registry wrapper's
+  per-call ``is_number``/``_bit_size``/``normalize_number`` machinery for
+  operand shapes where the outcome is provably identical (small ``int`` and
+  ``Fraction`` operands), falling back to the *same wrapped impl* the
+  interpreter calls for everything else.  Comparisons inline to native
+  operators (their registered impls are exactly those operators).
+
+Semantics are preserved bit-for-bit over exact rationals; the interpreter
+remains the ground truth and ``tests/test_ir_compile.py`` differential-tests
+the two backends against each other on every ground-truth scheme and on
+randomly enumerated candidates.
+
+Failure contract (mirroring the interpreter's :class:`EvaluationError`
+cases): conditions that are detectable statically — sketch holes, unbound
+variables, unknown built-ins, non-applicable callees — fail *at compile
+time* with :class:`IRCompileError`, and every caller falls back to the
+interpreter, which then raises exactly as it always did.  Conditions that
+the interpreter only detects at run time (lambda arity mismatches inside a
+combinator, bad projections, missing extra parameters) raise the same
+exception class from compiled code as from interpreted code.
+
+The escape hatch: ``REPRO_JIT=0`` (or ``--no-jit`` on the CLI) disables the
+backend globally; :func:`jit_enabled` is consulted by every integration
+point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from .builtins import get_builtin, is_builtin
+from .evaluator import EvaluationError
+from .nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    Hole,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    OnlineProgram,
+    Proj,
+    Snoc,
+    Var,
+)
+
+
+class IRCompileError(Exception):
+    """The expression cannot be compiled (holes, unbound names, unknown
+    built-ins, non-applicable callees, or pathological nesting).  Callers
+    fall back to the interpreter, whose behaviour is the specification."""
+
+
+def jit_enabled(default: bool = True) -> bool:
+    """Whether compiled execution is enabled (the ``REPRO_JIT`` env knob).
+
+    Any of ``0`` / ``false`` / ``off`` / ``no`` (case-insensitive) disables
+    the codegen backend everywhere; unset or anything else enables it.
+    """
+    raw = os.environ.get("REPRO_JIT")
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "off", "no")
+
+
+# -- runtime helpers shared by all generated closures -------------------------
+#
+# These live in each closure's globals under fixed names.  They cover the few
+# constructs that need a statement (fold's loop), a guard the interpreter
+# applies (projection, env-provided callables, closure arity), an error the
+# interpreter raises only when a lambda is actually invoked, and the exact
+# arithmetic fast paths.
+
+
+def _fold(fn, acc, lst):
+    for item in lst:
+        acc = fn(acc, item)
+    return acc
+
+
+def _proj(tup, index, what):
+    try:
+        return tup[index]
+    except (IndexError, TypeError) as exc:
+        raise EvaluationError(f"bad projection {what}: {exc}") from None
+
+
+def _env_fn(value, name):
+    """The interpreter's Var-in-function-position check, hoisted before the
+    arguments/list are evaluated (matching ``_eval_function`` order)."""
+    if callable(value):
+        return value
+    raise EvaluationError(f"variable {name!r} is not a function")
+
+
+def _extra_get(extra, name, what):
+    """Fetch an extra parameter at its use site, with the interpreter's
+    unbound-name error.  Used for extras referenced only in conditionally
+    evaluated positions (If branches, lambda bodies): fetching those in the
+    step prologue would raise where the interpreter — which only looks a
+    name up when the branch actually runs — succeeds."""
+    try:
+        return extra[name]
+    except (KeyError, TypeError):
+        raise EvaluationError(f"unbound {what} {name!r}") from None
+
+
+def _arity(expected, got):
+    """Raise the interpreter's closure arity error *after* the arguments have
+    been evaluated (``got`` is the already-built argument tuple)."""
+    raise EvaluationError(f"lambda expects {expected} args, got {len(got)}")
+
+
+def _lam(expected, fn):
+    """Wrap a compiled lambda used as a first-class value so that calling it
+    with the wrong arity raises ``EvaluationError`` like ``Closure`` does."""
+
+    def _closure(*args):
+        if len(args) != expected:
+            raise EvaluationError(f"lambda expects {expected} args, got {len(args)}")
+        return fn(*args)
+
+    return _closure
+
+
+# -- exact arithmetic fast paths ---------------------------------------------
+#
+# The registry impls of the "poly" built-ins (see ``_num2`` in
+# repro.ir.builtins) pay two ``is_number`` checks, two ``_bit_size`` calls (a
+# guard that degrades astronomically large exact values to floats past a
+# combined 2**20 bits), a lambda indirection, and a ``normalize_number`` per
+# call.  The helpers below take the exact path directly for operand shapes
+# where the wrapper's outcome is provably the plain operation (small ints,
+# small Fractions — "small" chosen so the combined bit size stays at or
+# below the wrapper's 2**20 threshold), and defer to the wrapped impl
+# otherwise.  Soundness, not completeness: every guarded branch returns
+# exactly what the impl would, and everything else *is* the impl.
+
+_INT_LIMIT = 1 << (1 << 19)  # operands under 2**19 bits each: sum <= 2**20
+_FRAC_LIMIT = 1 << (1 << 18)  # num/den under 2**18 bits each: sum <= 2**20
+# Negated bounds are precomputed: `-_INT_LIMIT` in an expression would
+# re-negate (i.e. reallocate) a 2**19-bit integer on every single check.
+_INT_LIMIT_NEG = -_INT_LIMIT
+_FRAC_LIMIT_NEG = -_FRAC_LIMIT
+
+_ADD_IMPL = get_builtin("add").impl
+_SUB_IMPL = get_builtin("sub").impl
+_MUL_IMPL = get_builtin("mul").impl
+_DIV_IMPL = get_builtin("div").impl
+_NEG_IMPL = get_builtin("neg").impl
+
+# CPython (and PyPy) store Fraction components in the ``_numerator`` /
+# ``_denominator`` slots; the public ``numerator``/``denominator`` names are
+# pure-Python properties, ~3x slower per access.  The fast paths use the
+# slots when present — they sit on the hottest line of the whole system —
+# and fall back to the registry impls wholesale on exotic runtimes.
+_HAS_FRACTION_SLOTS = hasattr(Fraction(0), "_numerator")
+
+
+def _monomorphic_fraction_ops():
+    """``a + b`` on Fractions routes through the ``_operator_fallbacks``
+    dispatch wrapper (an isinstance ladder per call) before reaching the
+    monomorphic ``Fraction._add``.  Those monomorphic methods take ``int``
+    in either position via the ``numerator``/``denominator`` duck protocol,
+    so calling them directly is exact — verified here at import; anything
+    off and the fast paths use the plain operators instead."""
+    try:
+        add, sub = Fraction._add, Fraction._sub
+        mul, div = Fraction._mul, Fraction._div
+        third, half = Fraction(1, 3), Fraction(1, 2)
+        if (
+            add(third, Fraction(1, 6)) == half
+            and add(2, third) == Fraction(7, 3)
+            and add(third, 2) == Fraction(7, 3)
+            and sub(half, third) == Fraction(1, 6)
+            and sub(2, third) == Fraction(5, 3)
+            and mul(Fraction(2, 3), Fraction(3, 4)) == half
+            and mul(3, third) == 1
+            and div(1, Fraction(2, 3)) == Fraction(3, 2)
+            and div(half, -2) == Fraction(-1, 4)
+            and div(half, -2)._denominator == 4
+            and div(3, 6) == half
+        ):
+            return add, sub, mul, div
+    except (AttributeError, TypeError, ValueError):
+        pass
+    import operator
+
+    # Exact generic fallbacks.  Division must stay rational for int
+    # operands (operator.truediv would produce a float).
+    return (
+        operator.add,
+        operator.sub,
+        operator.mul,
+        lambda a, b: Fraction(a) / Fraction(b),
+    )
+
+
+_F_ADD, _F_SUB, _F_MUL, _F_DIV = _monomorphic_fraction_ops()
+
+
+def _fast_add(a, b):
+    ta = type(a)
+    tb = type(b)
+    if ta is Fraction:
+        if not (
+            _FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT
+            and a._denominator < _FRAC_LIMIT
+        ):
+            return _ADD_IMPL(a, b)
+        if tb is Fraction:
+            if not (
+                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
+                and b._denominator < _FRAC_LIMIT
+            ):
+                return _ADD_IMPL(a, b)
+        elif tb is not int or not (_FRAC_LIMIT_NEG < b < _FRAC_LIMIT):
+            return _ADD_IMPL(a, b)
+    elif ta is int:
+        if tb is int:
+            if _INT_LIMIT_NEG < a < _INT_LIMIT and _INT_LIMIT_NEG < b < _INT_LIMIT:
+                return a + b  # ints are closed under +: already normalized
+            return _ADD_IMPL(a, b)
+        if (
+            tb is not Fraction
+            or not (_FRAC_LIMIT_NEG < a < _FRAC_LIMIT)
+            or not (
+                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
+                and b._denominator < _FRAC_LIMIT
+            )
+        ):
+            return _ADD_IMPL(a, b)
+    else:
+        return _ADD_IMPL(a, b)
+    r = _F_ADD(a, b)
+    return r._numerator if r._denominator == 1 else r
+
+
+def _fast_sub(a, b):
+    ta = type(a)
+    tb = type(b)
+    if ta is Fraction:
+        if not (
+            _FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT
+            and a._denominator < _FRAC_LIMIT
+        ):
+            return _SUB_IMPL(a, b)
+        if tb is Fraction:
+            if not (
+                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
+                and b._denominator < _FRAC_LIMIT
+            ):
+                return _SUB_IMPL(a, b)
+        elif tb is not int or not (_FRAC_LIMIT_NEG < b < _FRAC_LIMIT):
+            return _SUB_IMPL(a, b)
+    elif ta is int:
+        if tb is int:
+            if _INT_LIMIT_NEG < a < _INT_LIMIT and _INT_LIMIT_NEG < b < _INT_LIMIT:
+                return a - b
+            return _SUB_IMPL(a, b)
+        if (
+            tb is not Fraction
+            or not (_FRAC_LIMIT_NEG < a < _FRAC_LIMIT)
+            or not (
+                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
+                and b._denominator < _FRAC_LIMIT
+            )
+        ):
+            return _SUB_IMPL(a, b)
+    else:
+        return _SUB_IMPL(a, b)
+    r = _F_SUB(a, b)
+    return r._numerator if r._denominator == 1 else r
+
+
+def _fast_mul(a, b):
+    ta = type(a)
+    tb = type(b)
+    if ta is Fraction:
+        if not (
+            _FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT
+            and a._denominator < _FRAC_LIMIT
+        ):
+            return _MUL_IMPL(a, b)
+        if tb is Fraction:
+            if not (
+                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
+                and b._denominator < _FRAC_LIMIT
+            ):
+                return _MUL_IMPL(a, b)
+        elif tb is not int or not (_FRAC_LIMIT_NEG < b < _FRAC_LIMIT):
+            return _MUL_IMPL(a, b)
+    elif ta is int:
+        if tb is int:
+            if _INT_LIMIT_NEG < a < _INT_LIMIT and _INT_LIMIT_NEG < b < _INT_LIMIT:
+                return a * b
+            return _MUL_IMPL(a, b)
+        if (
+            tb is not Fraction
+            or not (_FRAC_LIMIT_NEG < a < _FRAC_LIMIT)
+            or not (
+                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
+                and b._denominator < _FRAC_LIMIT
+            )
+        ):
+            return _MUL_IMPL(a, b)
+    else:
+        return _MUL_IMPL(a, b)
+    r = _F_MUL(a, b)
+    return r._numerator if r._denominator == 1 else r
+
+
+def _fast_div(a, b):
+    # safe_div has no bit-size degrade: its exact path is
+    # normalize(Fraction(a) / Fraction(b)) with a/0 == 0, reproduced here
+    # without the isinstance ladder.
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is Fraction) and (tb is int or tb is Fraction):
+        if b == 0:
+            return 0
+        r = _F_DIV(a, b)
+        return r._numerator if r._denominator == 1 else r
+    return _DIV_IMPL(a, b)
+
+
+def _fast_neg(a):
+    ta = type(a)
+    if ta is int:
+        return -a
+    if ta is Fraction:
+        # a cannot carry denominator 1 out of normalized arithmetic, but
+        # initializers/extras supplied by callers might.
+        return -a._numerator if a._denominator == 1 else -a
+    return _NEG_IMPL(a)
+
+
+#: Built-ins dispatched to a specialized fast-path helper instead of the
+#: registry impl (drop-in exact replacements, also valid as first-class
+#: callables in Map/Filter/Fold position).
+_FAST_IMPLS = (
+    {
+        "add": _fast_add,
+        "sub": _fast_sub,
+        "mul": _fast_mul,
+        "div": _fast_div,
+        "neg": _fast_neg,
+    }
+    if _HAS_FRACTION_SLOTS
+    else {}
+)
+
+#: Comparisons whose registered impl is exactly the native operator; calls
+#: with the right arity inline to that operator.
+_INLINE_CMP = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
+
+#: Binary built-ins whose registered impl is exactly the native function of
+#: the same name; calls with the right arity inline to it (the name is made
+#: available in the generated module's restricted __builtins__).
+_INLINE_NATIVE2 = {"min", "max"}
+
+#: Operators usable for the zero-call inline int fast path (the else branch
+#: falls back to the corresponding _fast_* helper, which is exact).
+_INLINE_INT_OP = {"add": "+", "sub": "-", "mul": "*"}
+
+_IDENT_RE = re.compile(r"[^0-9A-Za-z_]")
+_SIMPLE_RE = re.compile(r"-?\d+|[A-Za-z_][A-Za-z0-9_]*")
+_INT_LITERAL_RE = re.compile(r"-?\d+")
+
+
+def _is_simple(code: str) -> bool:
+    """Emitted code that is free to repeat: a name or an int literal."""
+    return _SIMPLE_RE.fullmatch(code) is not None
+
+
+def _is_int_literal(code: str) -> bool:
+    return _INT_LITERAL_RE.fullmatch(code) is not None
+
+
+def _free_names(expr: Expr) -> frozenset[str]:
+    """Free ``Var``/``ListVar`` names, including a ``Var`` in call position
+    (which :func:`repro.ir.traversal.free_vars` does not see)."""
+    if isinstance(expr, (Var, ListVar)):
+        return frozenset((expr.name,))
+    if isinstance(expr, Lambda):
+        return _free_names(expr.body) - frozenset(expr.params)
+    if isinstance(expr, Let):
+        return _free_names(expr.value) | (_free_names(expr.body) - {expr.name})
+    result: frozenset[str] = frozenset()
+    if isinstance(expr, Call) and isinstance(expr.func, Var):
+        result |= frozenset((expr.func.name,))
+    for child in expr.children():
+        result |= _free_names(child)
+    return result
+
+
+def _unconditional_free(expr: Expr, bound: frozenset[str]) -> frozenset[str]:
+    """Free names that every evaluation of ``expr`` is guaranteed to look
+    up: everything except ``If`` branches and function bodies (which may
+    never run — conservatively including directly-applied lambdas).  Drives
+    the eager-vs-lazy split of extra-parameter binding in
+    :func:`compile_online_step`."""
+    if isinstance(expr, (Var, ListVar)):
+        return frozenset((expr.name,)) - bound
+    if isinstance(expr, Lambda):
+        return frozenset()
+    if isinstance(expr, Let):
+        return _unconditional_free(expr.value, bound) | _unconditional_free(
+            expr.body, bound | {expr.name}
+        )
+    if isinstance(expr, If):
+        return _unconditional_free(expr.cond, bound)
+    if isinstance(expr, (Map, Filter)):
+        result = _unconditional_free(expr.lst, bound)
+        if isinstance(expr.func, Var):
+            result |= frozenset((expr.func.name,)) - bound
+        return result
+    if isinstance(expr, Fold):
+        result = _unconditional_free(expr.init, bound) | _unconditional_free(
+            expr.lst, bound
+        )
+        if isinstance(expr.func, Var):
+            result |= frozenset((expr.func.name,)) - bound
+        return result
+    result = frozenset()
+    if isinstance(expr, Call) and isinstance(expr.func, Var):
+        result |= frozenset((expr.func.name,)) - bound
+    for child in expr.children():
+        result |= _unconditional_free(child, bound)
+    return result
+
+
+class _Codegen:
+    """One generated module: accumulates globals (constants, built-in impls,
+    helpers) while emitting Python code for IR trees.
+
+    Two emission contexts:
+
+    * :meth:`emit_stmts` — statement context for unconditionally-evaluated
+      positions: every non-trivial node becomes a single-assignment
+      temporary, memoized by the (structurally hashable) node itself, which
+      is exactly common-subexpression elimination;
+    * :meth:`emit` — expression context for conditionally-evaluated
+      positions (``If`` branches, lambda bodies).  ``If`` branches still
+      *read* the memo (no new bindings in scope); binder bodies drop it
+      (their parameters may shadow the names a memoized temp was computed
+      under).
+    """
+
+    def __init__(self) -> None:
+        self.globals: dict = {
+            "__builtins__": {
+                "len": len,
+                "list": list,
+                "bool": bool,
+                "int": int,
+                "min": min,
+                "max": max,
+                "KeyError": KeyError,
+                "TypeError": TypeError,
+            },
+            "EvaluationError": EvaluationError,
+            "_fold": _fold,
+            "_proj": _proj,
+            "_env_fn": _env_fn,
+            "_arity": _arity,
+            "_lam": _lam,
+        }
+        self._names: dict[str, str] = {}
+        self._serial = itertools.count()
+        #: Extra-parameter names resolved lazily at each use site (via
+        #: _extra_get) instead of eagerly in the step prologue — the ones
+        #: referenced only in conditionally evaluated positions.
+        self.lazy_extras: frozenset[str] = frozenset()
+
+    # -- naming ------------------------------------------------------------
+
+    def mangle(self, name: str) -> str:
+        """Stable Python identifier for an IR variable name.  One identifier
+        per distinct IR name, so IR shadowing maps onto Python shadowing."""
+        ident = self._names.get(name)
+        if ident is None:
+            ident = f"_v{len(self._names)}_{_IDENT_RE.sub('_', name)}"
+            self._names[name] = ident
+        return ident
+
+    def fresh(self, prefix: str = "_t") -> str:
+        return f"{prefix}{next(self._serial)}"
+
+    def const(self, value) -> str:
+        """Reference a constant.  Bools and small ints inline as literals;
+        everything else (``Fraction``, floats including inf/nan, big ints)
+        is preloaded into the globals so the closure reuses the *same*
+        object the ``Const`` node carries — exactly what the interpreter
+        returns."""
+        if value is True:
+            return "True"
+        if value is False:
+            return "False"
+        if type(value) is int and -(2**31) < value < 2**31:
+            return repr(value)
+        name = self.fresh("_c")
+        self.globals[name] = value
+        return name
+
+    def builtin(self, name: str) -> str:
+        if not is_builtin(name):
+            raise IRCompileError(f"unknown builtin {name!r}")
+        ident = f"_b_{_IDENT_RE.sub('_', name)}"
+        if ident not in self.globals:
+            self.globals[ident] = _FAST_IMPLS.get(name) or get_builtin(name).impl
+        return ident
+
+    def string(self, text: str) -> str:
+        name = self.fresh("_s")
+        self.globals[name] = text
+        return name
+
+    def _name_ref(self, name: str, bound: frozenset[str], kind: str) -> str:
+        """A variable reference: a Python local when bound (parameters,
+        state, eagerly-fetched extras, binders), a lazy per-use fetch for
+        conditionally-referenced extras, a compile-time error otherwise."""
+        if name in bound:
+            return self.mangle(name)
+        if name in self.lazy_extras:
+            self.globals.setdefault("_extra_get", _extra_get)
+            return f"_extra_get(_extra, {name!r}, {kind!r})"
+        raise IRCompileError(f"unbound variable {name!r}")
+
+    # -- statement (CSE) context -------------------------------------------
+
+    def emit_stmts(self, expr: Expr, bound: frozenset[str], lines: list, memo: dict) -> str:
+        """Emit ``expr`` in unconditional statement context; returns a simple
+        reference (literal, variable, or single-assignment temporary)."""
+        cached = memo.get(expr)
+        if cached is not None:
+            return cached
+        if isinstance(expr, (Const, Var, ListVar)):
+            return self.emit(expr, bound, memo)
+        code = self._node_stmts(expr, bound, lines, memo)
+        temp = self.fresh()
+        lines.append(f"    {temp} = {code}")
+        memo[expr] = temp
+        return temp
+
+    def _node_stmts(self, expr: Expr, bound: frozenset[str], lines: list, memo: dict) -> str:
+        """Code for one non-trivial node, hoisting its unconditionally
+        evaluated children (argument/condition/list/init positions) into
+        temporaries first, in the interpreter's evaluation order."""
+        if isinstance(expr, Call):
+            func = expr.func
+            if isinstance(func, Var):
+                # The callable check precedes argument evaluation.
+                callee = self._hoist_env_fn(func, bound, lines)
+                args = [self.emit_stmts(a, bound, lines, memo) for a in expr.args]
+                return f"{callee}({', '.join(args)})"
+            args = [self.emit_stmts(a, bound, lines, memo) for a in expr.args]
+            return self._apply(func, args, bound, memo)
+        if isinstance(expr, If):
+            cond = self.emit_stmts(expr.cond, bound, lines, memo)
+            then = self.emit(expr.then, bound, memo)
+            orelse = self.emit(expr.orelse, bound, memo)
+            return f"({then} if {cond} else {orelse})"
+        if isinstance(expr, Map):
+            return self._combinator(expr.func, expr.lst, bound, memo,
+                                    filtering=False, lines=lines)
+        if isinstance(expr, Filter):
+            return self._combinator(expr.func, expr.lst, bound, memo,
+                                    filtering=True, lines=lines)
+        if isinstance(expr, Fold):
+            fn = self._fold_callee(expr.func, bound, memo, lines=lines)
+            init = self.emit_stmts(expr.init, bound, lines, memo)
+            lst = self.emit_stmts(expr.lst, bound, lines, memo)
+            return f"_fold({fn}, {init}, {lst})"
+        if isinstance(expr, Let):
+            value = self.emit_stmts(expr.value, bound, lines, memo)
+            param = self.mangle(expr.name)
+            body = self.emit(expr.body, bound | {expr.name}, None)
+            return f"(lambda {param}: {body})({value})"
+        if isinstance(expr, Snoc):
+            lst = self.emit_stmts(expr.lst, bound, lines, memo)
+            elem = self.emit_stmts(expr.elem, bound, lines, memo)
+            return f"(list({lst}) + [{elem}])"
+        if isinstance(expr, MakeTuple):
+            items = [self.emit_stmts(item, bound, lines, memo) for item in expr.items]
+            if not items:
+                return "()"
+            joined = ", ".join(items)
+            return f"({joined},)" if len(items) == 1 else f"({joined})"
+        if isinstance(expr, Proj):
+            tup = self.emit_stmts(expr.tup, bound, lines, memo)
+            return f"_proj({tup}, {expr.index}, {self.string(repr(expr))})"
+        if isinstance(expr, Lambda):
+            return f"_lam({len(expr.params)}, {self._lambda(expr, bound)})"
+        if isinstance(expr, Hole):
+            raise IRCompileError(f"cannot compile sketch hole {expr!r}")
+        raise IRCompileError(f"unhandled node {type(expr).__name__}")
+
+    def _hoist_env_fn(self, func: Var, bound: frozenset[str], lines: list) -> str:
+        if func.name not in bound:
+            raise IRCompileError(f"unbound variable {func.name!r}")
+        temp = self.fresh("_f")
+        lines.append(f"    {temp} = _env_fn({self.mangle(func.name)}, {func.name!r})")
+        return temp
+
+    # -- expression context ------------------------------------------------
+
+    def emit(self, expr: Expr, bound: frozenset[str], memo: dict | None = None) -> str:
+        if memo is not None:
+            cached = memo.get(expr)
+            if cached is not None:
+                return cached
+        if isinstance(expr, Const):
+            return self.const(expr.value)
+        if isinstance(expr, Var):
+            return self._name_ref(expr.name, bound, "variable")
+        if isinstance(expr, ListVar):
+            return self._name_ref(expr.name, bound, "list variable")
+        if isinstance(expr, Lambda):
+            # Value position: arity-guarded like the interpreter's Closure.
+            return f"_lam({len(expr.params)}, {self._lambda(expr, bound)})"
+        if isinstance(expr, Call):
+            func = expr.func
+            if isinstance(func, Var):
+                if func.name not in bound:
+                    raise IRCompileError(f"unbound variable {func.name!r}")
+                callee = f"_env_fn({self.mangle(func.name)}, {func.name!r})"
+                args = ", ".join(self.emit(a, bound, memo) for a in expr.args)
+                return f"{callee}({args})"
+            args = [self.emit(a, bound, memo) for a in expr.args]
+            return self._apply(func, args, bound, memo)
+        if isinstance(expr, If):
+            cond = self.emit(expr.cond, bound, memo)
+            then = self.emit(expr.then, bound, memo)
+            orelse = self.emit(expr.orelse, bound, memo)
+            return f"({then} if {cond} else {orelse})"
+        if isinstance(expr, Map):
+            return self._combinator(expr.func, expr.lst, bound, memo, filtering=False)
+        if isinstance(expr, Filter):
+            return self._combinator(expr.func, expr.lst, bound, memo, filtering=True)
+        if isinstance(expr, Fold):
+            fn = self._fold_callee(expr.func, bound, memo)
+            init = self.emit(expr.init, bound, memo)
+            lst = self.emit(expr.lst, bound, memo)
+            return f"_fold({fn}, {init}, {lst})"
+        if isinstance(expr, Let):
+            value = self.emit(expr.value, bound, memo)
+            param = self.mangle(expr.name)
+            body = self.emit(expr.body, bound | {expr.name}, None)
+            return f"(lambda {param}: {body})({value})"
+        if isinstance(expr, Snoc):
+            lst = self.emit(expr.lst, bound, memo)
+            elem = self.emit(expr.elem, bound, memo)
+            return f"(list({lst}) + [{elem}])"
+        if isinstance(expr, MakeTuple):
+            if not expr.items:
+                return "()"
+            items = ", ".join(self.emit(item, bound, memo) for item in expr.items)
+            return f"({items},)" if len(expr.items) == 1 else f"({items})"
+        if isinstance(expr, Proj):
+            tup = self.emit(expr.tup, bound, memo)
+            return f"_proj({tup}, {expr.index}, {self.string(repr(expr))})"
+        if isinstance(expr, Hole):
+            raise IRCompileError(f"cannot compile sketch hole {expr!r}")
+        raise IRCompileError(f"unhandled node {type(expr).__name__}")
+
+    # -- shared pieces -----------------------------------------------------
+
+    def _apply(self, func, args: list, bound: frozenset[str], memo: dict | None) -> str:
+        """A ``Call`` whose arguments are already emitted (func is a builtin
+        name or a Lambda; the Var case is handled by the callers because its
+        check/evaluation order differs between contexts)."""
+        arglist = ", ".join(args)
+        if isinstance(func, str):
+            if len(args) == 2:
+                op = _INLINE_CMP.get(func)
+                if op is not None:
+                    return f"({args[0]} {op} {args[1]})"
+                if func in _INLINE_NATIVE2:
+                    # impl is exactly the native function of the same name
+                    return f"{func}({arglist})"
+                op = _INLINE_INT_OP.get(func)
+                if op is not None and all(map(_is_simple, args)):
+                    return self._int_fast_path(func, op, args)
+            if len(args) == 1:
+                if func == "not":
+                    return f"(not {args[0]})"
+                if func == "length":
+                    return f"len({args[0]})"
+            # Arity mismatches surface as TypeError from the impl call, for
+            # compiled and interpreted execution alike.
+            return f"{self.builtin(func)}({arglist})"
+        if isinstance(func, Lambda):
+            if len(func.params) != len(args):
+                # The interpreter evaluates the arguments, then Closure
+                # raises; the argument tuple reproduces that order.
+                tup = "(" + "".join(a + ", " for a in args) + ")"
+                return f"_arity({len(func.params)}, {tup})"
+            return f"{self._lambda(func, bound)}({arglist})"
+        raise IRCompileError(f"cannot apply {func!r}")
+
+    def _int_fast_path(self, func: str, op: str, args: list) -> str:
+        """Zero-call inline path for add/sub/mul over small ints, guarded to
+        agree exactly with the registry wrapper; anything else falls through
+        to the exact ``_b_*`` helper.  Arguments are simple (single names or
+        int literals), so repeating them costs nothing and literals skip
+        their statically-true guards."""
+        a, b = args
+        self.globals.setdefault("_IL", _INT_LIMIT)
+        self.globals.setdefault("_ILN", _INT_LIMIT_NEG)
+        checks = []
+        for operand in args:
+            if not _is_int_literal(operand):
+                checks.append(f"{operand}.__class__ is int")
+                # _ILN is the precomputed negation: writing `-_IL` here would
+                # reallocate a 2**19-bit integer on every evaluation.
+                checks.append(f"_ILN < {operand} < _IL")
+        if not checks:  # both literals: statically small ints, always exact
+            return f"({a} {op} {b})"
+        guard = " and ".join(checks)
+        return f"({a} {op} {b} if {guard} else {self.builtin(func)}({a}, {b}))"
+
+    def _lambda(self, lam: Lambda, bound: frozenset[str]) -> str:
+        # A binder scope: the memo is dropped (parameters may shadow the
+        # names memoized temporaries were computed under).
+        params = ", ".join(self.mangle(p) for p in lam.params)
+        body = self.emit(lam.body, bound | frozenset(lam.params), None)
+        return f"(lambda {params}: {body})" if params else f"(lambda: {body})"
+
+    def _callable(self, func, bound: frozenset[str]) -> str:
+        """The ``func`` position of Map/Filter/Fold as a Python expression
+        evaluating to a callable (for the non-inlinable forms)."""
+        if isinstance(func, str):
+            return self.builtin(func)
+        if isinstance(func, Var):
+            if func.name not in bound:
+                raise IRCompileError(f"unbound variable {func.name!r}")
+            return f"_env_fn({self.mangle(func.name)}, {func.name!r})"
+        raise IRCompileError(f"cannot apply {func!r}")
+
+    def _combinator(
+        self,
+        func,
+        lst: Expr,
+        bound: frozenset[str],
+        memo: dict | None,
+        *,
+        filtering: bool,
+        lines: list | None = None,
+    ) -> str:
+        """Map/Filter as a comprehension.  With ``lines`` (statement
+        context) the list — and, for an env-provided function, the callable
+        check that precedes it — is hoisted; otherwise everything inlines."""
+        if isinstance(func, Var) and lines is not None:
+            callee = self._hoist_env_fn(func, bound, lines)
+            lst_code = self.emit_stmts(lst, bound, lines, memo)
+            return self._comp_with_callee(callee, lst_code, filtering)
+        if lines is not None and not isinstance(func, Lambda):
+            # Builtin callee: resolved at compile time, order-free.
+            callee = self._callable(func, bound)
+            lst_code = self.emit_stmts(lst, bound, lines, memo)
+            return self._comp_with_callee(callee, lst_code, filtering)
+        lst_code = (
+            self.emit_stmts(lst, bound, lines, memo)
+            if lines is not None
+            else self.emit(lst, bound, memo)
+        )
+        if isinstance(func, Lambda):
+            if len(func.params) == 1:
+                param = self.mangle(func.params[0])
+                body = self.emit(func.body, bound | frozenset(func.params), None)
+                if filtering:
+                    return f"[{param} for {param} in {lst_code} if {body}]"
+                return f"[{body} for {param} in {lst_code}]"
+            # Wrong arity: the interpreter raises when the closure is first
+            # invoked — i.e. per element, so an empty list still maps to [].
+            it = self.fresh()
+            fail = f"_arity({len(func.params)}, ({it},))"
+            if filtering:
+                return f"[{it} for {it} in {lst_code} if {fail}]"
+            return f"[{fail} for {it} in {lst_code}]"
+        # Expression context with a builtin/env callee: evaluate (and check)
+        # the callee before the list, matching _eval_function order.
+        callee = self._callable(func, bound)
+        fn = self.fresh("_f")
+        it = self.fresh()
+        if filtering:
+            comp = f"[{it} for {it} in {lst_code} if {fn}({it})]"
+        else:
+            comp = f"[{fn}({it}) for {it} in {lst_code}]"
+        return f"(lambda {fn}: {comp})({callee})"
+
+    def _comp_with_callee(self, callee: str, lst_code: str, filtering: bool) -> str:
+        it = self.fresh()
+        if filtering:
+            return f"[{it} for {it} in {lst_code} if {callee}({it})]"
+        return f"[{callee}({it}) for {it} in {lst_code}]"
+
+    def _fold_callee(
+        self,
+        func,
+        bound: frozenset[str],
+        memo: dict | None,
+        lines: list | None = None,
+    ) -> str:
+        if isinstance(func, Lambda):
+            if len(func.params) == 2:
+                return self._lambda(func, bound)
+            args = self.fresh("_a")
+            return f"(lambda *{args}: _arity({len(func.params)}, {args}))"
+        if isinstance(func, Var) and lines is not None:
+            # Statement context: the callable check precedes init/list.
+            return self._hoist_env_fn(func, bound, lines)
+        return self._callable(func, bound)
+
+    # -- finalization ------------------------------------------------------
+
+    def build(self, source: str, entry: str, what: str) -> Callable:
+        try:
+            code = compile(source, f"<repro-jit:{what}>", "exec")
+        except (SyntaxError, ValueError, RecursionError, MemoryError) as exc:
+            raise IRCompileError(f"generated source rejected for {what}: {exc}") from None
+        namespace: dict = {}
+        exec(code, self.globals, namespace)
+        fn = namespace[entry]
+        fn.__repro_source__ = source  # introspection / debugging
+        return fn
+
+
+def compile_expr(
+    expr: Expr, params: Sequence[str], name: str = "expr"
+) -> Callable:
+    """Compile ``expr`` into ``f(*values)`` taking one positional argument
+    per name in ``params`` (in order; names must be distinct).
+
+    Equivalent to ``evaluate(expr, dict(zip(params, values)))``, minus the
+    per-call tree walk.  Free names outside ``params`` make the compilation
+    fail with :class:`IRCompileError` (the interpreter would raise
+    ``EvaluationError`` at run time; callers keep it as the fallback).
+    """
+    cg = _Codegen()
+    arglist = ", ".join(cg.mangle(p) for p in params)
+    lines: list[str] = [f"def _compiled({arglist}):"]
+    try:
+        result = cg.emit_stmts(expr, frozenset(params), lines, {})
+    except RecursionError:
+        raise IRCompileError(f"expression too deep to compile: {name}") from None
+    lines.append(f"    return {result}")
+    return cg.build("\n".join(lines) + "\n", "_compiled", name)
+
+
+def compile_online_step(program: OnlineProgram, name: str = "step") -> Callable:
+    """Compile an online program into ``step(state, element, extra=None)``.
+
+    A drop-in replacement for
+    ``lambda s, x, e=None: step_online(program, s, x, e)`` — same results,
+    same ``EvaluationError`` on a state-arity mismatch or a missing extra
+    binding — with the per-element interpretation replaced by one native
+    closure call.  Subexpressions shared between outputs (ubiquitous in
+    synthesized schemes) are evaluated once per step.
+    """
+    from .traversal import iter_subexprs
+
+    cg = _Codegen()
+    arity = program.arity
+    bound = frozenset(program.state_params) | {program.elem_param}
+    all_extras: list[str] = []
+    uncond: frozenset[str] = frozenset()
+    list_extras: set[str] = set()
+    for out in program.outputs:
+        for free in sorted(_free_names(out) - bound):
+            if free not in all_extras:
+                all_extras.append(free)
+        uncond |= _unconditional_free(out, bound)
+        for sub in iter_subexprs(out):
+            if isinstance(sub, ListVar) and sub.name not in bound:
+                list_extras.add(sub.name)
+    # Extras every step is guaranteed to look up are fetched once in the
+    # prologue; extras referenced only in conditionally evaluated positions
+    # (If branches, lambda bodies) are fetched lazily at each use site, so
+    # a missing binding raises exactly when the interpreter would.
+    eager_extras = [name for name in all_extras if name in uncond]
+    cg.lazy_extras = frozenset(all_extras) - frozenset(eager_extras)
+
+    lines = ["def _compiled_step(_state, _elem, _extra=None):"]
+    lines.append(f"    if len(_state) != {arity}:")
+    lines.append(
+        "        raise EvaluationError("
+        f"f\"online program expects {arity} state values, got {{len(_state)}}\")"
+    )
+    if arity == 1:
+        lines.append(f"    ({cg.mangle(program.state_params[0])},) = _state")
+    elif arity:
+        unpack = ", ".join(cg.mangle(p) for p in program.state_params)
+        lines.append(f"    {unpack} = _state")
+    for extra_name in eager_extras:
+        kind = "list variable" if extra_name in list_extras else "variable"
+        lines.append("    try:")
+        lines.append(f"        {cg.mangle(extra_name)} = _extra[{extra_name!r}]")
+        lines.append("    except (KeyError, TypeError):")
+        lines.append(
+            f"        raise EvaluationError(\"unbound {kind} {extra_name!r}\") from None"
+        )
+    # The element binds last: it shadows a state parameter of the same name,
+    # exactly like env[elem_param] = element in step_online.
+    lines.append(f"    {cg.mangle(program.elem_param)} = _elem")
+    all_bound = bound | frozenset(eager_extras)
+    memo: dict = {}
+    try:
+        outputs = [
+            cg.emit_stmts(out, all_bound, lines, memo) for out in program.outputs
+        ]
+    except RecursionError:
+        raise IRCompileError(f"online program too deep to compile: {name}") from None
+    if len(outputs) == 1:
+        lines.append(f"    return ({outputs[0]},)")
+    else:
+        lines.append(f"    return ({', '.join(outputs)})")
+    return cg.build("\n".join(lines) + "\n", "_compiled_step", name)

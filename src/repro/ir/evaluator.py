@@ -40,6 +40,40 @@ class EvaluationError(Exception):
     built-ins absorb."""
 
 
+_MISSING = object()
+
+
+class _ChainEnv:
+    """A parent-chained environment frame: O(1) to extend, lookups walk the
+    chain.  Replaces the full-dict copy the interpreter used to pay on every
+    closure call and every ``Let`` — bindings are immutable once created, so
+    sharing the tail is safe."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: dict, parent):
+        self.bindings = bindings
+        self.parent = parent
+
+    def get(self, name, default=None):
+        env = self
+        while type(env) is _ChainEnv:
+            value = env.bindings.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            env = env.parent
+        return default if env is None else env.get(name, default)
+
+    def __contains__(self, name) -> bool:
+        return self.get(name, _MISSING) is not _MISSING
+
+    def __getitem__(self, name):
+        value = self.get(name, _MISSING)
+        if value is _MISSING:
+            raise KeyError(name)
+        return value
+
+
 class Closure:
     """Runtime representation of a lambda abstraction."""
 
@@ -50,13 +84,13 @@ class Closure:
         self.env = env
 
     def __call__(self, *args: Value) -> Value:
-        if len(args) != len(self.lam.params):
+        params = self.lam.params
+        if len(args) != len(params):
             raise EvaluationError(
-                f"lambda expects {len(self.lam.params)} args, got {len(args)}"
+                f"lambda expects {len(params)} args, got {len(args)}"
             )
-        env = dict(self.env)
-        env.update(zip(self.lam.params, args))
-        return evaluate(self.lam.body, env)
+        frame = dict(zip(params, args)) if params else {}
+        return evaluate(self.lam.body, _ChainEnv(frame, self.env))
 
 
 def _eval_function(func, env: Mapping[str, Value]):
@@ -78,15 +112,20 @@ def evaluate(expr: Expr, env: Mapping[str, Value]) -> Value:
     if isinstance(expr, Const):
         return expr.value
     if isinstance(expr, Var):
-        if expr.name not in env:
+        value = env.get(expr.name, _MISSING)
+        if value is _MISSING:
             raise EvaluationError(f"unbound variable {expr.name!r}")
-        return env[expr.name]
+        return value
     if isinstance(expr, ListVar):
-        if expr.name not in env:
+        value = env.get(expr.name, _MISSING)
+        if value is _MISSING:
             raise EvaluationError(f"unbound list variable {expr.name!r}")
-        return env[expr.name]
+        return value
     if isinstance(expr, Lambda):
-        return Closure(expr, dict(env))
+        # Environments are never mutated once extended (Let and closure
+        # calls chain fresh frames instead), so capturing by reference is
+        # safe and copy-free.
+        return Closure(expr, env)
     if isinstance(expr, Call):
         fn = _eval_function(expr.func, env)
         args = [evaluate(a, env) for a in expr.args]
@@ -111,9 +150,7 @@ def evaluate(expr: Expr, env: Mapping[str, Value]) -> Value:
         return acc
     if isinstance(expr, Let):
         value = evaluate(expr.value, env)
-        inner = dict(env)
-        inner[expr.name] = value
-        return evaluate(expr.body, inner)
+        return evaluate(expr.body, _ChainEnv({expr.name: value}, env))
     if isinstance(expr, Snoc):
         lst = evaluate(expr.lst, env)
         elem = evaluate(expr.elem, env)

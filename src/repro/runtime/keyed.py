@@ -69,8 +69,9 @@ class KeyedOperator:
     def push_many(self, elements: Iterable[Value]) -> dict[Hashable, Value]:
         """Consume a batch; returns the full per-key snapshot — a defined
         value (``{}`` on a fresh operator) even for an empty batch."""
+        push = self.push
         for element in elements:
-            self.push(element)
+            push(element)
         return self.snapshot()
 
     def value(self, key: Hashable, default: Value | None = None) -> Value | None:

@@ -36,12 +36,20 @@ class OnlineOperator:
         scheme: OnlineScheme,
         extra: Mapping[str, Value] | None = None,
         name: str | None = None,
+        *,
+        jit: bool | None = None,
     ):
         self.scheme = scheme
         self.extra = dict(extra or {})
         self.name = name or scheme.provenance
         self.state: tuple[Value, ...] = scheme.initializer
         self.count = 0
+        # The execution backend is resolved once per operator: the compiled
+        # native closure by default, the interpreter under REPRO_JIT=0 or
+        # jit=False (or when the program is uncompilable).  See
+        # :mod:`repro.ir.compile`.
+        self._jit = jit
+        self._step = scheme._resolve_step(jit)
 
     @property
     def value(self) -> Value:
@@ -50,9 +58,10 @@ class OnlineOperator:
 
     def push(self, element: Value) -> Value:
         """Consume one element; returns the updated result."""
-        self.state = self.scheme.step(self.state, element, self.extra)
+        state = self._step(self.state, element, self.extra)
+        self.state = state
         self.count += 1
-        return self.state[0]
+        return state[0]
 
     def push_many(self, elements: Iterable[Value]) -> Value:
         """Consume a batch; returns the result after the last element.
@@ -61,9 +70,21 @@ class OnlineOperator:
         state untouched and returns the current value — ``fst(I)`` on a
         fresh operator, matching rule Lift-Nil of Figure 8.
         """
-        for element in elements:
-            self.push(element)
-        return self.value
+        # Hot loop: everything the per-element transition touches is a
+        # local.  The try/finally keeps partial progress visible if an
+        # element raises, matching the per-push behaviour.
+        step = self._step
+        extra = self.extra
+        state = self.state
+        consumed = 0
+        try:
+            for element in elements:
+                state = step(state, element, extra)
+                consumed += 1
+        finally:
+            self.state = state
+            self.count += consumed
+        return state[0]
 
     def reset(self) -> None:
         """Back to the initializer, as if freshly constructed."""
@@ -71,8 +92,9 @@ class OnlineOperator:
         self.count = 0
 
     def fork(self) -> "OnlineOperator":
-        """An independent copy sharing the scheme but not the state."""
-        clone = OnlineOperator(self.scheme, self.extra, self.name)
+        """An independent copy sharing the scheme (and execution backend
+        choice) but not the state."""
+        clone = OnlineOperator(self.scheme, self.extra, self.name, jit=self._jit)
         clone.state = self.state
         clone.count = self.count
         return clone
@@ -106,8 +128,10 @@ class StreamPipeline:
         """Consume a batch; returns the final snapshot — a defined value
         (the current snapshot, initializers on a fresh pipeline) even when
         ``elements`` is empty."""
+        ops = list(self.operators.values())
         for element in elements:
-            self.push(element)
+            for op in ops:
+                op.push(element)
         return self.snapshot()
 
     def run(self, source: Iterable[Value]) -> Iterator[dict[str, Value]]:

@@ -1,0 +1,514 @@
+"""Differential tests: the codegen backend vs the definitional interpreter.
+
+The compiled execution paths of :mod:`repro.ir.compile` claim bit-for-bit
+equivalence with :mod:`repro.ir.evaluator` over exact rationals — same
+values, same Python types (``int`` vs ``Fraction`` vs ``bool``), same
+exception classes on ill-formed input.  These tests enforce the claim on:
+
+* every ground-truth scheme of the suite, over adversarial streams (zeros
+  for safe-division, denominator-1 fractions for normalization, negatives,
+  int/Fraction mixes);
+* serialize -> load round-tripped schemes and keyed/checkpoint-resume runs;
+* hundreds of randomly enumerated candidate expressions per seed (the
+  population the equivalence oracle compiles);
+* the error contract (holes, unbound names, arity mismatches, projections);
+* the arithmetic fast-path helpers against the registry impls, including
+  the big-number float-degrade boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import SynthesisConfig
+from repro.core.equivalence import check_expr_equivalence
+from repro.core.rfs import RFS
+from repro.core.scheme import OnlineScheme
+from repro.ir.compile import (
+    IRCompileError,
+    _fast_add,
+    _fast_div,
+    _fast_mul,
+    _fast_neg,
+    _fast_sub,
+    compile_expr,
+    compile_online_step,
+    jit_enabled,
+)
+from repro.ir.builtins import get_builtin
+from repro.ir.evaluator import EvaluationError, evaluate, step_online
+from repro.ir.nodes import (
+    Call,
+    Const,
+    Hole,
+    If,
+    Lambda,
+    ListVar,
+    MakeTuple,
+    Map,
+    OnlineProgram,
+    Proj,
+    Var,
+)
+from repro.runtime import KeyedOperator, OnlineOperator
+from repro.runtime.checkpoint import restore_keyed
+from repro.suites import all_benchmarks, get_benchmark
+
+#: Exception classes the oracle treats as a failing candidate; "raises
+#: equivalently" means both backends raise the same class from this set.
+ORACLE_ERRORS = (EvaluationError, ArithmeticError, TypeError, ValueError)
+
+
+def assert_same_value(a, b, where=""):
+    """Bit-for-bit: equal values of identical Python types, recursively."""
+    assert type(a) is type(b), f"{where}: {type(a).__name__} != {type(b).__name__} ({a!r} vs {b!r})"
+    if isinstance(a, (tuple, list)):
+        assert len(a) == len(b), f"{where}: {a!r} vs {b!r}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_same_value(x, y, f"{where}[{i}]")
+    elif isinstance(a, float) and a != a:  # nan: both backends produced one
+        assert b != b, f"{where}: nan vs {b!r}"
+    else:
+        assert a == b, f"{where}: {a!r} != {b!r}"
+
+
+def adversarial_stream(arity: int, seed: str, n: int = 60):
+    """Zeros, negatives, denominator-1 fractions, int/Fraction mixes —
+    the values where safe division and normalization actually matter."""
+    rng = random.Random(seed)
+    pool = [
+        0,
+        1,
+        -1,
+        2,
+        -3,
+        7,
+        Fraction(0),
+        Fraction(1, 3),
+        Fraction(-2, 5),
+        Fraction(6, 3),  # normalizes to int through arithmetic
+        Fraction(22, 7),
+        Fraction(-9, 4),
+    ]
+    if arity <= 1:
+        return [rng.choice(pool) for _ in range(n)]
+    return [
+        (rng.choice(pool), rng.choice((0, 1, 2, Fraction(1), Fraction(3))))
+        for _ in range(n)
+    ]
+
+
+def run_differential(scheme, stream, extra):
+    """Step the compiled and interpreted backends side by side."""
+    compiled = scheme.compiled_step()
+    interp = scheme.interpreted_step
+    s_c = s_i = scheme.initializer
+    for i, element in enumerate(stream):
+        s_i = interp(s_i, element, extra)
+        s_c = compiled(s_c, element, extra)
+        assert_same_value(s_i, s_c, f"step {i}")
+    return s_i
+
+
+class TestGroundTruthSchemes:
+    def test_every_ground_truth_differential(self):
+        for bench in all_benchmarks():
+            scheme = bench.ground_truth
+            stream = adversarial_stream(bench.element_arity, bench.name)
+            extra = {
+                name: value
+                for name, value in zip(
+                    scheme.program.extra_params,
+                    (2, Fraction(1, 2), 0, -3) * 4,
+                )
+            }
+            run_differential(scheme, stream, extra)
+
+    def test_safe_division_edge_cases(self):
+        # mean's first step divides by the zero-initialized count; harmonic
+        # mean divides by sums that pass through zero on 1, -1 inputs.
+        for name in ("mean", "harmonic_mean", "cv", "q_hit_rate"):
+            bench = get_benchmark(name)
+            stream = [0, 0, 1, -1, Fraction(1, 2), Fraction(-1, 2), 0][: 7]
+            if bench.element_arity == 2:
+                stream = [(v, 1) for v in stream]
+            extra = {p: 0 for p in bench.ground_truth.program.extra_params}
+            run_differential(bench.ground_truth, stream, extra)
+
+    def test_scheme_step_uses_compiled_by_default(self):
+        scheme = get_benchmark("variance").ground_truth
+        if jit_enabled():
+            assert scheme._resolve_step() is scheme.compiled_step()
+
+    def test_run_and_final_match_interpreter(self, monkeypatch):
+        scheme = get_benchmark("variance").ground_truth
+        stream = adversarial_stream(1, "run")
+        monkeypatch.setenv("REPRO_JIT", "0")
+        interpreted = scheme.run_to_list(stream)
+        monkeypatch.setenv("REPRO_JIT", "1")
+        compiled = scheme.run_to_list(stream)
+        assert_same_value(interpreted, compiled, "run_to_list")
+        assert_same_value(
+            scheme.final(stream),
+            interpreted[-1],
+            "final",
+        )
+
+
+class TestRoundTripAndPickle:
+    def test_serialized_scheme_compiles_identically(self):
+        for name in ("variance", "skewness", "q_category_max", "q_avg_converted"):
+            bench = get_benchmark(name)
+            original = bench.ground_truth
+            loaded = OnlineScheme.loads(original.dumps())
+            assert loaded._compiled_step is None  # cold cache on a new object
+            stream = adversarial_stream(bench.element_arity, f"rt:{name}")
+            extra = {p: 3 for p in original.program.extra_params}
+            expected = run_differential(original, stream, extra)
+            got = run_differential(loaded, stream, extra)
+            assert_same_value(expected, got, name)
+
+    def test_pickle_drops_compiled_closure(self):
+        scheme = get_benchmark("variance").ground_truth
+        scheme.compiled_step()  # warm the cache
+        clone = pickle.loads(pickle.dumps(scheme))
+        assert clone._compiled_step is None
+        assert clone == scheme
+        # and the clone compiles freshly to the same behaviour
+        stream = adversarial_stream(1, "pickle")
+        assert_same_value(
+            run_differential(scheme, stream, {}),
+            run_differential(clone, stream, {}),
+            "pickled clone",
+        )
+
+
+class TestRuntimeOperators:
+    def test_operator_jit_flag_is_bit_for_bit(self):
+        scheme = get_benchmark("variance").ground_truth
+        stream = adversarial_stream(1, "op")
+        fast = OnlineOperator(scheme)
+        slow = OnlineOperator(scheme, jit=False)
+        assert slow._step == scheme.interpreted_step
+        for x in stream:
+            assert_same_value(fast.push(x), slow.push(x), "push")
+        assert_same_value(fast.state, slow.state, "state")
+        assert fast.count == slow.count
+
+    def test_fork_preserves_jit_choice(self):
+        scheme = get_benchmark("variance").ground_truth
+        clone = OnlineOperator(scheme, jit=False).fork()
+        assert clone._step == scheme.interpreted_step
+        assert OnlineOperator(scheme).fork()._step is scheme.compiled_step()
+
+    def test_push_many_commits_partial_progress_on_error(self):
+        scheme = get_benchmark("sum").ground_truth
+        op = OnlineOperator(scheme)
+        with pytest.raises(TypeError):
+            op.push_many([1, 2, (3, 4), 5])  # tuple: numeric op on non-number
+        assert op.count == 2
+        assert op.value == 3
+
+    def test_keyed_checkpoint_resume_differential(self, monkeypatch):
+        bench = get_benchmark("q_category_max")
+        scheme = bench.ground_truth
+        stream = adversarial_stream(2, "keyed", n=80)
+        key_fn = lambda e: e[1]  # noqa: E731
+        extra = {p: 2 for p in scheme.program.extra_params}
+
+        def full_run(jit_env):
+            monkeypatch.setenv("REPRO_JIT", jit_env)
+            op = KeyedOperator(scheme, key_fn, extra=extra)
+            op.push_many(stream)
+            return op.snapshot()
+
+        def interrupted_run():
+            monkeypatch.setenv("REPRO_JIT", "1")
+            op = KeyedOperator(scheme, key_fn, extra=extra)
+            op.push_many(stream[:37])
+            resumed = restore_keyed(op.checkpoint(), key_fn)
+            resumed.push_many(stream[37:])
+            return resumed.snapshot()
+
+        compiled, interpreted, resumed = full_run("1"), full_run("0"), interrupted_run()
+        assert list(compiled) == list(interpreted) == list(resumed)
+        for key in compiled:
+            assert_same_value(compiled[key], interpreted[key], f"key {key!r}")
+            assert_same_value(compiled[key], resumed[key], f"resumed key {key!r}")
+
+
+# -- randomly enumerated candidates ------------------------------------------
+
+_BINOPS = ("add", "sub", "mul", "div", "min", "max", "pow")
+_UNOPS = ("neg", "abs", "sqrt", "not", "sign")
+_PREDICATES = ("lt", "le", "gt", "ge", "eq", "ne", "and", "or")
+
+
+def random_candidate(rng: random.Random, names, depth: int):
+    """Random expressions over the online-candidate grammar (the population
+    ``check_expr_equivalence`` compiles: no lambdas, no combinators)."""
+    if depth <= 0 or rng.random() < 0.3:
+        roll = rng.random()
+        if roll < 0.55:
+            return Var(rng.choice(names))
+        if roll < 0.8:
+            return Const(rng.choice((0, 1, 2, -1, 3)))
+        if roll < 0.95:
+            return Const(rng.choice((Fraction(1, 2), Fraction(-2, 3), Fraction(5, 1))))
+        return Const(rng.choice((True, False)))
+    roll = rng.random()
+    sub = lambda: random_candidate(rng, names, depth - 1)  # noqa: E731
+    if roll < 0.45:
+        return Call(rng.choice(_BINOPS), (sub(), sub()))
+    if roll < 0.6:
+        return Call(rng.choice(_UNOPS), (sub(),))
+    if roll < 0.75:
+        return If(Call(rng.choice(_PREDICATES), (sub(), sub())), sub(), sub())
+    if roll < 0.85:
+        return MakeTuple((sub(), sub()))
+    return Proj(sub(), rng.randint(0, 2))
+
+
+def random_env(rng: random.Random, names):
+    pool = (0, 1, -2, Fraction(1, 3), Fraction(-7, 2), Fraction(4, 2), (1, 2), True)
+    return {name: rng.choice(pool) for name in names}
+
+
+@pytest.mark.parametrize("seed", [2024, 2025, 2026])
+def test_random_candidates_differential(seed):
+    """>= 200 random candidates per seed: compiled evaluation must produce
+    the same value (type included) or raise the same exception class as the
+    interpreter on every environment."""
+    rng = random.Random(seed)
+    names = ("y1", "y2", "x")
+    envs = [random_env(rng, names) for _ in range(8)]
+    checked = 0
+    while checked < 200:
+        expr = random_candidate(rng, names, rng.randint(1, 4))
+        fn = compile_expr(expr, names, name=f"candidate:{seed}:{checked}")
+        for env in envs:
+            args = [env[n] for n in names]
+            try:
+                expected = evaluate(expr, env)
+                raised = None
+            except ORACLE_ERRORS as exc:
+                raised = type(exc)
+            if raised is None:
+                got = fn(*args)
+                assert_same_value(expected, got, f"seed {seed} #{checked}")
+            else:
+                with pytest.raises(raised):
+                    fn(*args)
+        checked += 1
+
+
+def test_oracle_agrees_with_and_without_jit(monkeypatch):
+    """check_expr_equivalence must accept/reject identically either way."""
+    rfs = RFS(entries={"s": Call("length", (ListVar("xs"),))}, list_param="xs")
+    config = SynthesisConfig(timeout_s=10)
+    good = Call("add", (Var("s"), Const(1)))  # len(xs ++ [x]) == s + 1
+    bad = Call("add", (Var("s"), Var("x")))
+    spec = Call("length", (ListVar("xs"),))
+    results = {}
+    for env_value in ("1", "0"):
+        monkeypatch.setenv("REPRO_JIT", env_value)
+        results[env_value] = (
+            check_expr_equivalence(spec, good, rfs, config),
+            check_expr_equivalence(spec, bad, rfs, config),
+        )
+    assert results["1"] == results["0"]
+    assert results["1"][0] is True
+    assert results["1"][1] is False
+
+
+# -- the error contract -------------------------------------------------------
+
+
+class TestErrorContract:
+    def test_hole_fails_at_compile_time(self):
+        with pytest.raises(IRCompileError):
+            compile_expr(Call("add", (Hole(0), Const(1))), ("x",))
+        program = OnlineProgram(("y",), "x", (Hole(0),))
+        with pytest.raises(IRCompileError):
+            compile_online_step(program)
+        # ...and the scheme transparently falls back to the interpreter,
+        # which raises exactly as it always did.
+        scheme = OnlineScheme((0,), program)
+        assert scheme._resolve_step() == scheme.interpreted_step
+        with pytest.raises(EvaluationError):
+            scheme.step((0,), 1)
+
+    def test_unbound_variable_fails_at_compile_time(self):
+        with pytest.raises(IRCompileError):
+            compile_expr(Var("nope"), ("x",))
+
+    def test_state_arity_mismatch(self):
+        scheme = get_benchmark("variance").ground_truth
+        with pytest.raises(EvaluationError):
+            scheme.compiled_step()((1, 2), 3)
+        with pytest.raises(EvaluationError):
+            scheme.interpreted_step((1, 2), 3)
+
+    def test_extra_used_only_in_untaken_branch(self):
+        """An extra referenced only inside a never-taken If branch must not
+        be required eagerly: the interpreter only looks names up when the
+        branch runs, and compiled steps must match (fetch-at-use-site)."""
+        program = OnlineProgram(
+            ("s",),
+            "x",
+            (
+                If(
+                    Call("gt", (Var("x"), Const(0))),
+                    Call("add", (Var("s"), Var("x"))),
+                    Var("opt"),  # only reachable when x <= 0
+                ),
+            ),
+        )
+        compiled = compile_online_step(program)
+        # x > 0: both backends succeed without the binding
+        assert_same_value(
+            step_online(program, (0,), 5, {}), compiled((0,), 5, {}), "taken"
+        )
+        assert_same_value(
+            step_online(program, (0,), 5, None), compiled((0,), 5, None), "none"
+        )
+        # x <= 0: both raise; with the binding, both use it
+        with pytest.raises(EvaluationError):
+            compiled((0,), -1, {})
+        with pytest.raises(EvaluationError):
+            step_online(program, (0,), -1, {})
+        assert_same_value(
+            step_online(program, (0,), -1, {"opt": Fraction(1, 2)}),
+            compiled((0,), -1, {"opt": Fraction(1, 2)}),
+            "bound branch",
+        )
+
+    def test_missing_extra_binding(self):
+        bench = get_benchmark("count_above")  # needs extra param 't'
+        scheme = bench.ground_truth
+        for step in (scheme.compiled_step(), scheme.interpreted_step):
+            with pytest.raises(EvaluationError):
+                step(scheme.initializer, 1, {})
+            with pytest.raises(EvaluationError):
+                step(scheme.initializer, 1, None)
+
+    def test_lambda_arity_mismatch_inside_map(self):
+        two_arg = Lambda(("a", "b"), Call("add", (Var("a"), Var("b"))))
+        expr = Map(two_arg, Var("xs"))
+        fn = compile_expr(expr, ("xs",))
+        assert fn([]) == []  # empty list: the closure is never invoked
+        with pytest.raises(EvaluationError):
+            fn([1, 2])
+        with pytest.raises(EvaluationError):
+            evaluate(expr, {"xs": [1, 2]})
+
+    def test_direct_call_arity_mismatch(self):
+        expr = Call(Lambda(("a",), Var("a")), (Const(1), Const(2)))
+        fn = compile_expr(expr, ())
+        with pytest.raises(EvaluationError):
+            fn()
+        with pytest.raises(EvaluationError):
+            evaluate(expr, {})
+
+    def test_projection_errors(self):
+        expr = Proj(Var("x"), 5)
+        fn = compile_expr(expr, ("x",))
+        for value in (3, (1, 2)):
+            with pytest.raises(EvaluationError):
+                fn(value)
+            with pytest.raises(EvaluationError):
+                evaluate(expr, {"x": value})
+
+    def test_numeric_op_on_non_numbers(self):
+        expr = Call("add", (Var("x"), Var("y")))
+        fn = compile_expr(expr, ("x", "y"))
+        with pytest.raises(TypeError):
+            fn((1, 2), (3, 4))  # tuple + tuple must not concatenate
+        with pytest.raises(TypeError):
+            evaluate(expr, {"x": (1, 2), "y": (3, 4)})
+
+    def test_unknown_builtin_fails_at_compile_time(self):
+        with pytest.raises(IRCompileError):
+            compile_expr(Call("frobnicate", (Var("x"),)), ("x",))
+
+
+# -- fast-path helpers vs registry impls --------------------------------------
+
+_GRID = (
+    0,
+    1,
+    -1,
+    2,
+    -7,
+    10**6,
+    True,
+    False,
+    Fraction(1, 3),
+    Fraction(-2, 5),
+    Fraction(7, 1),
+    Fraction(0, 3),
+    0.5,
+    -2.25,
+    float("inf"),
+)
+
+
+@pytest.mark.parametrize(
+    "fast,name",
+    [
+        (_fast_add, "add"),
+        (_fast_sub, "sub"),
+        (_fast_mul, "mul"),
+        (_fast_div, "div"),
+    ],
+)
+def test_fast_binary_ops_match_registry(fast, name):
+    impl = get_builtin(name).impl
+    for a in _GRID:
+        for b in _GRID:
+            try:
+                expected = impl(a, b)
+                raised = None
+            except ORACLE_ERRORS as exc:
+                expected, raised = None, type(exc)
+            if raised is None:
+                assert_same_value(expected, fast(a, b), f"{name}({a!r}, {b!r})")
+            else:
+                with pytest.raises(raised):
+                    fast(a, b)
+
+
+def test_fast_neg_matches_registry():
+    impl = get_builtin("neg").impl
+    for a in _GRID:
+        if isinstance(a, bool):
+            continue  # -True is 'defined' by Python; impl and fast agree anyway
+        assert_same_value(impl(a), _fast_neg(a), f"neg({a!r})")
+
+
+def test_fast_ops_respect_big_number_degrade():
+    """Past a combined 2**20 bits the registry wrapper degrades to floats;
+    the fast paths must take the same route (via the wrapper fallback)."""
+    impl = get_builtin("mul").impl
+    big = 1 << (1 << 20)
+    assert_same_value(impl(big, big), _fast_mul(big, big), "mul(big, big)")
+    assert_same_value(impl(big, 3), _fast_mul(big, 3), "mul(big, 3)")
+    huge_frac = Fraction(big, 7)
+    assert_same_value(
+        impl(huge_frac, Fraction(1, 3)),
+        _fast_mul(huge_frac, Fraction(1, 3)),
+        "mul(huge_frac, 1/3)",
+    )
+
+
+def test_fast_div_safe_conventions():
+    assert _fast_div(5, 0) == 0
+    assert _fast_div(Fraction(1, 2), 0) == 0
+    assert _fast_div(Fraction(1, 2), Fraction(0, 3)) == 0
+    assert_same_value(_fast_div(1, 3), Fraction(1, 3), "1/3")
+    assert_same_value(_fast_div(6, 3), 2, "6/3 normalizes to int")
+    assert_same_value(_fast_div(Fraction(1, 2), -2), Fraction(-1, 4), "sign")

@@ -16,6 +16,10 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
       python -m repro run s.json --source bids:500 --key-field 1 --value-field 0
       python -m repro run s.json --source counter:50 --checkpoint ck.json
       python -m repro run s.json --source counter:50 --resume ck.json
+      python -m repro run s.json --source constant:3 --max-elements 1000
+
+  Unbounded source specs (``constant:V``, bare ``counter``) are rejected
+  unless bounded with ``--max-elements`` — they would otherwise hang.
 
 * ``cache`` — maintain the on-disk result cache and scheme store::
 
@@ -33,12 +37,20 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
 * ``bench`` — run solvers over the suite and print summaries or regenerate
   a paper artifact.  The target is either a domain (``stats`` / ``auction``
   / ``all``, default) or a named artifact (``table1``, ``table2``,
-  ``fig11``, ``fig13``, ``runtime``)::
+  ``fig11``, ``fig13``, ``runtime``, ``holes``)::
 
       python -m repro bench --solver opera --domain stats --timeout 10
-      python -m repro bench table1 --workers 4
+      python -m repro bench table1 --workers 4 --hole-workers 2
       python -m repro bench table2 --workers 8 --no-cache
       python -m repro bench runtime --out BENCH_runtime.json
+      python -m repro bench holes --hole-workers 4 --out BENCH_holes.json
+
+  ``--workers`` shards (solver, benchmark) tasks across processes;
+  ``--hole-workers`` / ``REPRO_HOLE_WORKERS`` additionally spread one
+  task's sketch holes across processes (identical reports and cache keys,
+  only faster — see :mod:`repro.core.parallel_synthesize`).  ``bench
+  holes`` measures exactly that speedup on multi-hole tasks
+  (:mod:`repro.evaluation.hole_bench`).
 
   ``bench runtime`` measures per-element throughput of compiled vs
   interpreted scheme steps (see :mod:`repro.ir.compile`) over ground-truth
@@ -72,6 +84,7 @@ from .core.serialize import SchemeFormatError
 from .evaluation import (
     ResultCache,
     ascii_cdf,
+    default_hole_workers,
     default_timeout,
     default_workers,
     resolve_cache,
@@ -95,7 +108,7 @@ from .store import SchemeStore, resolve_store
 from .suites import all_benchmarks, benchmarks_for, get_benchmark
 
 #: Artifact names accepted as ``bench`` targets, besides domains.
-ARTIFACTS = ("table1", "table2", "fig11", "fig13", "runtime")
+ARTIFACTS = ("table1", "table2", "fig11", "fig13", "runtime", "holes")
 DOMAINS = ("stats", "auction", "all")
 
 
@@ -117,7 +130,24 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         return 2
 
     print(f"offline program:\n  {pretty_program(program)}\n")
-    config = SynthesisConfig(timeout_s=args.timeout, element_arity=element_arity)
+    try:
+        hole_workers = (
+            args.hole_workers
+            if args.hole_workers is not None
+            else default_hole_workers()
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if hole_workers < 1:
+        print(f"error: --hole-workers must be >= 1, got {hole_workers}",
+              file=sys.stderr)
+        return 2
+    config = SynthesisConfig(
+        timeout_s=args.timeout,
+        element_arity=element_arity,
+        hole_workers=hole_workers,
+    )
     report = synthesize(program, config, name)
     print(report.summary_line())
     if report.scheme is None:
@@ -252,10 +282,83 @@ def _bench_runtime(args, timeout: float, workers: int) -> int:
     return 0
 
 
+def _bench_holes(args, timeout: float) -> int:
+    """``repro bench holes`` — wall-clock of sequential vs hole-parallel
+    synthesis on multi-hole tasks (reports must be identical; see
+    :mod:`repro.evaluation.hole_bench`).
+
+    Writes ``BENCH_holes.json`` with --out; --assert-speedup is the CI gate
+    (skipped with a warning on single-core machines, where a parallel
+    wall-clock win is physically impossible).
+    """
+    from .evaluation.hole_bench import (
+        format_holes_report,
+        run_hole_benchmark,
+        write_holes_report,
+    )
+
+    if args.hole_workers is not None and args.hole_workers < 2:
+        # The benchmark compares sequential vs parallel, so an explicit 1
+        # cannot be honoured — refuse rather than silently measure with 2.
+        print("error: bench holes needs --hole-workers >= 2 (it compares "
+              "against the sequential run)", file=sys.stderr)
+        return 2
+    names = None
+    if args.task:
+        names = [t for chunk in args.task for t in chunk.split(",") if t]
+    try:
+        report = run_hole_benchmark(
+            names,
+            # No explicit flag: ignore the REPRO_HOLE_WORKERS suite default
+            # (it may be 1) and compare against two workers.
+            hole_workers=args.hole_workers if args.hole_workers else 2,
+            timeout_s=timeout,
+            repeats=args.repeats,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except AssertionError as exc:
+        print(f"error: parallel/sequential reports diverge: {exc}",
+              file=sys.stderr)
+        return 1
+    print(format_holes_report(report))
+    if args.out:
+        write_holes_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.assert_speedup is not None:
+        best = max(
+            (entry["speedup"] for entry in report["benchmarks"].values()),
+            default=0.0,
+        )
+        if report["cpu_count"] < 2:
+            print(
+                f"warning: only {report['cpu_count']} CPU core(s) — a parallel "
+                f"wall-clock speedup is not measurable here; best was "
+                f"{best:.2f}x, gate skipped",
+                file=sys.stderr,
+            )
+        elif best < args.assert_speedup:
+            print(
+                f"error: best hole-parallel speedup {best:.2f}x is below the "
+                f"{args.assert_speedup}x gate",
+                file=sys.stderr,
+            )
+            return 1
+        else:
+            print(f"best hole-parallel speedup {best:.2f}x >= {args.assert_speedup}x")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         timeout = args.timeout if args.timeout is not None else default_timeout()
         workers = args.workers if args.workers is not None else default_workers()
+        hole_workers = (
+            args.hole_workers
+            if args.hole_workers is not None
+            else default_hole_workers()
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -268,14 +371,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if workers < 1:
         print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
         return 2
+    if hole_workers < 1:
+        print(f"error: --hole-workers must be >= 1, got {hole_workers}",
+              file=sys.stderr)
+        return 2
     if args.target == "runtime":
         # The throughput benchmark times both backends itself; the result
         # cache never applies (ground-truth schemes, uncached synthesis).
         return _bench_runtime(args, timeout, workers)
+    if args.target == "holes":
+        return _bench_holes(args, timeout)
     cache = resolve_cache(
         enabled=False if args.no_cache else None, directory=args.cache_dir
     )
-    config = SynthesisConfig(timeout_s=timeout)
+    config = SynthesisConfig(timeout_s=timeout, hole_workers=hole_workers)
 
     if args.target == "table1":
         code = _bench_table1(args, config, workers, cache)
@@ -363,12 +472,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (OSError, SchemeFormatError) as exc:
         print(f"error: cannot load scheme {args.scheme}: {exc}", file=sys.stderr)
         return 2
+    if args.max_elements is not None and args.max_elements < 0:
+        print(f"error: --max-elements must be >= 0, got {args.max_elements}",
+              file=sys.stderr)
+        return 2
     try:
-        stream = sources.from_spec(args.source)
+        # An explicit --max-elements makes unbounded sources safe to drain.
+        stream = sources.from_spec(
+            args.source, allow_unbounded=args.max_elements is not None
+        )
         extra = _parse_extra(args.extra)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        hint = (
+            " (or pass --max-elements N)" if "unbounded" in str(exc) else ""
+        )
+        print(f"error: {exc}{hint}", file=sys.stderr)
         return 2
+    if args.max_elements is not None:
+        import itertools
+
+        stream = itertools.islice(stream, args.max_elements)
 
     keyed = args.key_field is not None
     key_fn = value_fn = None
@@ -403,9 +526,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 for part in getattr(op, "partitions", {}).values():
                     part.extra.update(extra)
         elif keyed:
-            op = KeyedOperator(scheme, key_fn, value_fn=value_fn, extra=extra)
+            # jit=False forwards to every partition operator (the env knob
+            # above covers checkpoint-restored operators too).
+            op = KeyedOperator(
+                scheme, key_fn, value_fn=value_fn, extra=extra,
+                jit=False if args.no_jit else None,
+            )
         else:
-            op = OnlineOperator(scheme, extra)
+            op = OnlineOperator(scheme, extra, jit=False if args.no_jit else None)
     except (OSError, CheckpointError) as exc:
         message = str(exc)
         if "key_fn" in message:
@@ -534,7 +662,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("scheme", help="scheme file produced by `repro compile`")
     p_run.add_argument("--source", required=True,
-                       help="source spec, e.g. counter:100, bids:500, list:1,2,3")
+                       help="source spec, e.g. counter:100, bids:500, list:1,2,3 "
+                            "(unbounded specs like constant:3 need --max-elements)")
+    p_run.add_argument("--max-elements", type=int, default=None, metavar="N",
+                       help="stop after N elements; also the only way to run "
+                            "an unbounded source spec (constant:V, counter)")
     p_run.add_argument("--extra", action="append", metavar="NAME=VALUE",
                        help="bind an extra scalar parameter of the scheme")
     p_run.add_argument("--key-field", type=int, default=None, metavar="I",
@@ -576,6 +708,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.add_argument("--python", help="path to a Python batch function")
     p_syn.add_argument("--sexpr", help="path to an s-expression program")
     p_syn.add_argument("--timeout", type=float, default=60.0)
+    p_syn.add_argument(
+        "--hole-workers", type=int, default=None,
+        help="processes for intra-task hole-level parallelism (default: "
+        "REPRO_HOLE_WORKERS or 1; results are identical to sequential "
+        "synthesis, only faster)",
+    )
     p_syn.set_defaults(func=_cmd_synthesize)
 
     p_bench = sub.add_parser(
@@ -603,6 +741,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: REPRO_BENCH_WORKERS or 1; >1 "
         "enables hard wall-clock kills of runaway tasks)",
+    )
+    p_bench.add_argument(
+        "--hole-workers",
+        type=int,
+        default=None,
+        help="processes for intra-task hole-level parallelism within each "
+        "synthesis task (default: REPRO_HOLE_WORKERS or 1; never changes "
+        "reports or cache keys, only wall-clock)",
     )
     p_bench.add_argument(
         "--no-cache",

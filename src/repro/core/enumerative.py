@@ -36,7 +36,7 @@ from .equivalence import (
     random_list,
     rfs_environment,
 )
-from .exceptions import SynthesisTimeout
+from .exceptions import EnumerationCapExceeded, SynthesisTimeout
 from .rfs import RFS
 
 #: Binary arithmetic always available to the online grammar.
@@ -127,9 +127,19 @@ def enumerate_expression(
     seeds: Iterable[Expr] = (),
     salt: str = "",
     stats: EnumStats | None = None,
+    terminal_tail: Sequence[Expr] | None = None,
+    generated_cap: int | None = None,
 ) -> Expr | None:
     """Size-bounded bottom-up search for an online expression matching the
-    specification modulo the RFS."""
+    specification modulo the RFS.
+
+    ``terminal_tail`` overrides the constant/seed portion of the terminal
+    pool (the variables always stay) — the hook enumeration sharding uses to
+    give each shard its own deterministic slice of the pool.
+    ``generated_cap`` bounds the number of candidates *generated* — a
+    deterministic work cap (machine-independent, unlike the wall clock) that
+    lets a portfolio shard give up cheaply and identically everywhere.
+    """
     stats = stats if stats is not None else EnumStats()
     bank = build_bank(rfs, spec, config, salt)
     if bank is None:
@@ -138,10 +148,11 @@ def enumerate_expression(
     terminals: list[Expr] = [Var(name) for name in rfs.names]
     terminals.append(Var(ELEM_PARAM))
     terminals.extend(Var(name) for name in rfs.extra_params)
-    terminals.extend([Const(0), Const(1), Const(2)])
-    for seed in seeds:
-        if seed not in terminals:
-            terminals.append(seed)
+    if terminal_tail is None:
+        terminal_tail = _terminal_tail(seeds)
+    for extra in terminal_tail:
+        if extra not in terminals:
+            terminals.append(extra)
 
     offline_ops = used_builtins(spec)
     binops = list(_CORE_BINOPS) + [
@@ -173,8 +184,10 @@ def enumerate_expression(
         stats.generated += 1
         if stats.generated % 2048 == 0 and config.expired():
             raise SynthesisTimeout("enumeration budget exhausted")
+        if generated_cap is not None and stats.generated > generated_cap:
+            raise EnumerationCapExceeded("enumeration work cap exhausted")
         if stats.kept > config.enumeration_max_kept:
-            raise SynthesisTimeout("enumeration memory budget exhausted")
+            raise EnumerationCapExceeded("enumeration memory budget exhausted")
         signature = _signature(expr, bank.envs)
         if signature is None:
             return None
@@ -263,6 +276,74 @@ def enumerate_expression(
                             return found
             if config.expired():
                 raise SynthesisTimeout("enumeration budget exhausted")
+    return None
+
+
+def _terminal_tail(seeds: Iterable[Expr]) -> list[Expr]:
+    """The non-variable terminal pool: small constants plus mined seeds."""
+    tail: list[Expr] = [Const(0), Const(1), Const(2)]
+    for seed in seeds:
+        if seed not in tail:
+            tail.append(seed)
+    return tail
+
+
+def shard_terminal_tail(
+    seeds: Iterable[Expr], shard: int, shards: int
+) -> list[Expr]:
+    """Deterministic round-robin slice of the constant/seed pool for one
+    enumeration shard (variables are shared by every shard)."""
+    return _terminal_tail(seeds)[shard::shards]
+
+
+def enumerate_sharded(
+    rfs: RFS,
+    spec: Expr,
+    config: SynthesisConfig,
+    seeds: Iterable[Expr] = (),
+    salt: str = "",
+    only_shard: int | None = None,
+    stats: EnumStats | None = None,
+) -> Expr | None:
+    """Portfolio enumeration over ``config.enum_shards`` deterministic shards.
+
+    Shard ``s < K`` enumerates with the ``s``-th round-robin slice of the
+    constant/seed pool, its own observational-equivalence bank (the bank
+    salt includes the shard index), and a deterministic work cap so a
+    fruitless shard gives up cheaply — and *identically* on any machine or
+    process.  Shard ``K`` is the plain unsharded search — the completeness
+    fallback, byte-identical to ``enum_shards == 1``.  Shards are tried in
+    index order and the first accepting shard wins, so the result is
+    reproducible and independent of *how* the shards execute:
+    :mod:`repro.core.parallel_synthesize` runs them as concurrent
+    sub-processes and applies the same lowest-shard-index-wins rule.
+
+    ``only_shard`` restricts the call to a single shard index (``K`` for the
+    fallback) — the picklable unit the parallel dispatcher runs per worker.
+    """
+    seeds = list(seeds)
+    shards = config.enum_shards
+    order = range(shards + 1) if only_shard is None else (only_shard,)
+    for shard in order:
+        if shard >= shards:  # the unsharded completeness fallback
+            found = enumerate_expression(
+                rfs, spec, config, seeds=seeds, salt=salt, stats=stats
+            )
+        else:
+            try:
+                found = enumerate_expression(
+                    rfs,
+                    spec,
+                    config,
+                    salt=f"{salt}@shard{shard}/{shards}",
+                    stats=stats,
+                    terminal_tail=shard_terminal_tail(seeds, shard, shards),
+                    generated_cap=config.enum_shard_generated_cap,
+                )
+            except EnumerationCapExceeded:
+                found = None  # this shard gave up; the next one still runs
+        if found is not None:
+            return found
     return None
 
 

@@ -11,6 +11,15 @@ class SynthesisTimeout(SynthesisError):
     """The per-task time budget was exhausted (10 minutes in the paper)."""
 
 
+class EnumerationCapExceeded(SynthesisTimeout):
+    """A *deterministic* enumeration work cap was hit (candidates kept or
+    generated).  Unlike its wall-clock parent this is a pure function of the
+    search, not of the machine — enumeration shards rely on that to give up
+    identically in any process (:func:`repro.core.enumerative
+    .enumerate_sharded` treats it as "this shard found nothing" and moves
+    on, while a wall-clock timeout still aborts the whole task)."""
+
+
 class HoleSynthesisFailure(SynthesisError):
     """No online expression was found for a sketch hole."""
 

@@ -10,7 +10,8 @@ flags of ``python -m repro bench``.
 from .cache import ResultCache, cache_enabled, default_cache_dir, resolve_cache
 from .cdf import ascii_cdf, cdf_series
 from .export import matrix_to_csv, matrix_to_json, suite_to_records, write_artifacts
-from .parallel import Task, default_workers, execute_tasks
+from .hole_bench import run_hole_benchmark
+from .parallel import Task, default_hole_workers, default_workers, execute_tasks
 from .runner import SuiteResult, default_timeout, run_matrix, run_suite
 from .runtime_bench import (
     format_report,
@@ -27,6 +28,7 @@ __all__ = [
     "cache_enabled",
     "cdf_series",
     "default_cache_dir",
+    "default_hole_workers",
     "default_timeout",
     "default_workers",
     "execute_tasks",
@@ -35,6 +37,7 @@ __all__ = [
     "matrix_to_json",
     "qualitative",
     "resolve_cache",
+    "run_hole_benchmark",
     "run_matrix",
     "run_runtime_benchmark",
     "run_suite",

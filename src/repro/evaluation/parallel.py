@@ -16,51 +16,74 @@ supervisor can enforce the budget from the outside:
   deterministic benchmark order of the final
   :class:`~repro.evaluation.runner.SuiteResult`.
 
+The spawn/reap/deadline core lives in :class:`repro.supervisor.
+ProcessSupervisor`, shared with the hole-level parallelism of
+:mod:`repro.core.parallel_synthesize`; this module only maps its generic
+job results onto :class:`~repro.core.report.SynthesisReport`.
+
 Workers are forked where available (Linux; solver and program reach the
 child by inheritance) and spawned elsewhere, in which case task payloads
 must be picklable — which :class:`~repro.core.config.SynthesisConfig`,
 :class:`~repro.suites.registry.Benchmark` and the registered solvers all
 guarantee.  One process per task keeps the kill path trivial (no pool
-state to repair) and is cheap relative to a synthesis call.
+state to repair) and is cheap relative to a synthesis call.  Task workers
+are daemonic unless a task asks for intra-task hole parallelism
+(``config.hole_workers > 1``), in which case they must be allowed children
+of their own.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
-import time
 from dataclasses import dataclass
 from typing import Iterator
 
 from ..core.config import SynthesisConfig
 from ..core.report import SynthesisReport
 from ..suites.registry import Benchmark
+from ..supervisor import KILL_GRACE_S, Job, ProcessSupervisor
 
 #: Environment knob for the default worker count of the benchmark harness.
 WORKERS_ENV = "REPRO_BENCH_WORKERS"
 
-#: Extra wall-clock slack past ``timeout_s`` before the supervisor kills a
-#: worker, so cooperative in-process timeouts (which produce more precise
-#: failure reasons) win the race on well-behaved solvers.
-KILL_GRACE_S = 0.5
+#: Environment knob for the default *intra-task* hole worker count
+#: (:mod:`repro.core.parallel_synthesize`).
+HOLE_WORKERS_ENV = "REPRO_HOLE_WORKERS"
+
+__all__ = [
+    "HOLE_WORKERS_ENV",
+    "KILL_GRACE_S",
+    "Task",
+    "WORKERS_ENV",
+    "default_hole_workers",
+    "default_workers",
+    "execute_tasks",
+]
 
 
-def default_workers(fallback: int = 1) -> int:
-    """Worker count from ``REPRO_BENCH_WORKERS``, validated like a budget."""
-    value = os.environ.get(WORKERS_ENV)
+def _positive_int_env(name: str, fallback: int) -> int:
+    value = os.environ.get(name)
     if value is None:
         return fallback
     try:
         parsed = int(value)
     except ValueError:
         raise ValueError(
-            f"{WORKERS_ENV} must be a positive integer, got {value!r}"
+            f"{name} must be a positive integer, got {value!r}"
         ) from None
     if parsed < 1:
-        raise ValueError(
-            f"{WORKERS_ENV} must be a positive integer, got {value!r}"
-        )
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
     return parsed
+
+
+def default_workers(fallback: int = 1) -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS``, validated like a budget."""
+    return _positive_int_env(WORKERS_ENV, fallback)
+
+
+def default_hole_workers(fallback: int = 1) -> int:
+    """Intra-task hole worker count from ``REPRO_HOLE_WORKERS``, validated."""
+    return _positive_int_env(HOLE_WORKERS_ENV, fallback)
 
 
 @dataclass(frozen=True)
@@ -77,30 +100,10 @@ class Task:
         return self.benchmark.name
 
 
-def _mp_context() -> mp.context.BaseContext:
-    try:
-        return mp.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return mp.get_context("spawn")
-
-
-def _worker_entry(conn, solver, program, config, task_name: str) -> None:
-    """Child-process body: run one synthesis task, ship the report back."""
-    try:
-        report = solver.synthesize(program, config, task_name)
-    except BaseException as exc:  # crashes become failed reports, not hangs
-        report = SynthesisReport(
-            task=task_name,
-            success=False,
-            elapsed_s=0.0,
-            failure_reason=f"WorkerError: {type(exc).__name__}: {exc}",
-        )
-    try:
-        conn.send(report)
-    except (BrokenPipeError, OSError):  # supervisor already gave up on us
-        pass
-    finally:
-        conn.close()
+def _run_solver(solver, program, config, task_name: str) -> SynthesisReport:
+    """Worker payload: one synthesis task (exceptions become error results
+    at the supervisor layer, then failed reports here)."""
+    return solver.synthesize(program, config, task_name)
 
 
 def _timeout_report(task: Task, elapsed: float) -> SynthesisReport:
@@ -125,18 +128,6 @@ def _crash_report(task: Task, exitcode: int | None) -> SynthesisReport:
     )
 
 
-def _reap(proc, conn, task: Task, started: float) -> SynthesisReport:
-    """Collect the report from a finished worker (or synthesize a crash)."""
-    try:
-        report = conn.recv() if conn.poll() else _crash_report(task, proc.exitcode)
-    except (EOFError, OSError):
-        report = _crash_report(task, proc.exitcode)
-    finally:
-        conn.close()
-    proc.join()
-    return report
-
-
 def execute_tasks(
     tasks: list[Task],
     workers: int,
@@ -150,75 +141,35 @@ def execute_tasks(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    ctx = _mp_context()
-    pending = list(reversed(tasks))  # pop() preserves submission order
-    active: dict = {}  # sentinel -> (proc, conn, task, started, deadline)
-
-    try:
-        while pending or active:
-            while pending and len(active) < workers:
-                task = pending.pop()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_worker_entry,
-                    args=(
-                        child_conn,
-                        task.solver,
-                        task.benchmark.program,
-                        task.config,
-                        task.name,
-                    ),
-                    daemon=True,
-                )
-                started = time.monotonic()
-                proc.start()
-                child_conn.close()  # child owns its end now
-                deadline = started + task.config.timeout_s + kill_grace_s
-                active[proc.sentinel] = (
-                    proc,
-                    parent_conn,
-                    task,
-                    started,
-                    deadline,
-                )
-
-            now = time.monotonic()
-            next_deadline = min(entry[4] for entry in active.values())
-            ready = mp.connection.wait(
-                list(active), timeout=max(0.0, min(next_deadline - now, 0.1))
+    supervisor = ProcessSupervisor(
+        workers,
+        kill_grace_s=kill_grace_s,
+        # Daemonic children cannot spawn the grandchildren hole-level
+        # parallelism needs; keep the daemon safety net otherwise.
+        daemon=not any(task.config.hole_workers > 1 for task in tasks),
+    )
+    jobs = [
+        Job(
+            key=task,
+            fn=_run_solver,
+            args=(task.solver, task.benchmark.program, task.config, task.name),
+            timeout_s=task.config.timeout_s,
+        )
+        for task in tasks
+    ]
+    for result in supervisor.run(jobs):
+        task = result.job.key
+        if result.kind == "ok":
+            report = result.value
+        elif result.kind == "error":
+            report = SynthesisReport(
+                task=task.name,
+                success=False,
+                elapsed_s=0.0,
+                failure_reason=f"WorkerError: {result.message}",
             )
-
-            finished = [key for key in ready if key in active]
-            for key in finished:
-                proc, conn, task, started, _ = active.pop(key)
-                yield task, _reap(proc, conn, task, started)
-
-            now = time.monotonic()
-            expired = [
-                key
-                for key, (_, _, _, _, deadline) in active.items()
-                if now >= deadline
-            ]
-            for key in expired:
-                proc, conn, task, started, _ = active.pop(key)
-                proc.kill()
-                proc.join()
-                # The real report may have landed just inside the grace
-                # window while the supervisor was busy reaping elsewhere;
-                # prefer it over fabricating a timeout failure (pipe data
-                # survives the writer's death).
-                try:
-                    report = (
-                        conn.recv()
-                        if conn.poll()
-                        else _timeout_report(task, now - started)
-                    )
-                except (EOFError, OSError):
-                    report = _timeout_report(task, now - started)
-                conn.close()
-                yield task, report
-    finally:
-        for proc, conn, _, _, _ in active.values():
-            proc.kill()
-            proc.join()
-            conn.close()
+        elif result.kind == "timeout":
+            report = _timeout_report(task, result.elapsed_s)
+        else:
+            report = _crash_report(task, result.exitcode)
+        yield task, report

@@ -171,6 +171,7 @@ def restore_keyed(
     key_fn: Callable[[Value], Hashable],
     *,
     value_fn: Callable[[Value], Value] | None = None,
+    jit: bool | None = None,
 ):
     from .keyed import KeyedOperator
     from .stream import OnlineOperator
@@ -186,6 +187,7 @@ def restore_keyed(
         value_fn=value_fn,
         extra=_decode_extra(data.get("extra")),
         name=data.get("name"),
+        jit=jit,
     )
     keyed.count = _decode_count(data.get("count"))
     raw_parts = data.get("partitions")
@@ -201,7 +203,7 @@ def restore_keyed(
             raise CheckpointError(f"bad partition key: {exc}") from None
         if isinstance(key, list):  # decoded containers: only tuples hash
             raise CheckpointError("partition keys must be hashable values")
-        part = OnlineOperator(scheme, keyed.extra, f"{keyed.name}[{key!r}]")
+        part = OnlineOperator(scheme, keyed.extra, f"{keyed.name}[{key!r}]", jit=jit)
         part.state = _decode_state(raw_state, scheme.arity, f"partition {key!r}")
         part.count = _decode_count(raw_count)
         keyed.partitions[key] = part

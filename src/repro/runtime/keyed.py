@@ -40,6 +40,7 @@ class KeyedOperator:
         value_fn: Callable[[Value], Value] | None = None,
         extra: Mapping[str, Value] | None = None,
         name: str | None = None,
+        jit: bool | None = None,
     ):
         self.scheme = scheme
         self.key_fn = key_fn
@@ -48,13 +49,17 @@ class KeyedOperator:
         self.name = name or scheme.provenance
         self.partitions: dict[Hashable, OnlineOperator] = {}
         self.count = 0
+        # Execution-backend choice, forwarded to every partition operator —
+        # without this, ``jit=False`` on a keyed deployment was silently
+        # ignored (partitions resolved the backend from the env knob only).
+        self._jit = jit
 
     def operator(self, key: Hashable) -> OnlineOperator:
         """The partition for ``key``, created fresh on first touch."""
         op = self.partitions.get(key)
         if op is None:
             op = self.partitions[key] = OnlineOperator(
-                self.scheme, self.extra, f"{self.name}[{key!r}]"
+                self.scheme, self.extra, f"{self.name}[{key!r}]", jit=self._jit
             )
         return op
 
@@ -115,9 +120,11 @@ class KeyedOperator:
         key_fn: Callable[[Value], Hashable],
         *,
         value_fn: Callable[[Value], Value] | None = None,
+        jit: bool | None = None,
     ) -> "KeyedOperator":
         """Rebuild from :meth:`checkpoint` output.  Key/value extractors are
-        code, not data — the caller supplies them again."""
+        code, not data — the caller supplies them again (as is the ``jit``
+        backend choice, a process decision rather than state)."""
         from .checkpoint import restore_keyed
 
-        return restore_keyed(data, key_fn, value_fn=value_fn)
+        return restore_keyed(data, key_fn, value_fn=value_fn, jit=jit)

@@ -101,33 +101,59 @@ SPEC_SOURCES = {
 
 
 def _spec_value(token: str):
-    """Numeric literal of a spec: int if it looks like one, else Fraction
-    (accepts ``p/q`` and decimal forms)."""
+    """Numeric literal of a spec *argument* (counts, seeds, periods): int if
+    it looks like one, else Fraction (accepts ``p/q`` and decimal forms)."""
     try:
         return int(token)
     except ValueError:
         return Fraction(token)
 
 
-def from_spec(spec: str) -> Iterator[Value]:
+def _spec_element(token: str) -> Fraction:
+    """Numeric literal of a stream *element*: always an exact ``Fraction``,
+    upholding this module's exact-rationals contract (a raw ``int`` element
+    would make downstream batch comparisons silently inexact-typed)."""
+    return Fraction(token)
+
+
+#: Index of the argument that bounds each spec source; a spec that omits it
+#: builds an infinite stream (``constant(v, n=None)`` / ``counter(n=None)``).
+_BOUND_ARG = {"constant": 1, "counter": 0}
+
+
+def from_spec(spec: str, allow_unbounded: bool = False) -> Iterator[Value]:
     """Build a source from a colon-separated CLI spec.
 
     ``counter:100`` -> ``counter(100)``; further segments are positional
     arguments (``sawtooth:50:17``, ``constant:3:10``).  The special form
-    ``list:1,2,5/2`` yields the literal comma-separated values.  Raises
-    ``ValueError`` on unknown names or malformed arguments.
+    ``list:1,2,5/2`` yields the literal comma-separated values; ``list``
+    and ``constant`` elements are exact ``Fraction`` values.  Raises
+    ``ValueError`` on unknown names, malformed arguments, or — unless
+    ``allow_unbounded=True`` — specs that would yield forever
+    (``constant:3``, ``counter``), which would otherwise hang any consumer
+    that drains the source.
     """
     name, _, rest = spec.partition(":")
     if name == "list":
         if not rest:
             raise ValueError("list: spec needs comma-separated values")
-        return iter([_spec_value(tok) for tok in rest.split(",")])
+        return iter([_spec_element(tok) for tok in rest.split(",")])
     source = SPEC_SOURCES.get(name)
     if source is None:
         raise ValueError(
             f"unknown source {name!r}; choices: list, {', '.join(sorted(SPEC_SOURCES))}"
         )
     args = [_spec_value(tok) for tok in rest.split(":")] if rest else []
+    if name == "constant" and args:
+        args[0] = Fraction(args[0])  # the repeated element must stay exact
+    if not allow_unbounded:
+        bound = _BOUND_ARG.get(name)
+        if bound is not None and len(args) <= bound:
+            raise ValueError(
+                f"source spec {spec!r} is unbounded; add a count "
+                f"(e.g. {name}:{rest + ':' if rest else ''}100) "
+                f"or pass allow_unbounded=True"
+            )
     try:
         return source(*args)
     except TypeError as exc:

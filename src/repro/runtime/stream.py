@@ -127,11 +127,19 @@ class StreamPipeline:
     def push_many(self, elements: Iterable[Value]) -> dict[str, Value]:
         """Consume a batch; returns the final snapshot — a defined value
         (the current snapshot, initializers on a fresh pipeline) even when
-        ``elements`` is empty."""
-        ops = list(self.operators.values())
-        for element in elements:
-            for op in ops:
-                op.push(element)
+        ``elements`` is empty.
+
+        The batch is materialized once and drained through each operator's
+        :meth:`OnlineOperator.push_many` hot loop (hoisted step/state
+        locals), not element-by-element through ``push`` — operators are
+        independent, so per-operator draining reaches the same final
+        snapshot.  If an element raises, operators drained earlier keep
+        their full progress and the raising operator its partial progress,
+        matching ``push_many`` semantics on the single-operator level.
+        """
+        chunk = elements if isinstance(elements, (list, tuple)) else list(elements)
+        for op in self.operators.values():
+            op.push_many(chunk)
         return self.snapshot()
 
     def run(self, source: Iterable[Value]) -> Iterator[dict[str, Value]]:
@@ -198,9 +206,13 @@ def sliding(
     if size <= 0:
         raise ValueError("window size must be positive")
     buffer: deque[Value] = deque(maxlen=size)
+    # One operator for the whole stream, reset per emission: constructing a
+    # fresh operator per element would re-resolve the step backend and
+    # re-allocate on every emission.
+    op = OnlineOperator(scheme, extra)
     for element in source:
         buffer.append(element)
-        op = OnlineOperator(scheme, extra)
+        op.reset()
         op.push_many(buffer)
         yield op.value
 

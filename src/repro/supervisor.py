@@ -1,0 +1,291 @@
+"""Generic process supervision with hard wall-clock deadlines.
+
+One supervisor, two tenants: the *bench-level* parallelism of
+:mod:`repro.evaluation.parallel` (one process per (solver, benchmark) cell)
+and the *hole-level* parallelism of :mod:`repro.core.parallel_synthesize`
+(one process per sketch-hole sub-task).  Both need exactly the same core —
+spawn up to ``workers`` children, reap results from pipes, and SIGKILL any
+child that outlives its deadline — so that core lives here, free of any
+domain knowledge.
+
+Contract:
+
+* a :class:`Job` is a picklable ``fn(*args)`` call with a per-job budget;
+* :meth:`ProcessSupervisor.run` is a generator yielding one
+  :class:`JobResult` per job **in completion order**, each tagged ``ok`` /
+  ``error`` / ``timeout`` / ``crashed``;
+* no result arrives later than ``timeout_s + kill_grace_s`` after its job
+  started (the kill is a SIGKILL, not a poll), and an optional absolute
+  ``deadline`` additionally caps every job — the knob that lets a caller
+  bound a whole *family* of jobs by one outer budget;
+* :meth:`ProcessSupervisor.cancel` withdraws jobs between yields (pending
+  jobs are dropped, active ones killed) — the mechanism behind
+  first-accepted-candidate-wins search portfolios.
+
+The supervisor sleeps until ``min(next deadline, next pipe event)`` — it
+does **not** poll on a fixed tick, so a pool of workers that are all
+minutes from their deadlines costs zero supervisor wake-ups.
+
+Workers are forked where available (Linux; payloads reach the child by
+inheritance) and spawned elsewhere, in which case ``fn``/``args`` must be
+picklable.  Children are daemonic by default so a dying supervisor cannot
+leak runaway processes; pass ``daemon=False`` when jobs themselves need to
+spawn children (multiprocessing forbids daemonic processes from having
+children of their own).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+#: Extra wall-clock slack past a job's budget before the supervisor kills
+#: its worker, so cooperative in-process timeouts (which produce richer
+#: failure reports) win the race on well-behaved payloads.
+KILL_GRACE_S = 0.5
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: ``fn(*args)`` under a wall-clock budget."""
+
+    key: Any  # caller's identifier, echoed back on the result
+    fn: Callable
+    args: tuple
+    timeout_s: float
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, yielded in completion order."""
+
+    job: Job
+    kind: str  # "ok" | "error" | "timeout" | "crashed"
+    value: Any = None  # fn's return value (kind == "ok")
+    message: str = ""  # exception summary (kind == "error")
+    elapsed_s: float = 0.0
+    exitcode: int | None = None  # kind == "crashed"
+
+
+def _mp_context() -> mp.context.BaseContext:
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn")
+
+
+def _arm_parent_death_signal() -> None:
+    """Ask the kernel to SIGKILL this child if its parent dies (Linux).
+
+    SIGKILL of a supervisor bypasses multiprocessing's daemon cleanup, so
+    without this a killed bench worker would orphan its hole-worker
+    grandchildren, which would keep burning CPU until their cooperative
+    timeouts fired.  Best-effort: a no-op on platforms without prctl.
+    """
+    try:
+        import ctypes
+
+        PR_SET_PDEATHSIG = 1
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(PR_SET_PDEATHSIG, 9)  # SIGKILL
+    except Exception:  # pragma: no cover - non-Linux platforms
+        pass
+
+
+def _child_entry(conn, fn, args) -> None:
+    """Child-process body: run the payload, ship ``(kind, value, msg)``."""
+    _arm_parent_death_signal()
+    try:
+        payload = ("ok", fn(*args), "")
+    except BaseException as exc:  # crashes become error results, not hangs
+        payload = ("error", None, f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    except (BrokenPipeError, OSError):  # supervisor already gave up on us
+        pass
+    except Exception as exc:  # unpicklable return value
+        try:
+            conn.send(("error", None, f"unsendable result: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ProcessSupervisor:
+    """Run jobs across at most ``workers`` concurrent child processes."""
+
+    def __init__(
+        self,
+        workers: int,
+        kill_grace_s: float = KILL_GRACE_S,
+        daemon: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.kill_grace_s = kill_grace_s
+        self.daemon = daemon
+        self._ctx = _mp_context()
+        self._pending: list[Job] = []
+        self._active: dict = {}  # sentinel -> (proc, conn, job, started, deadline)
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, predicate: Callable[[Any], bool]) -> int:
+        """Withdraw every job whose ``key`` satisfies ``predicate``.
+
+        Pending jobs are dropped, active ones killed; withdrawn jobs yield
+        no result.  Only meaningful between ``run()`` yields (the supervisor
+        is single-threaded).  Returns the number of jobs withdrawn.
+        """
+        keep = [job for job in self._pending if not predicate(job.key)]
+        withdrawn = len(self._pending) - len(keep)
+        self._pending = keep
+        doomed = [
+            sentinel
+            for sentinel, (_, _, job, _, _) in self._active.items()
+            if predicate(job.key)
+        ]
+        for sentinel in doomed:
+            proc, conn, _, _, _ = self._active.pop(sentinel)
+            self._kill(proc, conn)
+            withdrawn += 1
+        return withdrawn
+
+    # -- the supervision loop ----------------------------------------------
+
+    def run(
+        self, jobs: list[Job], deadline: float | None = None
+    ) -> Iterator[JobResult]:
+        """Execute ``jobs``; yield a :class:`JobResult` per surviving job in
+        completion order.
+
+        ``deadline`` (a ``time.monotonic()`` instant) additionally caps
+        every job's kill time at ``deadline + kill_grace_s``, bounding the
+        whole batch by one outer budget regardless of per-job budgets.
+        """
+        # pop() preserves submission order
+        self._pending = list(reversed(jobs))
+        self._active = {}
+        try:
+            while self._pending or self._active:
+                self._spawn_up_to_capacity(deadline)
+                if not self._active:
+                    continue  # everything just got cancelled
+
+                now = time.monotonic()
+                next_deadline = min(e[4] for e in self._active.values())
+                # Sleep until something completes or the nearest deadline —
+                # no polling tick (a 100 ms cap here once made the
+                # supervisor busy-wake ~10x/s for idle minutes).
+                ready = mp.connection.wait(
+                    list(self._active), timeout=max(0.0, next_deadline - now)
+                )
+
+                for sentinel in ready:
+                    # The consumer may cancel() between yields, removing
+                    # sentinels this ready-list still mentions.
+                    entry = self._active.pop(sentinel, None)
+                    if entry is None:
+                        continue
+                    proc, conn, job, started, _ = entry
+                    yield self._reap(proc, conn, job, started)
+
+                now = time.monotonic()
+                expired = [
+                    sentinel
+                    for sentinel, (_, _, _, _, job_deadline) in self._active.items()
+                    if now >= job_deadline
+                ]
+                for sentinel in expired:
+                    proc, conn, job, started, _ = self._active.pop(sentinel)
+                    proc.kill()
+                    proc.join()
+                    # The payload may have landed just inside the grace
+                    # window while the supervisor was busy reaping
+                    # elsewhere; prefer it over fabricating a timeout (pipe
+                    # data survives the writer's death).
+                    result = self._drain(conn, job, now - started)
+                    conn.close()
+                    yield result
+        finally:
+            for proc, conn, _, _, _ in self._active.values():
+                self._kill(proc, conn)
+            self._active = {}
+            self._pending = []
+
+    # -- internals ---------------------------------------------------------
+
+    def _spawn_up_to_capacity(self, deadline: float | None) -> None:
+        while self._pending and len(self._active) < self.workers:
+            job = self._pending.pop()
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_child_entry,
+                args=(child_conn, job.fn, job.args),
+                daemon=self.daemon,
+            )
+            started = time.monotonic()
+            proc.start()
+            child_conn.close()  # child owns its end now
+            job_deadline = started + job.timeout_s + self.kill_grace_s
+            if deadline is not None:
+                job_deadline = min(job_deadline, deadline + self.kill_grace_s)
+            self._active[proc.sentinel] = (
+                proc,
+                parent_conn,
+                job,
+                started,
+                job_deadline,
+            )
+
+    @staticmethod
+    def _kill(proc, conn) -> None:
+        proc.kill()
+        proc.join()
+        conn.close()
+
+    def _reap(self, proc, conn, job: Job, started: float) -> JobResult:
+        """Collect the payload from a finished worker (or record a crash)."""
+        elapsed = time.monotonic() - started
+        proc.join()  # before reading exitcode, which join() publishes
+        try:
+            if conn.poll():
+                result = self._from_payload(conn.recv(), job, elapsed)
+            else:
+                result = JobResult(
+                    job, "crashed", elapsed_s=elapsed, exitcode=proc.exitcode
+                )
+        except (EOFError, OSError):
+            result = JobResult(
+                job, "crashed", elapsed_s=elapsed, exitcode=proc.exitcode
+            )
+        finally:
+            conn.close()
+        return result
+
+    def _drain(self, conn, job: Job, elapsed: float) -> JobResult:
+        """Late payload of a just-killed worker, else a timeout result."""
+        try:
+            if conn.poll():
+                return self._from_payload(conn.recv(), job, elapsed)
+        except (EOFError, OSError):
+            pass
+        return JobResult(job, "timeout", elapsed_s=elapsed)
+
+    @staticmethod
+    def _from_payload(payload, job: Job, elapsed: float) -> JobResult:
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] in ("ok", "error")
+        ):
+            kind, value, message = payload
+            return JobResult(job, kind, value=value, message=message, elapsed_s=elapsed)
+        return JobResult(
+            job, "error", message=f"malformed worker payload: {payload!r}",
+            elapsed_s=elapsed,
+        )

@@ -1,0 +1,261 @@
+"""Tests for intra-task parallel synthesis (hole sharding), enumeration
+sharding, and the shared :class:`repro.supervisor.ProcessSupervisor`."""
+
+import os
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.core import SynthesisConfig, synthesize
+from repro.core.enumerative import _terminal_tail, shard_terminal_tail
+from repro.evaluation import ResultCache, default_hole_workers
+from repro.evaluation.hole_bench import hole_bench_targets
+from repro.ir.nodes import Const
+from repro.suites import get_benchmark
+from repro.supervisor import Job, ProcessSupervisor
+
+#: Multi-hole suite benchmarks covering every solve method (implicate,
+#: template, enumerative) — the determinism suite of the hole-sharding PR.
+MULTI_HOLE = ("variance", "harmonic_mean", "covariance", "correlation")
+
+
+def _comparable(report):
+    """Everything a report contains except wall-clock."""
+    return (
+        report.task,
+        report.success,
+        report.scheme,
+        [(h.hole_id, h.method, h.spec_size, h.solution_size) for h in report.holes],
+        report.method_counts,
+        report.failure_reason,
+    )
+
+
+def _synthesize(name, **config_kwargs):
+    bench = get_benchmark(name)
+    config = SynthesisConfig(
+        timeout_s=60, element_arity=bench.element_arity, **config_kwargs
+    )
+    return synthesize(bench.program, config, name)
+
+
+class TestHoleShardingDeterminism:
+    @pytest.mark.parametrize("name", MULTI_HOLE)
+    def test_reports_identical_across_hole_workers(self, name):
+        """The contract of the feature: hole_workers is an execution knob,
+        never a search knob — byte-identical reports modulo elapsed_s."""
+        reports = {
+            hw: _synthesize(name, hole_workers=hw) for hw in (1, 2, 4)
+        }
+        assert reports[1].success
+        assert len(reports[1].holes) >= 2  # actually exercises the pool
+        expected = _comparable(reports[1])
+        assert _comparable(reports[2]) == expected
+        assert _comparable(reports[4]) == expected
+
+    def test_stress_benchmarks_identical_across_hole_workers(self):
+        """The balanced-holes stress tasks of `bench holes` obey the same
+        contract (they are the tasks the CI speedup gate runs)."""
+        bench = hole_bench_targets()["stress_moments"]
+        reports = {}
+        for hw in (1, 2):
+            config = SynthesisConfig(timeout_s=120, hole_workers=hw)
+            reports[hw] = synthesize(bench.program, config, bench.name)
+        assert reports[1].success
+        assert len(reports[1].holes) >= 4
+        assert _comparable(reports[1]) == _comparable(reports[2])
+
+    def test_enum_shards_identical_across_hole_workers(self):
+        """With a shard portfolio per hole, the lowest-accepting-shard rule
+        makes the result independent of how the shards execute."""
+        expected = None
+        for hw in (1, 2, 4):
+            report = _synthesize("harmonic_mean", enum_shards=2, hole_workers=hw)
+            assert report.success
+            if expected is None:
+                expected = _comparable(report)
+            else:
+                assert _comparable(report) == expected
+
+    def test_enum_shards_reproducible(self):
+        first = _synthesize("harmonic_mean", enum_shards=3, use_symbolic=False)
+        second = _synthesize("harmonic_mean", enum_shards=3, use_symbolic=False)
+        assert first.success
+        assert _comparable(first) == _comparable(second)
+
+    def test_deterministic_failures_identical_across_hole_workers(self):
+        """Deterministic failures (enumeration work caps, not wall-clock)
+        must replay with the exact class name in failure_reason."""
+        reports = {
+            hw: _synthesize(
+                "variance",
+                use_symbolic=False,
+                enumeration_max_kept=5,
+                hole_workers=hw,
+            )
+            for hw in (1, 2)
+        }
+        assert not reports[1].success
+        assert reports[1].failure_reason.startswith("EnumerationCapExceeded")
+        assert _comparable(reports[1]) == _comparable(reports[2])
+
+    def test_budget_still_bounds_the_whole_task(self):
+        """The hard wall-clock guarantee survives hole-level dispatch: no
+        sub-task outlives the task budget by more than the kill grace."""
+        bench = get_benchmark("kurtosis")  # the paper's expected failure
+        config = SynthesisConfig(timeout_s=1.0, hole_workers=2)
+        start = time.monotonic()
+        report = synthesize(bench.program, config, "kurtosis")
+        wall = time.monotonic() - start
+        assert not report.success
+        assert wall < 10.0
+
+
+class TestCacheKeyStability:
+    def test_fingerprint_excludes_hole_workers(self):
+        base = SynthesisConfig()
+        assert base.fingerprint() == SynthesisConfig(hole_workers=8).fingerprint()
+
+    def test_fingerprint_includes_enum_shards(self):
+        base = SynthesisConfig()
+        assert base.fingerprint() != SynthesisConfig(enum_shards=2).fingerprint()
+        assert (
+            base.fingerprint()
+            != SynthesisConfig(enum_shard_generated_cap=5).fingerprint()
+        )
+
+    def test_cache_key_unchanged_by_hole_workers(self):
+        bench = get_benchmark("variance")
+        sequential = ResultCache.task_key(
+            "opera", bench, SynthesisConfig(timeout_s=10, hole_workers=1)
+        )
+        parallel = ResultCache.task_key(
+            "opera", bench, SynthesisConfig(timeout_s=10, hole_workers=4)
+        )
+        assert sequential == parallel
+
+    def test_default_hole_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOLE_WORKERS", "3")
+        assert default_hole_workers() == 3
+        monkeypatch.setenv("REPRO_HOLE_WORKERS", "zero")
+        with pytest.raises(ValueError, match="REPRO_HOLE_WORKERS"):
+            default_hole_workers()
+        monkeypatch.delenv("REPRO_HOLE_WORKERS")
+        assert default_hole_workers() == 1
+
+
+class TestShardPartition:
+    def test_round_robin_covers_pool_without_overlap(self):
+        seeds = [Const(7), Const(11), Const(13)]
+        full = _terminal_tail(seeds)
+        shards = [shard_terminal_tail(seeds, s, 3) for s in range(3)]
+        rebuilt = [expr for shard in shards for expr in shard]
+        assert sorted(map(repr, rebuilt)) == sorted(map(repr, full))
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not set(map(repr, shards[i])) & set(map(repr, shards[j]))
+
+    def test_partition_is_deterministic(self):
+        seeds = [Const(5)]
+        assert shard_terminal_tail(seeds, 0, 2) == shard_terminal_tail(seeds, 0, 2)
+
+
+# -- the shared supervisor ---------------------------------------------------
+# Payload functions are module-level so they pickle under spawn contexts.
+
+
+def _payload_return(value):
+    return value
+
+
+def _payload_raise():
+    raise RuntimeError("boom")
+
+
+def _payload_exit():
+    os._exit(3)
+
+
+def _payload_sleep(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+class TestProcessSupervisor:
+    def test_ok_result(self):
+        sup = ProcessSupervisor(workers=1)
+        [result] = list(
+            sup.run([Job("k", _payload_return, (Fraction(1, 3),), 10.0)])
+        )
+        assert (result.kind, result.value) == ("ok", Fraction(1, 3))
+        assert result.job.key == "k"
+
+    def test_error_result(self):
+        sup = ProcessSupervisor(workers=1)
+        [result] = list(sup.run([Job("k", _payload_raise, (), 10.0)]))
+        assert result.kind == "error"
+        assert "RuntimeError: boom" in result.message
+
+    def test_crash_result(self):
+        sup = ProcessSupervisor(workers=1)
+        [result] = list(sup.run([Job("k", _payload_exit, (), 10.0)]))
+        assert (result.kind, result.exitcode) == ("crashed", 3)
+
+    def test_timeout_kills_at_deadline(self):
+        sup = ProcessSupervisor(workers=1, kill_grace_s=0.1)
+        start = time.monotonic()
+        [result] = list(sup.run([Job("k", _payload_sleep, (30.0,), 0.4)]))
+        assert result.kind == "timeout"
+        assert time.monotonic() - start < 5.0
+
+    def test_global_deadline_caps_generous_job_budgets(self):
+        sup = ProcessSupervisor(workers=1, kill_grace_s=0.1)
+        start = time.monotonic()
+        [result] = list(
+            sup.run(
+                [Job("k", _payload_sleep, (30.0,), 60.0)],
+                deadline=time.monotonic() + 0.4,
+            )
+        )
+        assert result.kind == "timeout"
+        assert time.monotonic() - start < 5.0
+
+    def test_cancel_withdraws_pending_and_active(self):
+        sup = ProcessSupervisor(workers=2, kill_grace_s=0.1)
+        jobs = [
+            Job(("a", 0), _payload_return, (1,), 60.0),
+            Job(("a", 1), _payload_sleep, (30.0,), 60.0),  # active at cancel
+            Job(("a", 2), _payload_sleep, (30.0,), 60.0),  # pending at cancel
+            Job(("b", 0), _payload_return, (42,), 60.0),
+        ]
+        results = []
+        start = time.monotonic()
+        for result in sup.run(jobs):
+            results.append(result)
+            if result.job.key == ("a", 0):
+                # Kill the running sibling, drop the queued one.
+                assert sup.cancel(lambda key: key[0] == "a") == 2
+        assert time.monotonic() - start < 10.0
+        assert sorted(r.job.key for r in results) == [("a", 0), ("b", 0)]
+
+    def test_wait_is_deadline_driven_not_polling(self, monkeypatch):
+        """The supervisor must sleep until min(deadline, event) — the old
+        100 ms wait cap busy-woke it ~10x per idle second."""
+        import multiprocessing.connection as mpc
+
+        calls = []
+        real_wait = mpc.wait
+
+        def counting_wait(handles, timeout=None):
+            calls.append(timeout)
+            return real_wait(handles, timeout=timeout)
+
+        monkeypatch.setattr(mpc, "wait", counting_wait)
+        sup = ProcessSupervisor(workers=1)
+        [result] = list(sup.run([Job("k", _payload_sleep, (1.2,), 30.0)]))
+        assert result.kind == "ok"
+        # One wait spanning the whole sleep (plus scheduling slack), not a
+        # dozen 100 ms naps.
+        assert len(calls) <= 4
+        assert max(calls) > 5.0  # the wait actually extended to the deadline

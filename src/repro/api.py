@@ -134,7 +134,11 @@ class CompiledScheme:
         self, stream: Iterable[Value], extra: Mapping[str, Value] | None = None
     ) -> Value:
         """Batch application: the final result over ``stream`` — same answer
-        as the original batch function, computed in O(1) memory."""
+        as the original batch function, computed in O(1) memory.  The whole
+        stream is folded by the scheme's compiled batch
+        :class:`~repro.ir.compile.StepKernel` (one generated loop, not one
+        closure call per element); ``REPRO_JIT=0`` falls back to the
+        interpreter-driven loop with identical results."""
         return self.scheme.final(stream, extra)
 
 

@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..ir.compile import IRCompileError, compile_online_step, jit_enabled
+from ..ir.compile import (
+    IRCompileError,
+    StepKernel,
+    compile_online_step,
+    compile_step_batch,
+    jit_enabled,
+    kernel_partial,
+)
 from ..ir.evaluator import step_online
 from ..ir.nodes import OnlineProgram
 from ..ir.pretty import pretty_online
@@ -38,6 +45,13 @@ class OnlineScheme:
     #: starts with a cold cache; dropped on pickling (closures are process
     #: artifacts, not data).
     _compiled_step: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Lazily-built whole-batch kernel (see
+    #: :func:`repro.ir.compile.compile_step_batch`); same lifecycle as
+    #: ``_compiled_step`` — per-instance, cold after deserialization,
+    #: dropped on pickling.
+    _compiled_kernel: object = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -87,11 +101,35 @@ class OnlineScheme:
         the compiled backend is differential-tested against)."""
         return step_online(self.program, state, element, extra)
 
+    def compiled_kernel(self) -> StepKernel:
+        """The whole-batch execution plan as a codegen-backed
+        :class:`~repro.ir.compile.StepKernel`, built once and cached.
+
+        Raises :class:`~repro.ir.compile.IRCompileError` when the program
+        cannot be batch-compiled (holes, or a shape the loop transformation
+        declines); :meth:`_resolve_kernel` then drives the resolved scalar
+        step from the generic loop instead.
+        """
+        cached = self._compiled_kernel
+        if cached is None:
+            try:
+                cached = compile_step_batch(self.program, name=self.provenance)
+            except IRCompileError:
+                cached = _UNCOMPILABLE
+            self._compiled_kernel = cached
+        if cached is _UNCOMPILABLE:
+            raise IRCompileError(
+                f"online program of {self.provenance!r} is not batch-compilable"
+            )
+        return cached  # type: ignore[return-value]
+
     def invalidate_compiled(self) -> None:
-        """Drop the cached closure.  Only needed if ``program`` is mutated
-        in place, which nothing in this codebase does (schemes from
-        ``loads``/``from_dict`` are fresh objects with cold caches)."""
+        """Drop the cached closure and batch kernel.  Only needed if
+        ``program`` is mutated in place, which nothing in this codebase
+        does (schemes from ``loads``/``from_dict`` are fresh objects with
+        cold caches)."""
         self._compiled_step = None
+        self._compiled_kernel = None
 
     def _resolve_step(
         self, jit: bool | None = None
@@ -107,9 +145,27 @@ class OnlineScheme:
                 pass
         return self.interpreted_step
 
+    def _resolve_kernel(self, jit: bool | None = None) -> StepKernel:
+        """The batch execution plan with the same contract as
+        :meth:`_resolve_step`: the codegen-backed kernel by default, an
+        interpreter-driven (or scalar-closure-driven) loop under
+        ``REPRO_JIT=0`` / ``jit=False`` or when batch codegen declines —
+        always bit-for-bit identical results over exact rationals."""
+        if jit is None:
+            jit = jit_enabled()
+        if jit:
+            try:
+                return self.compiled_kernel()
+            except IRCompileError:
+                pass
+        return StepKernel.from_step(
+            self._resolve_step(jit), name=self.provenance
+        )
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_compiled_step"] = None  # exec'd closures do not pickle
+        state["_compiled_kernel"] = None
         return state
 
     # -- semantics ---------------------------------------------------------
@@ -157,14 +213,23 @@ class OnlineScheme:
         extra: Mapping[str, Value] | None = None,
     ) -> Value:
         """``last([[S]]_stream)`` — the value compared against the offline
-        program in Definition 3.3."""
-        step = self._resolve_step()
-        result: Value = self.initializer[0]
-        state = self.initializer
-        for element in stream:
-            state = step(state, element, extra)
-            result = state[0]
-        return result
+        program in Definition 3.3.
+
+        Routed through the batch kernel: the whole stream is folded by one
+        compiled loop (see :meth:`_resolve_kernel`) instead of a per-element
+        closure call, with identical results.
+        """
+        try:
+            state, _consumed = self._resolve_kernel().run(
+                self.initializer, stream, extra
+            )
+        except BaseException as exc:
+            # Strip the kernel's partial-progress marker: nothing on this
+            # path resumes, and the caught exception must not keep the
+            # accumulator state alive (or leak a private side channel).
+            kernel_partial(exc, self.initializer)
+            raise
+        return state[0]
 
     def trajectory(
         self,

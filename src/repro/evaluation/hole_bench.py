@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -170,6 +171,7 @@ def run_hole_benchmark(
         "version": BENCH_FORMAT_VERSION,
         "hole_workers": hole_workers,
         "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
         "timeout_s": timeout_s,
         "repeats": repeats,
         "benchmarks": {},

@@ -1,20 +1,30 @@
-"""Runtime throughput benchmark: interpreted vs compiled execution backends.
+"""Runtime throughput benchmark: interpreted vs compiled vs batch-kernel
+execution, plus pipeline fusion.
 
 The point of the whole system is per-element cost: a deployed
 :class:`~repro.runtime.OnlineOperator` processes each stream element with one
-scheme step, and PR 3 made that step a compiled native closure
-(:mod:`repro.ir.compile`).  This module measures elements/second for both
-backends over the suite's ground-truth schemes — no synthesis required, so
-it runs in seconds — and optionally times a synthesis pass with and without
-oracle compilation.  Results are written as ``BENCH_runtime.json`` so the
-performance trajectory is tracked from PR 3 on (CI runs this on two suite
-schemes per push and fails if compiled throughput regresses below
-interpreted).
+scheme step.  PR 3 made that step a compiled native closure
+(:mod:`repro.ir.compile`); the step-kernel refactor compiles the *batch
+loop* itself (:func:`~repro.ir.compile.compile_step_batch`) and can fuse a
+whole pipeline of schemes into one loop
+(:func:`~repro.ir.compile.compile_fused_steps`).  This module measures
+elements/second for all of them over the suite's ground-truth schemes — no
+synthesis required, so it runs in seconds — and optionally times a
+synthesis pass with and without oracle compilation.  Results are written as
+``BENCH_runtime.json`` so the performance trajectory is tracked from PR 3
+on; the report records ``cpu_count`` and ``platform`` (matching
+``BENCH_holes.json``) so numbers from different machines stay
+interpretable.
 
-Measured honestly: both backends run the same deterministic stream through
-the same ``step(state, element, extra)`` interface (best-of-``repeats``
-wall-clock), and the final accumulator states are asserted identical before
-any number is reported — every benchmark run is also a differential test.
+Measured honestly: every backend runs the same deterministic stream
+(best-of-``repeats`` wall-clock), and the final accumulator states are
+asserted identical across all backends before any number is reported —
+every benchmark run is also a differential test.  Batch speedups split by
+regime: overhead-dominated schemes (integer counters, category volumes) see
+the loop compilation directly, while gcd-heavy exact-rational schemes are
+arithmetic-bound and sit near 1x — which is why the CI gate
+(``--assert-batch-speedup``) checks the *best* scheme per domain, not every
+scheme.
 
 Entry points: ``repro bench runtime`` on the CLI, or
 :func:`run_runtime_benchmark` from Python/pytest.
@@ -24,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import statistics
 import sys
 import time
@@ -31,18 +42,21 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Sequence
 
+from ..ir.compile import compile_fused_steps
 from ..ir.values import Value
 
 #: Envelope identifiers for BENCH_runtime.json.
 BENCH_FORMAT = "repro/bench-runtime"
-BENCH_FORMAT_VERSION = 1
+BENCH_FORMAT_VERSION = 2
 
 #: Default scheme set: a spread over both domains, element shapes (scalars
-#: and pairs), extra parameters, and accumulator sizes.
+#: and pairs), extra parameters, accumulator sizes, and both batch regimes
+#: (overhead-dominated integer schemes and arithmetic-bound rational ones).
 DEFAULT_SCHEMES = (
     "mean",
     "variance",
     "skewness",
+    "count",
     "q_highest_bid",
     "q_avg_price",
     "q_category_volume",
@@ -88,11 +102,29 @@ def _time_steps(step, initializer, stream, extra, repeats: int) -> tuple[float, 
     return best, final
 
 
+def _time_kernel(kernel, initializer, stream, extra, repeats: int) -> tuple[float, tuple]:
+    """Best-of-``repeats`` wall-clock for one whole-batch kernel call."""
+    best = float("inf")
+    final = initializer
+    for _ in range(repeats):
+        start = time.perf_counter()
+        state, consumed = kernel.run(initializer, stream, extra)
+        elapsed = time.perf_counter() - start
+        if consumed != len(stream):
+            raise AssertionError(
+                f"batch kernel consumed {consumed} of {len(stream)} elements"
+            )
+        best = min(best, elapsed)
+        final = state
+    return best, final
+
+
 def bench_scheme(
     benchmark, elements: int, repeats: int, stream_kind: str = "int"
 ) -> dict:
-    """Throughput of one suite benchmark's ground-truth scheme, interpreted
-    vs compiled, with the final states differential-checked."""
+    """Throughput of one suite benchmark's ground-truth scheme — interpreted
+    step, compiled scalar step, and whole-batch kernel — with the final
+    states differential-checked across all three."""
     scheme = benchmark.ground_truth
     if scheme is None:
         raise ValueError(f"benchmark {benchmark.name!r} has no ground-truth scheme")
@@ -101,25 +133,109 @@ def bench_scheme(
 
     interpreted = scheme.interpreted_step
     compiled = scheme.compiled_step()
+    kernel = scheme.compiled_kernel()
     t_interp, state_interp = _time_steps(
         interpreted, scheme.initializer, stream, extra, repeats
     )
     t_compiled, state_compiled = _time_steps(
         compiled, scheme.initializer, stream, extra, repeats
     )
-    if state_interp != state_compiled:
+    t_batch, state_batch = _time_kernel(
+        kernel, scheme.initializer, stream, extra, repeats
+    )
+    if not (state_interp == state_compiled == state_batch):
         raise AssertionError(
-            f"compiled and interpreted states diverged on {benchmark.name!r}: "
-            f"{state_interp!r} != {state_compiled!r}"
+            f"execution backends diverged on {benchmark.name!r}: "
+            f"interpreted {state_interp!r}, compiled {state_compiled!r}, "
+            f"batch {state_batch!r}"
         )
     return {
         "domain": benchmark.domain,
         "element_arity": benchmark.element_arity,
         "interpreted_eps": elements / t_interp,
         "compiled_eps": elements / t_compiled,
+        "batch_eps": elements / t_batch,
         "speedup": t_interp / t_compiled,
+        "batch_speedup": t_compiled / t_batch,
         "states_match": True,
     }
+
+
+def bench_fused(
+    benchmarks: Sequence,
+    elements: int,
+    repeats: int,
+    stream_kind: str = "int",
+    *,
+    scheme_times: dict,
+) -> dict:
+    """Fused-pipeline throughput: group the measured schemes by element
+    arity and, per group of two or more, compare ONE fused loop advancing
+    all of them against the per-scheme batch kernels run back to back
+    (what an unfused pipeline pays) and against the per-scheme scalar
+    closures (the pre-kernel pipeline baseline).
+
+    ``scheme_times`` is the per-scheme :func:`bench_scheme` report — the
+    individual backends were already timed there over the identical
+    deterministic stream, so the comparison sums are derived from it
+    instead of re-measuring everything.  Each scheme's kernel runs once
+    more, untimed, for the fused-state differential check.
+    """
+    groups: dict[int, list] = {}
+    for bench in benchmarks:
+        if bench.ground_truth is not None:
+            groups.setdefault(bench.element_arity, []).append(bench)
+    fused_report: dict[str, dict] = {}
+    for arity, members in sorted(groups.items()):
+        if len(members) < 2:
+            continue
+        schemes = [b.ground_truth for b in members]
+        stream = make_stream(arity, elements, stream_kind)
+        extras = tuple(
+            {name: 500 for name in s.program.extra_params} for s in schemes
+        )
+        fused = compile_fused_steps(
+            [s.program for s in schemes], name=f"fused-arity{arity}"
+        )
+        initializers = tuple(s.initializer for s in schemes)
+
+        best_fused = float("inf")
+        final_states: tuple = initializers
+        for _ in range(repeats):
+            start = time.perf_counter()
+            states, consumed = fused.run(initializers, stream, extras)
+            elapsed = time.perf_counter() - start
+            if consumed != len(stream):
+                raise AssertionError(
+                    f"fused kernel consumed {consumed} of {len(stream)} elements"
+                )
+            best_fused = min(best_fused, elapsed)
+            final_states = states
+        sum_batch = 0.0
+        sum_scalar = 0.0
+        for bench, scheme, extra, state in zip(members, schemes, extras, final_states):
+            sum_batch += elements / scheme_times[bench.name]["batch_eps"]
+            sum_scalar += elements / scheme_times[bench.name]["compiled_eps"]
+            state_batch, _ = scheme.compiled_kernel().run(
+                scheme.initializer, stream, extra
+            )
+            if state_batch != state:
+                raise AssertionError(
+                    f"fused and per-scheme batch states diverged on "
+                    f"{bench.name!r}: {state!r} != {state_batch!r}"
+                )
+        fused_report[f"arity{arity}"] = {
+            "schemes": [b.name for b in members],
+            "element_arity": arity,
+            # Elements/second for advancing the WHOLE group per element.
+            "fused_eps": elements / best_fused,
+            "unfused_eps": elements / sum_batch,
+            "scalar_eps": elements / sum_scalar,
+            "speedup": sum_batch / best_fused,
+            "speedup_vs_scalar": sum_scalar / best_fused,
+            "states_match": True,
+        }
+    return fused_report
 
 
 def _timed_suite(benches, timeout_s: float, workers: int) -> float:
@@ -174,6 +290,7 @@ def run_runtime_benchmark(
     elements: int = 4000,
     repeats: int = 3,
     stream_kind: str = "int",
+    fused: bool = True,
     synthesis: bool = False,
     synthesis_tasks: Sequence[str] | None = None,
     synthesis_timeout_s: float = 10.0,
@@ -183,15 +300,19 @@ def run_runtime_benchmark(
     from ..suites import get_benchmark
 
     names = tuple(schemes) if schemes else DEFAULT_SCHEMES
+    benches = [get_benchmark(name) for name in names]
     per_scheme = {
-        name: bench_scheme(get_benchmark(name), elements, repeats, stream_kind)
-        for name in names
+        bench.name: bench_scheme(bench, elements, repeats, stream_kind)
+        for bench in benches
     }
     speedups = [entry["speedup"] for entry in per_scheme.values()]
+    batch_speedups = [entry["batch_speedup"] for entry in per_scheme.values()]
     report = {
         "format": BENCH_FORMAT,
         "version": BENCH_FORMAT_VERSION,
         "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
         "elements": elements,
         "repeats": repeats,
         "stream": stream_kind,
@@ -200,8 +321,14 @@ def run_runtime_benchmark(
             "median_speedup": statistics.median(speedups),
             "min_speedup": min(speedups),
             "max_speedup": max(speedups),
+            "median_batch_speedup": statistics.median(batch_speedups),
+            "max_batch_speedup": max(batch_speedups),
         },
     }
+    if fused:
+        report["fused"] = bench_fused(
+            benches, elements, repeats, stream_kind, scheme_times=per_scheme
+        )
     if synthesis:
         report["synthesis"] = synthesis_comparison(
             tuple(synthesis_tasks or DEFAULT_SYNTHESIS_TASKS),
@@ -209,6 +336,18 @@ def run_runtime_benchmark(
             workers,
         )
     return report
+
+
+def best_batch_speedup_by_domain(report: dict) -> dict[str, float]:
+    """Best batch-over-scalar speedup per domain among the measured schemes
+    (the quantity the ``--assert-batch-speedup`` CI gate checks: loop
+    compilation must pay off somewhere in each domain, not on every
+    arithmetic-bound scheme)."""
+    best: dict[str, float] = {}
+    for entry in report["schemes"].values():
+        domain = entry["domain"]
+        best[domain] = max(best.get(domain, 0.0), entry["batch_speedup"])
+    return best
 
 
 def write_report(report: dict, path) -> None:
@@ -221,18 +360,31 @@ def format_report(report: dict) -> str:
     """Human-readable table for the CLI."""
     lines = [
         f"runtime throughput ({report['elements']} elements, "
-        f"best of {report['repeats']}, {report['stream']} stream)",
-        f"{'scheme':<22} {'interpreted':>14} {'compiled':>14} {'speedup':>9}",
+        f"best of {report['repeats']}, {report['stream']} stream, "
+        f"{report.get('cpu_count', '?')} core(s))",
+        f"{'scheme':<22} {'interpreted':>13} {'compiled':>12} {'batch':>12} "
+        f"{'jit':>7} {'batch':>7}",
     ]
     for name, entry in report["schemes"].items():
         lines.append(
-            f"{name:<22} {entry['interpreted_eps']:>11.0f} eps "
-            f"{entry['compiled_eps']:>11.0f} eps {entry['speedup']:>8.1f}x"
+            f"{name:<22} {entry['interpreted_eps']:>10.0f} eps "
+            f"{entry['compiled_eps']:>9.0f} eps {entry['batch_eps']:>9.0f} eps "
+            f"{entry['speedup']:>6.1f}x {entry['batch_speedup']:>6.2f}x"
         )
     summary = report["summary"]
     lines.append(
-        f"{'median':<22} {'':>14} {'':>14} {summary['median_speedup']:>8.1f}x"
+        f"{'median':<22} {'':>13} {'':>12} {'':>12} "
+        f"{summary['median_speedup']:>6.1f}x "
+        f"{summary['median_batch_speedup']:>6.2f}x"
     )
+    for group, entry in (report.get("fused") or {}).items():
+        lines.append(
+            f"fused pipeline [{group}] over {len(entry['schemes'])} schemes "
+            f"({', '.join(entry['schemes'])}): {entry['fused_eps']:.0f} eps "
+            f"fused vs {entry['unfused_eps']:.0f} eps batch "
+            f"({entry['speedup']:.2f}x) vs {entry['scalar_eps']:.0f} eps "
+            f"scalar ({entry['speedup_vs_scalar']:.2f}x)"
+        )
     synth = report.get("synthesis")
     if synth:
         lines.append(

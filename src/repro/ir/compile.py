@@ -45,6 +45,16 @@ exception class from compiled code as from interpreted code.
 The escape hatch: ``REPRO_JIT=0`` (or ``--no-jit`` on the CLI) disables the
 backend globally; :func:`jit_enabled` is consulted by every integration
 point.
+
+Beyond the scalar closure, this module also compiles the *batch loop*
+itself: :func:`compile_step_batch` generates the whole ``push_many`` hot
+loop as source (state components live in Python locals across the chunk,
+extra-parameter lookups are hoisted once per batch, the CSE'd step body is
+inlined in the loop), and :func:`compile_fused_steps` fuses several online
+programs into one loop that advances all of their states per element.  Both
+return a :class:`StepKernel` — the execution plan every runtime layer
+(operators, keyed partitions, pipelines, windows) consumes instead of
+hand-rolling its own per-element loop.
 """
 
 from __future__ import annotations
@@ -93,6 +103,99 @@ def jit_enabled(default: bool = True) -> bool:
     if raw is None:
         return default
     return raw.strip().lower() not in ("0", "false", "off", "no")
+
+
+# -- step kernels: whole-batch execution plans --------------------------------
+#
+# A kernel advances a scheme state over a *chunk* of elements in one call:
+# ``run(state, elements, extra=None) -> (state', consumed)``.  When an
+# element raises, the kernel records the state after the last fully-applied
+# element on the exception before re-raising, so callers preserve exactly
+# the partial progress a per-element loop would have.
+
+#: Attribute a kernel sets on an in-flight exception: ``(state, consumed)``
+#: as of the last fully-applied element.
+_PARTIAL_ATTR = "__repro_partial__"
+
+
+def _record_partial(exc: BaseException, state, consumed: int) -> None:
+    """Attach partial batch progress to an exception about to propagate.
+    Exceptions that refuse attributes (``__slots__``) lose the marker;
+    :func:`kernel_partial` then reports zero progress, which is the safe
+    under-approximation (never overstates the consumed prefix)."""
+    try:
+        setattr(exc, _PARTIAL_ATTR, (state, consumed))
+    except Exception:
+        pass
+
+
+def kernel_partial(exc: BaseException, fallback_state) -> tuple:
+    """The ``(state, consumed)`` a kernel recorded on ``exc`` before
+    re-raising, consuming the marker; ``(fallback_state, 0)`` when the
+    exception carries none (it did not come through a kernel loop)."""
+    partial = getattr(exc, _PARTIAL_ATTR, None)
+    if partial is None:
+        return fallback_state, 0
+    try:
+        delattr(exc, _PARTIAL_ATTR)
+    except Exception:
+        pass
+    return partial
+
+
+class StepKernel:
+    """A whole-batch execution plan for one online program (or several
+    fused ones): the unit every ``push_many`` hot path runs.
+
+    ``run(state, elements, extra=None)`` folds the chunk and returns
+    ``(final_state, consumed)``; a raising element propagates its exception
+    with partial progress attached (see :func:`kernel_partial`).  Fused
+    kernels (:func:`compile_fused_steps`) take and return *tuples of* states
+    and extras instead, one slot per fused program, and set ``fused``.
+
+    ``compiled`` distinguishes codegen-backed kernels from the
+    interpreter-driven fallback built by :meth:`from_step` — behaviourally
+    identical (bit-for-bit over exact rationals), only slower.
+    """
+
+    __slots__ = ("run", "compiled", "fused", "name")
+
+    def __init__(self, run: Callable, *, compiled: bool, fused: bool = False,
+                 name: str = "kernel"):
+        self.run = run
+        self.compiled = compiled
+        self.fused = fused
+        self.name = name
+
+    @property
+    def source(self) -> str | None:
+        """Generated Python source (codegen-backed kernels only)."""
+        return getattr(self.run, "__repro_source__", None)
+
+    @classmethod
+    def from_step(cls, step: Callable, name: str = "step-loop") -> "StepKernel":
+        """Wrap any scalar ``step(state, element, extra)`` — interpreted or
+        compiled — in the generic batch loop, with the same run contract as
+        a codegen-backed kernel."""
+
+        def _run(state, elements, extra=None):
+            consumed = 0
+            try:
+                for element in elements:
+                    state = step(state, element, extra)
+                    consumed += 1
+            except BaseException as exc:
+                _record_partial(exc, state, consumed)
+                raise
+            return state, consumed
+
+        return cls(_run, compiled=False, name=name)
+
+    def __repr__(self) -> str:
+        kind = "compiled" if self.compiled else "interpreted"
+        if self.fused:
+            kind = f"fused {kind}"
+        return f"<StepKernel {self.name} ({kind})>"
 
 
 # -- runtime helpers shared by all generated closures -------------------------
@@ -490,6 +593,7 @@ class _Codegen:
                 "max": max,
                 "KeyError": KeyError,
                 "TypeError": TypeError,
+                "BaseException": BaseException,
             },
             "EvaluationError": EvaluationError,
             "_fold": _fold,
@@ -499,11 +603,16 @@ class _Codegen:
             "_lam": _lam,
         }
         self._names: dict[str, str] = {}
+        self._name_serial = itertools.count()
         self._serial = itertools.count()
         #: Extra-parameter names resolved lazily at each use site (via
         #: _extra_get) instead of eagerly in the step prologue — the ones
         #: referenced only in conditionally evaluated positions.
         self.lazy_extras: frozenset[str] = frozenset()
+        #: The generated-code name holding the extra-parameter mapping for
+        #: lazy lookups.  Fused kernels point this at a per-program slot
+        #: (``_extra0``, ``_extra1``, ...) while emitting that program.
+        self.extra_var: str = "_extra"
 
     # -- naming ------------------------------------------------------------
 
@@ -512,9 +621,16 @@ class _Codegen:
         per distinct IR name, so IR shadowing maps onto Python shadowing."""
         ident = self._names.get(name)
         if ident is None:
-            ident = f"_v{len(self._names)}_{_IDENT_RE.sub('_', name)}"
+            ident = f"_v{next(self._name_serial)}_{_IDENT_RE.sub('_', name)}"
             self._names[name] = ident
         return ident
+
+    def new_scope(self) -> None:
+        """Start a fresh IR-name scope (fused kernels: the same IR name in
+        two programs must map to two identifiers).  Serial numbers keep
+        monotonically increasing, so identifiers never collide across
+        scopes of one generated module."""
+        self._names = {}
 
     def fresh(self, prefix: str = "_t") -> str:
         return f"{prefix}{next(self._serial)}"
@@ -556,7 +672,7 @@ class _Codegen:
             return self.mangle(name)
         if name in self.lazy_extras:
             self.globals.setdefault("_extra_get", _extra_get)
-            return f"_extra_get(_extra, {name!r}, {kind!r})"
+            return f"_extra_get({self.extra_var}, {name!r}, {kind!r})"
         raise IRCompileError(f"unbound variable {name!r}")
 
     # -- statement (CSE) context -------------------------------------------
@@ -881,20 +997,17 @@ def compile_expr(
     return cg.build("\n".join(lines) + "\n", "_compiled", name)
 
 
-def compile_online_step(program: OnlineProgram, name: str = "step") -> Callable:
-    """Compile an online program into ``step(state, element, extra=None)``.
+def _extras_of(program: OnlineProgram) -> tuple[list[str], set[str], list[str]]:
+    """Extra-parameter analysis shared by the scalar and batch compilers:
+    ``(all extras, list-typed extras, eagerly-fetched extras)``.
 
-    A drop-in replacement for
-    ``lambda s, x, e=None: step_online(program, s, x, e)`` — same results,
-    same ``EvaluationError`` on a state-arity mismatch or a missing extra
-    binding — with the per-element interpretation replaced by one native
-    closure call.  Subexpressions shared between outputs (ubiquitous in
-    synthesized schemes) are evaluated once per step.
+    Extras every step is guaranteed to look up can be fetched once in a
+    prologue; extras referenced only in conditionally evaluated positions
+    (If branches, lambda bodies) must be fetched lazily at each use site,
+    so a missing binding raises exactly when the interpreter would.
     """
     from .traversal import iter_subexprs
 
-    cg = _Codegen()
-    arity = program.arity
     bound = frozenset(program.state_params) | {program.elem_param}
     all_extras: list[str] = []
     uncond: frozenset[str] = frozenset()
@@ -907,11 +1020,70 @@ def compile_online_step(program: OnlineProgram, name: str = "step") -> Callable:
         for sub in iter_subexprs(out):
             if isinstance(sub, ListVar) and sub.name not in bound:
                 list_extras.add(sub.name)
-    # Extras every step is guaranteed to look up are fetched once in the
-    # prologue; extras referenced only in conditionally evaluated positions
-    # (If branches, lambda bodies) are fetched lazily at each use site, so
-    # a missing binding raises exactly when the interpreter would.
     eager_extras = [name for name in all_extras if name in uncond]
+    return all_extras, list_extras, eager_extras
+
+
+def _emit_extra_fetch(
+    cg: _Codegen,
+    eager_extras: Sequence[str],
+    list_extras: set[str],
+    lines: list,
+    indent: int,
+    extra_var: str = "_extra",
+) -> None:
+    """Prologue fetch of eagerly-bound extras, with the interpreter's
+    unbound-name error on a missing binding (or a ``None`` mapping)."""
+    pad = " " * indent
+    for extra_name in eager_extras:
+        kind = "list variable" if extra_name in list_extras else "variable"
+        lines.append(f"{pad}try:")
+        lines.append(f"{pad}    {cg.mangle(extra_name)} = {extra_var}[{extra_name!r}]")
+        lines.append(f"{pad}except (KeyError, TypeError):")
+        lines.append(
+            f"{pad}    raise EvaluationError(\"unbound {kind} {extra_name!r}\") from None"
+        )
+
+
+def _emit_outputs(
+    cg: _Codegen, program: OnlineProgram, eager_extras: Sequence[str],
+    lines: list, name: str
+) -> list[str]:
+    """CSE'd statement-context emission of all outputs; returns the output
+    references (one per new state component)."""
+    all_bound = (
+        frozenset(program.state_params)
+        | {program.elem_param}
+        | frozenset(eager_extras)
+    )
+    memo: dict = {}
+    try:
+        return [cg.emit_stmts(out, all_bound, lines, memo) for out in program.outputs]
+    except RecursionError:
+        raise IRCompileError(f"online program too deep to compile: {name}") from None
+
+
+def _state_tuple(state_vars: Sequence[str]) -> str:
+    if not state_vars:
+        return "()"
+    if len(state_vars) == 1:
+        return f"({state_vars[0]},)"
+    return f"({', '.join(state_vars)})"
+
+
+def compile_online_step(program: OnlineProgram, name: str = "step") -> Callable:
+    """Compile an online program into ``step(state, element, extra=None)``.
+
+    A drop-in replacement for
+    ``lambda s, x, e=None: step_online(program, s, x, e)`` — same results,
+    same ``EvaluationError`` on a state-arity mismatch or a missing extra
+    binding — with the per-element interpretation replaced by one native
+    closure call.  Subexpressions shared between outputs (ubiquitous in
+    synthesized schemes) are evaluated once per step.
+    """
+    cg = _Codegen()
+    arity = program.arity
+    all_extras, list_extras, eager_extras = _extras_of(program)
     cg.lazy_extras = frozenset(all_extras) - frozenset(eager_extras)
 
     lines = ["def _compiled_step(_state, _elem, _extra=None):"]
@@ -925,27 +1097,223 @@ def compile_online_step(program: OnlineProgram, name: str = "step") -> Callable:
     elif arity:
         unpack = ", ".join(cg.mangle(p) for p in program.state_params)
         lines.append(f"    {unpack} = _state")
-    for extra_name in eager_extras:
-        kind = "list variable" if extra_name in list_extras else "variable"
-        lines.append("    try:")
-        lines.append(f"        {cg.mangle(extra_name)} = _extra[{extra_name!r}]")
-        lines.append("    except (KeyError, TypeError):")
-        lines.append(
-            f"        raise EvaluationError(\"unbound {kind} {extra_name!r}\") from None"
-        )
+    _emit_extra_fetch(cg, eager_extras, list_extras, lines, 4)
     # The element binds last: it shadows a state parameter of the same name,
     # exactly like env[elem_param] = element in step_online.
     lines.append(f"    {cg.mangle(program.elem_param)} = _elem")
-    all_bound = bound | frozenset(eager_extras)
-    memo: dict = {}
-    try:
-        outputs = [
-            cg.emit_stmts(out, all_bound, lines, memo) for out in program.outputs
-        ]
-    except RecursionError:
-        raise IRCompileError(f"online program too deep to compile: {name}") from None
+    outputs = _emit_outputs(cg, program, eager_extras, lines, name)
     if len(outputs) == 1:
         lines.append(f"    return ({outputs[0]},)")
     else:
         lines.append(f"    return ({', '.join(outputs)})")
     return cg.build("\n".join(lines) + "\n", "_compiled_step", name)
+
+
+def _check_batchable(program: OnlineProgram, what: str) -> None:
+    """Batch compilation keeps state components in named locals across the
+    loop; two program shapes break that invariant and are declined (the
+    scalar closure driven by the generic loop reproduces them exactly):
+
+    * an element parameter shadowing a state parameter — the loop target
+      would clobber the pre-element state a mid-batch failure must report;
+    * duplicate state parameters or an output count differing from the
+      state arity — the name-addressed locals could not represent the
+      positional state tuple the scalar step returns.
+    """
+    if program.elem_param in program.state_params:
+        raise IRCompileError(
+            f"{what}: element parameter {program.elem_param!r} shadows a "
+            "state parameter; batch compilation declined"
+        )
+    if len(set(program.state_params)) != program.arity:
+        raise IRCompileError(
+            f"{what}: duplicate state parameters; batch compilation declined"
+        )
+    if len(program.outputs) != program.arity:
+        raise IRCompileError(
+            f"{what}: {len(program.outputs)} outputs for arity "
+            f"{program.arity}; batch compilation declined"
+        )
+
+
+def compile_step_batch(program: OnlineProgram, name: str = "batch") -> StepKernel:
+    """Compile the whole batch loop of an online program into one closure:
+    ``run(state, elements, extra=None) -> (final_state, consumed)``.
+
+    Where :func:`compile_online_step` produces a scalar closure re-entered
+    from interpreted Python once per element — paying a call, a state-tuple
+    unpack, and a result-tuple pack each time — the kernel generated here
+    compiles the *loop*: state components live in Python locals across the
+    entire chunk, eager extra-parameter lookups are hoisted to the first
+    loop iteration — once per batch, since extras cannot change mid-batch,
+    and never for an empty batch, which must not look extras up — and the
+    already-CSE'd step body is inlined in the loop.  Per-element state updates are a single tuple
+    assignment, so they are atomic: when an element raises, the exception
+    carries the state after the last fully-applied element
+    (:func:`kernel_partial`), exactly the partial progress a per-element
+    loop preserves.
+
+    Results are bit-for-bit identical to folding the scalar step — same
+    values, same types, same exception classes at the same elements.
+    Raises :class:`IRCompileError` for programs the loop transformation
+    cannot represent (see :func:`_check_batchable`); callers fall back to
+    :meth:`StepKernel.from_step` over the resolved scalar step.
+    """
+    _check_batchable(program, name)
+    cg = _Codegen()
+    arity = program.arity
+    all_extras, list_extras, eager_extras = _extras_of(program)
+    cg.lazy_extras = frozenset(all_extras) - frozenset(eager_extras)
+    state_vars = [cg.mangle(p) for p in program.state_params]
+    state_tuple = _state_tuple(state_vars)
+
+    lines = ["def _compiled_batch(_state, _elems, _extra=None):"]
+    lines.append("    _n = 0")
+    lines.append("    try:")
+    # The loop target *is* the element binding (no per-element rebind);
+    # _check_batchable guarantees it cannot clobber a state local.
+    lines.append(f"        for {cg.mangle(program.elem_param)} in _elems:")
+    # The whole prologue — arity check, state unpack, eager extras — runs
+    # on the FIRST iteration, not above the loop: an empty batch must
+    # touch neither the state shape nor the extras (a per-element loop
+    # never would, so jit on and off must agree on it), while a non-empty
+    # one fails on element 0 before its step body — exactly like the
+    # scalar closure's prologue.
+    lines.append("            if not _n:")
+    lines.append(f"                if len(_state) != {arity}:")
+    lines.append(
+        "                    raise EvaluationError("
+        f"f\"online program expects {arity} state values, got {{len(_state)}}\")"
+    )
+    if arity == 1:
+        lines.append(f"                ({state_vars[0]},) = _state")
+    elif arity:
+        lines.append(f"                {', '.join(state_vars)} = _state")
+    _emit_extra_fetch(cg, eager_extras, list_extras, lines, 16)
+    body: list[str] = []
+    outputs = _emit_outputs(cg, program, eager_extras, body, name)
+    lines.extend("        " + line for line in body)
+    if arity:
+        # One tuple assignment: the RHS is fully evaluated before any state
+        # local changes, so a raising subexpression leaves the previous
+        # element's state intact for the partial-progress record.
+        lines.append(f"            {', '.join(state_vars)} = {', '.join(outputs)}")
+    lines.append("            _n += 1")
+    # With no element applied the state locals are unbound (the prologue is
+    # first-iteration): pass the input state through unchanged, exactly as
+    # the generic step loop does.
+    lines.append("    except BaseException as _exc:")
+    lines.append(f"        _record_partial(_exc, {state_tuple} if _n else _state, _n)")
+    lines.append("        raise")
+    lines.append(f"    return ({state_tuple} if _n else _state, _n)")
+    cg.globals["_record_partial"] = _record_partial
+    fn = cg.build("\n".join(lines) + "\n", "_compiled_batch", name)
+    return StepKernel(fn, compiled=True, name=name)
+
+
+def compile_fused_steps(
+    programs: Sequence[OnlineProgram], name: str = "fused"
+) -> StepKernel:
+    """Fuse several online programs into ONE batch loop that advances all
+    of their states per element:
+    ``run(states, elements, extras) -> (final_states, consumed)`` where
+    ``states`` is a tuple of per-program state tuples and ``extras`` a
+    sequence of per-program extra mappings (``None`` entries allowed).
+
+    One pass over the chunk feeds every program — a pipeline of N schemes
+    reads each element once instead of N times, with no per-program Python
+    loop or closure call.  Every program gets its own identifier scope and
+    its own extras slot, so name collisions across programs are impossible;
+    CSE stays per-program (structurally equal subtrees of *different*
+    programs bind different names and must not share temporaries).
+
+    Failure semantics reproduce per-element ``push`` over the pipeline
+    exactly: programs are advanced in order within each element, so when
+    program *r* raises on element *k*, programs before *r* have applied
+    ``k + 1`` elements and the rest ``k``.  The partial-progress record
+    (:func:`kernel_partial`) then carries the mixed states and a *tuple*
+    of per-program consumed counts (on success, ``consumed`` is the single
+    shared count).
+    """
+    programs = list(programs)
+    if not programs:
+        raise IRCompileError("cannot fuse an empty program list")
+    cg = _Codegen()
+    cg.globals["_record_partial"] = _record_partial
+    k = len(programs)
+
+    lines = ["def _fused_batch(_states, _elems, _extras):"]
+    lines.append(f"    if len(_states) != {k}:")
+    lines.append(
+        "        raise EvaluationError("
+        f"f\"fused kernel expects {k} states, got {{len(_states)}}\")"
+    )
+    body_lines: list[str] = []
+    state_tuples: list[str] = []
+    for i, program in enumerate(programs):
+        _check_batchable(program, f"{name}[{i}]")
+        cg.new_scope()
+        cg.extra_var = f"_extra{i}"
+        arity = program.arity
+        all_extras, list_extras, eager_extras = _extras_of(program)
+        cg.lazy_extras = frozenset(all_extras) - frozenset(eager_extras)
+        state_vars = [cg.mangle(p) for p in program.state_params]
+        lines.append(f"    _s{i} = _states[{i}]")
+        lines.append(f"    if len(_s{i}) != {arity}:")
+        lines.append(
+            "        raise EvaluationError("
+            f"f\"online program {i} expects {arity} state values, "
+            f"got {{len(_s{i})}}\")"
+        )
+        if arity == 1:
+            lines.append(f"    ({state_vars[0]},) = _s{i}")
+        elif arity:
+            lines.append(f"    {', '.join(state_vars)} = _s{i}")
+        if all_extras:
+            lines.append(f"    _extra{i} = _extras[{i}]")
+        # Body lines carry the emitters' 4-space indent; the assembly below
+        # re-indents the whole body into the loop.
+        if eager_extras:
+            # Each program's extras hoist sits right before ITS body (and
+            # only on the first iteration — an empty batch must not look
+            # extras up): per-push order, where a missing binding for
+            # program r still lets programs before r apply element 0.
+            body_lines.append("    if not _n:")
+            _emit_extra_fetch(cg, eager_extras, list_extras, body_lines, 8,
+                              extra_var=f"_extra{i}")
+        body_lines.append(f"    {cg.mangle(program.elem_param)} = _elem")
+        outputs = _emit_outputs(cg, program, eager_extras, body_lines,
+                                f"{name}[{i}]")
+        # Per-program atomic update, applied as soon as ITS body is done —
+        # matching push's in-order evaluation within one element (program j
+        # cannot observe it: the scopes are disjoint).  _p marks how many
+        # programs completed the current element, for the failure record.
+        if state_vars:
+            body_lines.append(
+                f"    {', '.join(state_vars)} = {', '.join(outputs)}"
+            )
+        body_lines.append(f"    _p = {i + 1}")
+        state_tuples.append(_state_tuple(state_vars))
+    states_tuple = "(" + "".join(t + ", " for t in state_tuples) + ")"
+    consumed_tuple = (
+        "("
+        + "".join(f"_n + 1 if _p > {i} else _n, " for i in range(k))
+        + ")"
+    )
+    lines.append("    _n = 0")
+    lines.append("    _p = 0")
+    lines.append("    try:")
+    lines.append("        for _elem in _elems:")
+    lines.extend("        " + line for line in body_lines)
+    lines.append("            _n += 1")
+    # Reset AFTER the element completes, not at the loop top: the elements
+    # iterator itself may raise between elements (inside the for-statement,
+    # before any body line runs), and the failure record must not reuse the
+    # previous element's progress marker.
+    lines.append("            _p = 0")
+    lines.append("    except BaseException as _exc:")
+    lines.append(f"        _record_partial(_exc, {states_tuple}, {consumed_tuple})")
+    lines.append("        raise")
+    lines.append(f"    return ({states_tuple}, _n)")
+    fn = cg.build("\n".join(lines) + "\n", "_fused_batch", name)
+    return StepKernel(fn, compiled=True, fused=True, name=name)

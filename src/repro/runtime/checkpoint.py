@@ -18,6 +18,12 @@ Three operator shapes are supported, each with ``checkpoint()`` /
 
 Key/value extractor *functions* of keyed operators are code, not data; a
 restore of a keyed checkpoint takes them as arguments.
+
+Execution backends are process artifacts, not state: a restored operator
+re-resolves its scalar step *and* its batch :class:`~repro.ir.compile.StepKernel`
+exactly as a fresh one does (honouring ``REPRO_JIT``/``jit=``), so batched
+ingestion after a resume remains bit-for-bit identical to never having
+stopped.
 """
 
 from __future__ import annotations

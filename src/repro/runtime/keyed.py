@@ -73,10 +73,88 @@ class KeyedOperator:
 
     def push_many(self, elements: Iterable[Value]) -> dict[Hashable, Value]:
         """Consume a batch; returns the full per-key snapshot — a defined
-        value (``{}`` on a fresh operator) even for an empty batch."""
-        push = self.push
-        for element in elements:
-            push(element)
+        value (``{}`` on a fresh operator) even for an empty batch.
+
+        The batch is grouped per key (one pass of key/value extraction,
+        preserving each key's element order and first-arrival partition
+        order), then every key's run drains through its partition's batch
+        kernel via :meth:`OnlineOperator.push_many` — partitions are
+        independent, so the snapshot equals element-by-element ``push``.
+
+        Failure semantics are exactly per-push too: whatever raises first
+        in element order — a key/value extractor or a scheme step — the
+        operator ends up having consumed precisely the elements before
+        that one (``count`` stays a resumable stream offset).  A step
+        failure is discovered while draining a *group*, so the operator
+        rewinds to its pre-batch snapshot and re-drains the common prefix;
+        that replay is sound because scheme steps are pure and
+        deterministic.
+        """
+        groups: dict[Hashable, list[Value]] = {}
+        order: list[Hashable] = []
+        key_fn, value_fn = self.key_fn, self.value_fn
+        extract_error: BaseException | None = None
+        try:
+            for element in elements:
+                key = key_fn(element)
+                payload = element if value_fn is None else value_fn(element)
+                groups.setdefault(key, []).append(payload)
+                order.append(key)
+        except BaseException as exc:  # the prefix still drains, per-push
+            extract_error = exc
+        # Rewind snapshot, scoped to the batch: only partitions for keys in
+        # this batch can change (a deployment with many accumulated keys
+        # must not pay O(#keys) per small batch).
+        snapshot = {
+            key: (self.partitions[key].state, self.partitions[key].count)
+            for key in groups
+            if key in self.partitions
+        }
+        total = self.count
+        # Per-key global element positions, to map "partition K failed on
+        # its j-th payload" back to a position in the batch.  Built lazily
+        # on the first failure — successful batches (the hot path) must not
+        # pay a second pass over the elements.
+        positions: dict[Hashable, list[int]] | None = None
+        failure: tuple | None = None  # (global position, exc)
+        for key, payloads in groups.items():
+            op = self.operator(key)
+            before = op.count
+            try:
+                op.push_many(payloads)
+            except BaseException as exc:
+                if positions is None:
+                    positions = {}
+                    for index, each in enumerate(order):
+                        positions.setdefault(each, []).append(index)
+                position = positions[key][op.count - before]
+                if failure is None or position < failure[0]:
+                    failure = (position, exc)
+        if failure is not None:
+            prefix, exc = failure
+            # Rewind the touched partitions to their pre-batch state
+            # (dropping ones the probe created), then re-drain the strict
+            # prefix — which cannot raise, since every partition survived
+            # those payloads.
+            for key in groups:
+                snap = snapshot.get(key)
+                if snap is None:
+                    self.partitions.pop(key, None)
+                else:
+                    self.partitions[key].state, self.partitions[key].count = snap
+            taken: dict[Hashable, int] = {}
+            prefix_groups: dict[Hashable, list[Value]] = {}
+            for key in order[:prefix]:
+                i = taken.get(key, 0)
+                taken[key] = i + 1
+                prefix_groups.setdefault(key, []).append(groups[key][i])
+            for key, payloads in prefix_groups.items():
+                self.operator(key).push_many(payloads)
+            self.count = total + prefix
+            raise exc
+        self.count = total + len(order)
+        if extract_error is not None:
+            raise extract_error
         return self.snapshot()
 
     def value(self, key: Hashable, default: Value | None = None) -> Value | None:

@@ -12,14 +12,23 @@ element sources without materializing batches.  The runtime provides:
   algorithms under finite windows without inverse operations.
 
 Operators are deliberately tiny: one scheme step per element, O(1) state.
+
+Batched ingestion (``push_many``, the windows, ``repro run --batch-size``)
+runs on :class:`~repro.ir.compile.StepKernel` execution plans: the whole
+chunk loop is compiled to one native closure (per-scheme, or fused across a
+pipeline's schemes), with the interpreter-driven loop as the transparent
+``REPRO_JIT=0`` / ``--no-jit`` fallback.  Kernels are semantically
+invisible — batch results equal per-element ``push``, bit-for-bit.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..core.scheme import OnlineScheme
+from ..ir.compile import IRCompileError, compile_fused_steps, kernel_partial
 from ..ir.values import Value
 
 
@@ -44,12 +53,14 @@ class OnlineOperator:
         self.name = name or scheme.provenance
         self.state: tuple[Value, ...] = scheme.initializer
         self.count = 0
-        # The execution backend is resolved once per operator: the compiled
-        # native closure by default, the interpreter under REPRO_JIT=0 or
-        # jit=False (or when the program is uncompilable).  See
-        # :mod:`repro.ir.compile`.
+        # The execution backends are resolved once per operator: the
+        # compiled native closure (per-element push) and the batch kernel
+        # (push_many) by default, interpreter-driven equivalents under
+        # REPRO_JIT=0 or jit=False (or when the program is uncompilable).
+        # See :mod:`repro.ir.compile`.
         self._jit = jit
         self._step = scheme._resolve_step(jit)
+        self._kernel = scheme._resolve_kernel(jit)
 
     @property
     def value(self) -> Value:
@@ -70,20 +81,20 @@ class OnlineOperator:
         state untouched and returns the current value — ``fst(I)`` on a
         fresh operator, matching rule Lift-Nil of Figure 8.
         """
-        # Hot loop: everything the per-element transition touches is a
-        # local.  The try/finally keeps partial progress visible if an
-        # element raises, matching the per-push behaviour.
-        step = self._step
-        extra = self.extra
-        state = self.state
-        consumed = 0
+        # The whole chunk runs inside one StepKernel call — the compiled
+        # batch loop (state in locals, no per-element closure re-entry), or
+        # the interpreter-driven loop under --no-jit.  If an element
+        # raises, the kernel's partial-progress record keeps exactly the
+        # state and count a per-element loop would have kept.
         try:
-            for element in elements:
-                state = step(state, element, extra)
-                consumed += 1
-        finally:
+            state, consumed = self._kernel.run(self.state, elements, self.extra)
+        except BaseException as exc:
+            state, consumed = kernel_partial(exc, self.state)
             self.state = state
             self.count += consumed
+            raise
+        self.state = state
+        self.count += consumed
         return state[0]
 
     def reset(self) -> None:
@@ -120,26 +131,122 @@ class StreamPipeline:
 
     def __init__(self, operators: Mapping[str, OnlineOperator]):
         self.operators = dict(operators)
+        #: Cached fused-kernel plan: ``(operator tuple, StepKernel | None)``.
+        #: Rebuilt whenever the operator set changes (compared by identity),
+        #: so swapping operators in ``self.operators`` is picked up.
+        self._fused_plan: tuple | None = None
 
     def push(self, element: Value) -> dict[str, Value]:
         return {name: op.push(element) for name, op in self.operators.items()}
+
+    def _fused_kernel(self, ops: tuple):
+        """The pipeline-fusion plan for the current operator set: ONE
+        compiled loop advancing every operator's state per element
+        (:func:`repro.ir.compile.compile_fused_steps`), or ``None`` when
+        fusion does not apply — fewer than two operators, any operator on
+        the interpreter backend (``--no-jit`` must reach the whole
+        pipeline), one operator object registered under several names (the
+        fused slots would silently overwrite each other's writes to the
+        shared state), or a program the fused codegen declines.
+
+        Returns ``(kernel | None, distinct)`` — ``distinct`` is False when
+        an operator appears under several names, which also rules out the
+        fallback's lockstep rewind (the "slots" share state)."""
+        plan = self._fused_plan
+        if plan is not None and plan[0] == ops:  # tuple == is per-op identity
+            return plan[1], plan[2]
+        kernel = None
+        distinct = len({id(op) for op in ops}) == len(ops)
+        if len(ops) > 1 and distinct and all(op._kernel.compiled for op in ops):
+            try:
+                kernel = compile_fused_steps(
+                    [op.scheme.program for op in ops],
+                    name="+".join(op.name for op in ops),
+                )
+            except IRCompileError:
+                kernel = None
+        self._fused_plan = (ops, kernel, distinct)
+        return kernel, distinct
 
     def push_many(self, elements: Iterable[Value]) -> dict[str, Value]:
         """Consume a batch; returns the final snapshot — a defined value
         (the current snapshot, initializers on a fresh pipeline) even when
         ``elements`` is empty.
 
-        The batch is materialized once and drained through each operator's
-        :meth:`OnlineOperator.push_many` hot loop (hoisted step/state
-        locals), not element-by-element through ``push`` — operators are
-        independent, so per-operator draining reaches the same final
-        snapshot.  If an element raises, operators drained earlier keep
-        their full progress and the raising operator its partial progress,
-        matching ``push_many`` semantics on the single-operator level.
+        With every operator on the compiled backend the batch runs through
+        ONE fused kernel: a single generated loop reads each element once
+        and advances all operators' states in lockstep.  Otherwise each
+        operator drains the materialized chunk through its own batch
+        kernel (:meth:`OnlineOperator.push_many`) — operators are
+        independent, so both paths reach the per-element-``push`` snapshot.
+
+        Failure semantics reproduce per-element ``push`` exactly on BOTH
+        paths (so ``--no-jit`` runs stay bit-for-bit identical): operators
+        advance in dict order within each element, so when operator *r*
+        raises on element *k*, operators before *r* keep ``k + 1`` elements
+        and the rest keep ``k``.  The fused loop gives this natively
+        (per-program in-order updates, per-program consumed counts in the
+        partial-progress record); the fallback probes each operator, then
+        rewinds to the pre-batch snapshot and re-drains each operator's
+        per-push prefix — sound because scheme steps are pure and
+        deterministic.
         """
         chunk = elements if isinstance(elements, (list, tuple)) else list(elements)
-        for op in self.operators.values():
-            op.push_many(chunk)
+        ops = tuple(self.operators.values())
+        fused, distinct = self._fused_kernel(ops)
+        if fused is None:
+            if not distinct:
+                # One operator under several names: plain sequential drains
+                # (per-push parity is ill-defined when "slots" share state;
+                # fusion declines too, so jit on and off take this path).
+                for op in ops:
+                    op.push_many(chunk)
+                return self.snapshot()
+            snapshots = [(op.state, op.count) for op in ops]
+            # Earliest failing element across operators; on ties the
+            # operator evaluated first per element (dict order) wins,
+            # matching both push and the fused loop's emission order.
+            failure: tuple | None = None  # (element index, op index, exc)
+            for i, op in enumerate(ops):
+                try:
+                    op.push_many(chunk)
+                except BaseException as exc:
+                    consumed = op.count - snapshots[i][1]
+                    if failure is None or consumed < failure[0]:
+                        failure = (consumed, i, exc)
+            if failure is None:
+                return self.snapshot()
+            element, raiser, exc = failure
+            for op, (state, count) in zip(ops, snapshots):
+                op.state = state
+                op.count = count
+            for i, op in enumerate(ops):
+                # Operators before the raiser applied the failing element
+                # too (push evaluates them first within that element).
+                # Cannot raise: each is a prefix the operator survived.
+                op.push_many(chunk[: element + 1 if i < raiser else element])
+            raise exc
+        states = tuple(op.state for op in ops)
+        try:
+            states, consumed = fused.run(
+                states, chunk, tuple(op.extra for op in ops)
+            )
+        except BaseException as exc:
+            states, consumed = kernel_partial(exc, states)
+            # A fused kernel's failure record carries per-program counts
+            # (operators before the raiser applied one element more).
+            counts = (
+                consumed
+                if isinstance(consumed, tuple)
+                else (consumed,) * len(ops)
+            )
+            for op, state, count in zip(ops, states, counts):
+                op.state = state
+                op.count += count
+            raise
+        for op, state in zip(ops, states):
+            op.state = state
+            op.count += consumed
         return self.snapshot()
 
     def run(self, source: Iterable[Value]) -> Iterator[dict[str, Value]]:
@@ -174,20 +281,29 @@ def tumbling(
     size: int,
     extra: Mapping[str, Value] | None = None,
 ) -> Iterator[Value]:
-    """One result per non-overlapping window of ``size`` elements."""
+    """One result per non-overlapping window of ``size`` elements (a
+    trailing partial window still yields).
+
+    Each window is one :meth:`OnlineOperator.push_many` batch — the whole
+    window runs inside the scheme's compiled batch kernel instead of
+    ``size`` per-element closure calls, with identical results.  The
+    window is fed lazily (``islice`` straight into the kernel loop), so
+    memory stays O(1) no matter the window size; ``op.count`` after the
+    drain says whether the source still had elements and whether the
+    window filled.
+    """
     if size <= 0:
         raise ValueError("window size must be positive")
     op = OnlineOperator(scheme, extra)
-    filled = 0
-    for element in source:
-        op.push(element)
-        filled += 1
-        if filled == size:
-            yield op.value
-            op.reset()
-            filled = 0
-    if filled:
+    it = iter(source)
+    while True:
+        op.reset()
+        op.push_many(itertools.islice(it, size))
+        if op.count == 0:
+            return
         yield op.value
+        if op.count < size:
+            return
 
 
 def sliding(

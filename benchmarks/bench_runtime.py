@@ -22,7 +22,12 @@ import pytest
 
 from repro.baselines import OperaFull
 from repro.core import SynthesisConfig
-from repro.evaluation import resolve_cache, run_suite
+from repro.evaluation import (
+    compare_reports,
+    comparison_exit_code,
+    resolve_cache,
+    run_suite,
+)
 from repro.evaluation.runtime_bench import (
     DEFAULT_SCHEMES,
     format_report,
@@ -144,6 +149,10 @@ def test_throughput_report(variance_scheme):
     report = run_runtime_benchmark(DEFAULT_SCHEMES, elements=1000, repeats=2)
     print()
     print(format_report(report))
+    # Format v3 invariants: raw per-repeat timings and provenance ride
+    # along for `repro bench compare`.
+    assert report["version"] == 3
+    assert {"git_commit", "timestamp", "clock"} <= set(report["meta"])
     for name, entry in report["schemes"].items():
         assert entry["states_match"], name
         assert entry["speedup"] > 1.2, (name, entry)
@@ -151,8 +160,16 @@ def test_throughput_report(variance_scheme):
         # regime property (overhead-bound vs arithmetic-bound), so only
         # sanity-bound it here — CI gates the per-domain best.
         assert entry["batch_speedup"] > 0.5, (name, entry)
+        for key in ("interpreted_s", "compiled_s", "batch_s"):
+            assert len(entry["raw"][key]) == report["repeats"], (name, key)
     for group in report.get("fused", {}).values():
         assert group["states_match"], group["schemes"]
+    # A report never significantly regresses against itself (on capable
+    # machines it is no-significant-change throughout; constrained
+    # environments yield explicit incomparable verdicts, never a failure).
+    comparison = compare_reports(report, report)
+    assert comparison_exit_code(comparison) == 0
+    assert comparison["summary"]["regressed"] == 0
     try:
         write_report(report, "BENCH_runtime.json")
     except OSError:

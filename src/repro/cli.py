@@ -49,6 +49,8 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
       python -m repro bench table2 --workers 8 --no-cache
       python -m repro bench runtime --out BENCH_runtime.json
       python -m repro bench holes --hole-workers 4 --out BENCH_holes.json
+      python -m repro bench compare OLD.json NEW.json
+      python -m repro bench compare BENCH_runtime.json --baseline latest
 
   ``--workers`` shards (solver, benchmark) tasks across processes;
   ``--hole-workers`` / ``REPRO_HOLE_WORKERS`` additionally spread one
@@ -67,6 +69,20 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
   take ``--no-jit`` on ``repro run`` (or ``REPRO_JIT=0``) to force the
   interpreter.
 
+  ``bench runtime`` and ``bench holes`` record raw per-repeat timings and
+  commit metadata (report format v3) and file every report into an
+  append-only ``bench_history/`` store (``--history-dir`` /
+  ``REPRO_BENCH_HISTORY`` relocate it, ``--no-history`` skips it).  ``bench
+  compare OLD.json NEW.json`` then tests the two reports for statistically
+  significant change — bootstrap confidence intervals plus a Mann-Whitney
+  U per metric (:mod:`repro.evaluation.benchstats`) — and exits 1 only on
+  a significant regression, which is how the CI perf job gates against the
+  baseline committed under ``bench_history/baseline/``.  ``--baseline
+  latest`` compares against the newest history entry of the same kind
+  instead of a named file; metrics that cannot be tested (single-core
+  runs, mismatched scheme sets or workloads, pre-v3 reports) get explicit
+  ``incomparable`` verdicts rather than silent skips.
+
   Runs shard (solver, benchmark) tasks over ``--workers`` processes with
   hard wall-clock kills, and reuse cached per-task results from previous
   invocations unless ``--no-cache`` is given (``--cache-dir`` overrides the
@@ -80,6 +96,7 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import re
 import sys
@@ -117,7 +134,7 @@ from .store import SchemeStore, resolve_store
 from .suites import all_benchmarks, benchmarks_for, get_benchmark
 
 #: Artifact names accepted as ``bench`` targets, besides domains.
-ARTIFACTS = ("table1", "table2", "fig11", "fig13", "runtime", "holes")
+ARTIFACTS = ("table1", "table2", "fig11", "fig13", "runtime", "holes", "compare")
 DOMAINS = ("stats", "auction", "all")
 
 
@@ -241,6 +258,95 @@ def _bench_fig13(args, config, workers, cache) -> int:
     return 0
 
 
+def _append_history(args, report: dict) -> None:
+    """File a bench report into the append-only history store (best-effort:
+    an unwritable directory downgrades to a warning, never a failed bench)."""
+    if args.no_history:
+        return
+    from .evaluation.history import append_report
+
+    try:
+        dest = append_report(report, args.history_dir)
+    except (OSError, ValueError) as exc:
+        print(f"warning: could not append to bench history: {exc}", file=sys.stderr)
+    else:
+        print(f"bench history: appended {dest}")
+
+
+def _bench_compare(args) -> int:
+    """``repro bench compare OLD.json NEW.json`` — statistically gated perf
+    comparison between two v3 bench reports (see
+    :mod:`repro.evaluation.benchstats`).
+
+    Exit codes: 0 when no metric shows a statistically significant
+    regression (improvements, no-change, and explicitly ``incomparable``
+    metrics all pass), 1 on a significant regression, 2 on unusable
+    inputs.  ``--baseline latest`` resolves the newest bench-history entry
+    of NEW's kind; ``--baseline PATH`` names a report file (e.g. the one
+    committed under ``bench_history/baseline/``).
+    """
+    from .evaluation import benchstats
+    from .evaluation.history import HistoryError, latest, report_kind
+
+    paths = list(args.reports or [])
+    expected = 1 if args.baseline is not None else 2
+    if len(paths) != expected:
+        print(
+            "usage: repro bench compare OLD.json NEW.json  (or: repro bench "
+            "compare NEW.json --baseline latest|PATH)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def _load(path) -> dict:
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise benchstats.CompareError(f"cannot read bench report {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise benchstats.CompareError(f"bench report {path} is not a JSON object")
+        return payload
+
+    try:
+        if args.baseline is not None:
+            new_path = paths[0]
+            new = _load(new_path)
+            if args.baseline == "latest":
+                old_path = latest(report_kind(new), args.history_dir)
+                if old_path is None:
+                    raise benchstats.CompareError(
+                        f"no {report_kind(new)} reports in bench history "
+                        f"(looked under {args.history_dir or 'bench_history'})"
+                    )
+            else:
+                old_path = args.baseline
+            old = _load(old_path)
+        else:
+            old_path, new_path = paths
+            old = _load(old_path)
+            new = _load(new_path)
+        comparison = benchstats.compare_reports(
+            old,
+            new,
+            alpha=args.alpha,
+            min_effect=args.min_effect,
+            resamples=args.resamples,
+            seed=args.seed,
+            old_path=str(old_path),
+            new_path=str(new_path),
+        )
+    except (benchstats.CompareError, HistoryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(benchstats.format_comparison(comparison))
+    if args.compare_out:
+        Path(args.compare_out).write_text(
+            json.dumps(comparison, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.compare_out}")
+    return benchstats.comparison_exit_code(comparison)
+
+
 def _bench_runtime(args, timeout: float, workers: int) -> int:
     """``repro bench runtime`` — per-element throughput of the execution
     backends (interpreted step, compiled scalar step, whole-batch kernel,
@@ -284,6 +390,7 @@ def _bench_runtime(args, timeout: float, workers: int) -> int:
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
+    _append_history(args, report)
     gated = args.assert_speedup is not None or args.assert_batch_speedup is not None
     if gated and report["cpu_count"] < 2:
         print(
@@ -373,6 +480,7 @@ def _bench_holes(args, timeout: float) -> int:
     if args.out:
         write_holes_report(report, args.out)
         print(f"wrote {args.out}")
+    _append_history(args, report)
     if args.assert_speedup is not None:
         best = max(
             (entry["speedup"] for entry in report["benchmarks"].values()),
@@ -398,6 +506,17 @@ def _bench_holes(args, timeout: float) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.target == "compare":
+        # Pure report-to-report statistics: none of the synthesis knobs
+        # (timeout/workers/cache) apply, so dispatch before validating them.
+        return _bench_compare(args)
+    if args.reports:
+        print(
+            f"error: unexpected positional arguments {args.reports} "
+            f"(only `bench compare` takes report files)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         timeout = args.timeout if args.timeout is not None else default_timeout()
         workers = args.workers if args.workers is not None else default_workers()
@@ -800,7 +919,14 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         choices=DOMAINS + ARTIFACTS,
-        help="domain to run or paper artifact to regenerate",
+        help="domain to run, paper artifact to regenerate, or `compare`",
+    )
+    p_bench.add_argument(
+        "reports",
+        nargs="*",
+        default=None,
+        metavar="REPORT.json",
+        help="for `compare`: OLD.json NEW.json, or just NEW.json with --baseline",
     )
     p_bench.add_argument("--solver", default="opera", choices=sorted(SOLVERS))
     p_bench.add_argument("--domain", default="all", choices=list(DOMAINS))
@@ -880,6 +1006,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--synthesis", action="store_true",
         help="also time an uncached synthesis pass with and without oracle "
              "compilation (uses --timeout/--workers)",
+    )
+    history_group = p_bench.add_argument_group(
+        "bench history", "append-only store of runtime/holes reports "
+        "(bench_history/<kind>/<timestamp>-<commit>.json plus index.json)"
+    )
+    history_group.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="history root (default: REPRO_BENCH_HISTORY or ./bench_history)",
+    )
+    history_group.add_argument(
+        "--no-history", action="store_true",
+        help="do not file this run's report into the bench history",
+    )
+    compare_group = p_bench.add_argument_group(
+        "compare target", "options for `repro bench compare` (bootstrap CIs "
+        "+ Mann-Whitney significance verdicts between two bench reports; "
+        "exit 1 only on a statistically significant regression)"
+    )
+    compare_group.add_argument(
+        "--baseline", default=None, metavar="PATH|latest",
+        help="compare NEW.json against this report instead of a positional "
+             "OLD.json; `latest` resolves the newest history entry of the "
+             "same kind",
+    )
+    compare_group.add_argument(
+        "--alpha", type=float, default=0.05, metavar="A",
+        help="significance level for the Mann-Whitney test (default: 0.05)",
+    )
+    compare_group.add_argument(
+        "--min-effect", type=float, default=0.02, metavar="R",
+        help="minimum relative change of medians to call significant "
+             "(default: 0.02 = 2%%; guards against microsecond-level jitter)",
+    )
+    compare_group.add_argument(
+        "--resamples", type=int, default=2000, metavar="N",
+        help="bootstrap resamples per confidence interval (default: 2000)",
+    )
+    compare_group.add_argument(
+        "--seed", type=int, default=6581, metavar="S",
+        help="bootstrap RNG seed (fixed so comparisons are reproducible)",
+    )
+    compare_group.add_argument(
+        "--compare-out", default=None, metavar="FILE",
+        help="also write the full comparison as JSON",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

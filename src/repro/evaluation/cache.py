@@ -107,9 +107,7 @@ class ResultCache:
     # -- keys ------------------------------------------------------------
 
     @staticmethod
-    def task_key(
-        solver_name: str, benchmark: Benchmark, config: SynthesisConfig
-    ) -> str:
+    def task_key(solver_name: str, benchmark: Benchmark, config: SynthesisConfig) -> str:
         from .. import __version__, fingerprint
 
         blob = "\n".join(

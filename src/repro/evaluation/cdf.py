@@ -33,15 +33,9 @@ def ascii_cdf(
     title: str = "% of benchmarks solved by running total (log t)",
 ) -> str:
     """Render several CDFs on one log-x ASCII plot."""
-    all_series = {
-        name: cdf_series(suite) for name, suite in suites.items()
-    }
-    max_time = max(
-        (pts[-1][0] for pts in all_series.values() if pts), default=1.0
-    )
-    min_time = min(
-        (pts[0][0] for pts in all_series.values() if pts), default=0.01
-    )
+    all_series = {name: cdf_series(suite) for name, suite in suites.items()}
+    max_time = max((pts[-1][0] for pts in all_series.values() if pts), default=1.0)
+    min_time = min((pts[0][0] for pts in all_series.values() if pts), default=0.01)
     min_time = max(min_time, 1e-3)
     lo, hi = math.log10(min_time), math.log10(max(max_time, min_time * 10))
 
@@ -53,9 +47,7 @@ def ascii_cdf(
         legend.append(f"  {marker} {name}")
         level = 0.0
         for cum, pct in pts:
-            col = int(
-                (math.log10(max(cum, min_time)) - lo) / max(hi - lo, 1e-9) * (width - 1)
-            )
+            col = int((math.log10(max(cum, min_time)) - lo) / max(hi - lo, 1e-9) * (width - 1))
             row = height - 1 - int(pct / 100.0 * (height - 1))
             col = min(max(col, 0), width - 1)
             row = min(max(row, 0), height - 1)
@@ -70,11 +62,7 @@ def ascii_cdf(
     for i, row in enumerate(grid):
         pct_label = f"{100 - round(100 * i / (height - 1)):>3}% |"
         lines.append(pct_label + "".join(row))
-    lines.append(
-        "     +" + "-" * width
-    )
-    lines.append(
-        f"      {10**lo:.2g}s{'':{max(width - 16, 1)}}{10**hi:.2g}s"
-    )
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {10**lo:.2g}s{'':{max(width - 16, 1)}}{10**hi:.2g}s")
     lines.extend(legend)
     return "\n".join(lines)

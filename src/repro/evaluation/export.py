@@ -35,9 +35,7 @@ def suite_to_records(suite: SuiteResult) -> list[dict]:
     return records
 
 
-def matrix_to_json(
-    matrix: Mapping[str, SuiteResult], indent: int = 1
-) -> str:
+def matrix_to_json(matrix: Mapping[str, SuiteResult], indent: int = 1) -> str:
     """Serialize a solver matrix (solver -> SuiteResult) to JSON."""
     payload = {
         solver: {
@@ -59,9 +57,7 @@ def matrix_to_csv(matrix: Mapping[str, SuiteResult]) -> str:
     """One CSV row per (solver, task)."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow(
-        ["solver", "task", "success", "elapsed_s", "failure_reason"]
-    )
+    writer.writerow(["solver", "task", "success", "elapsed_s", "failure_reason"])
     for suite in matrix.values():
         for record in suite_to_records(suite):
             writer.writerow(
@@ -76,9 +72,7 @@ def matrix_to_csv(matrix: Mapping[str, SuiteResult]) -> str:
     return buffer.getvalue()
 
 
-def write_artifacts(
-    matrix: Mapping[str, SuiteResult], json_path: str, csv_path: str
-) -> None:
+def write_artifacts(matrix: Mapping[str, SuiteResult], json_path: str, csv_path: str) -> None:
     with open(json_path, "w") as handle:
         handle.write(matrix_to_json(matrix))
     with open(csv_path, "w") as handle:

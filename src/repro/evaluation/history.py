@@ -1,0 +1,178 @@
+"""Append-only bench history: timestamped, commit-stamped perf reports.
+
+``BENCH_runtime.json`` and ``BENCH_holes.json`` are overwritten by every
+bench run, so on their own they are point samples — the perf *trajectory*
+the ROADMAP tracks would exist only as noise in git history.  This module
+gives every bench verb an append-only store instead: each report is copied
+into ``bench_history/<kind>/<timestamp>-<commit>.json`` and recorded in a
+small ``index.json``, so ``repro bench compare --baseline latest`` (and any
+offline analysis) can reach past runs without archaeology.
+
+The store is deliberately dumb: plain JSON files plus one index listing
+``file`` / ``kind`` / ``commit`` / ``timestamp`` / ``cpu_count`` per entry.
+Nothing is ever rewritten or deleted by the appenders — pruning is a human
+decision (``git rm`` or plain ``rm``), and :func:`latest` skips index
+entries whose files are gone.
+
+This module also owns the provenance block embedded in every v3 bench
+report (:func:`bench_metadata`): the git commit the numbers belong to
+(``unknown`` outside a checkout), a UTC timestamp, and a note that the
+timings come from a monotonic clock — the three facts that make a history
+entry attributable after the fact.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+from pathlib import Path
+
+#: Environment override for the history root (CLI flag ``--history-dir`` wins).
+HISTORY_ENV = "REPRO_BENCH_HISTORY"
+
+#: Default history root, relative to the current directory (the repo root in
+#: normal use, the workspace in CI).
+DEFAULT_HISTORY_DIR = "bench_history"
+
+INDEX_NAME = "index.json"
+INDEX_FORMAT = "repro/bench-history-index"
+INDEX_VERSION = 1
+
+#: Report ``format`` field -> short kind (subdirectory and baseline name).
+KINDS = {
+    "repro/bench-runtime": "runtime",
+    "repro/bench-holes": "holes",
+}
+
+
+class HistoryError(ValueError):
+    """The history index exists but cannot be read or parsed."""
+
+
+def git_commit(cwd: str | None = None) -> str:
+    """The current ``git rev-parse HEAD``, or ``"unknown"`` outside a
+    checkout (or wherever git is missing/broken) — bench reports must be
+    writable from an unpacked tarball too."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def bench_metadata() -> dict:
+    """The ``meta`` block of a v3 bench report: enough provenance to make a
+    history entry attributable (which commit, when, and what kind of clock
+    produced the raw repeats)."""
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return {
+        "git_commit": git_commit(),
+        "timestamp": now.strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "clock": "time.perf_counter/time.monotonic (monotonic; timestamps are wall-clock UTC)",
+    }
+
+
+def report_kind(report: dict) -> str:
+    """Short kind (``runtime`` / ``holes``) for a bench report dict.
+
+    Raises ``ValueError`` for anything that is not a known bench report —
+    the caller is about to file it or compare it, and a wrong guess would
+    poison the history/comparison silently.
+    """
+    fmt = report.get("format")
+    kind = KINDS.get(fmt)
+    if kind is None:
+        raise ValueError(
+            f"not a known bench report: format={fmt!r} (expected one of {sorted(KINDS)})"
+        )
+    return kind
+
+
+def resolve_history_dir(directory: str | os.PathLike | None = None) -> Path:
+    """Explicit argument beats ``REPRO_BENCH_HISTORY`` beats ``bench_history``."""
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get(HISTORY_ENV, "").strip()
+    return Path(env) if env else Path(DEFAULT_HISTORY_DIR)
+
+
+def _load_index(root: Path) -> dict:
+    path = root / INDEX_NAME
+    if not path.exists():
+        return {"format": INDEX_FORMAT, "version": INDEX_VERSION, "entries": []}
+    try:
+        index = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise HistoryError(f"cannot read bench history index {path}: {exc}") from exc
+    if not isinstance(index, dict) or not isinstance(index.get("entries"), list):
+        raise HistoryError(f"bench history index {path} has no entries list")
+    return index
+
+
+def append_report(report: dict, directory: str | os.PathLike | None = None) -> Path:
+    """File ``report`` under the history root and record it in the index.
+
+    The filename is ``<kind>/<timestamp>-<short commit>.json`` (collisions
+    get a numeric suffix, so two runs in the same second both survive).
+    Returns the path written.  Append-only: existing entries and files are
+    never touched.
+    """
+    root = resolve_history_dir(directory)
+    kind = report_kind(report)
+    meta = report.get("meta") or {}
+    commit = str(meta.get("git_commit") or "unknown")
+    timestamp = str(meta.get("timestamp") or "undated")
+    stamp = timestamp.replace("-", "").replace(":", "").replace("T", "-").rstrip("Z")
+    stem = f"{stamp}-{commit[:12]}"
+    dest_dir = root / kind
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    dest = dest_dir / f"{stem}.json"
+    suffix = 2
+    while dest.exists():
+        dest = dest_dir / f"{stem}-{suffix}.json"
+        suffix += 1
+    index = _load_index(root)  # read before writing: a corrupt index aborts the append
+    dest.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    index["entries"].append(
+        {
+            "file": dest.relative_to(root).as_posix(),
+            "kind": kind,
+            "commit": commit,
+            "timestamp": timestamp,
+            "cpu_count": report.get("cpu_count"),
+            "python": report.get("python"),
+        }
+    )
+    (root / INDEX_NAME).write_text(
+        json.dumps(index, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return dest
+
+
+def latest(kind: str, directory: str | os.PathLike | None = None) -> Path | None:
+    """Path of the most recent history entry of ``kind``, or ``None``.
+
+    Walks the index back-to-front (append order == chronological order) and
+    skips entries whose files were pruned from disk.
+    """
+    root = resolve_history_dir(directory)
+    if not (root / INDEX_NAME).exists():
+        return None
+    index = _load_index(root)
+    for entry in reversed(index["entries"]):
+        if entry.get("kind") != kind:
+            continue
+        path = root / str(entry.get("file"))
+        if path.exists():
+            return path
+    return None

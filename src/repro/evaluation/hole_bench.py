@@ -20,6 +20,12 @@ Results are written as ``BENCH_holes.json`` (CI uploads it and gates on
 speedup is only physically possible with >= 2 cores; the CLI gate warns
 and passes on single-core machines instead of failing spuriously.
 
+Format v3 (aligned with ``BENCH_runtime.json``) embeds the raw per-repeat
+wall-clocks under each benchmark's ``raw`` key and a ``meta`` provenance
+block (git commit, UTC timestamp, clock note), which is what ``repro bench
+compare`` runs its bootstrap/Mann-Whitney machinery over
+(:mod:`repro.evaluation.benchstats`).
+
 Entry points: ``repro bench holes`` on the CLI, or
 :func:`run_hole_benchmark` from Python/pytest.
 """
@@ -29,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import sys
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -52,9 +59,11 @@ from ..ir.dsl import (
 from ..suites import get_benchmark
 from ..suites.registry import Benchmark
 
-#: Envelope identifiers for BENCH_holes.json.
+#: Envelope identifiers for BENCH_holes.json.  Version jumps 1 -> 3 so the
+#: "raw repeats + meta" report generation is one number across both bench
+#: formats.
 BENCH_FORMAT = "repro/bench-holes"
-BENCH_FORMAT_VERSION = 1
+BENCH_FORMAT_VERSION = 3
 
 #: Default measured set: one suite task plus the balanced stress tasks.
 DEFAULT_HOLE_TASKS = ("skewness", "stress_moments", "stress_moments_wide")
@@ -165,10 +174,14 @@ def run_hole_benchmark(
         raise ValueError(f"hole_workers must be >= 2 to compare, got {hole_workers}")
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    from .history import bench_metadata
+
     chosen = list(names) if names else list(DEFAULT_HOLE_TASKS)
     report: dict = {
         "format": BENCH_FORMAT,
         "version": BENCH_FORMAT_VERSION,
+        "meta": bench_metadata(),
+        "python": sys.version.split()[0],
         "hole_workers": hole_workers,
         "cpu_count": os.cpu_count() or 1,
         "platform": platform.platform(),
@@ -178,9 +191,7 @@ def run_hole_benchmark(
     }
     for name in chosen:
         bench = _resolve(name)
-        base = SynthesisConfig(
-            timeout_s=timeout_s, element_arity=bench.element_arity
-        )
+        base = SynthesisConfig(timeout_s=timeout_s, element_arity=bench.element_arity)
         times = {1: [], hole_workers: []}
         outcomes: dict[int, SynthesisReport] = {}
         for _ in range(repeats):
@@ -204,9 +215,11 @@ def run_hole_benchmark(
             "success": outcomes[1].success,
             "sequential_s": round(sequential_s, 4),
             "parallel_s": round(parallel_s, 4),
-            "speedup": round(sequential_s / parallel_s, 3)
-            if parallel_s > 0
-            else 0.0,
+            "speedup": round(sequential_s / parallel_s, 3) if parallel_s > 0 else 0.0,
+            "raw": {
+                "sequential_s": [round(t, 6) for t in times[1]],
+                "parallel_s": [round(t, 6) for t in times[hole_workers]],
+            },
         }
     return report
 
@@ -226,6 +239,4 @@ def format_holes_report(report: dict) -> str:
 
 
 def write_holes_report(report: dict, path) -> None:
-    Path(path).write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")

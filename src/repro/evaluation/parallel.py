@@ -68,9 +68,7 @@ def _positive_int_env(name: str, fallback: int) -> int:
     try:
         parsed = int(value)
     except ValueError:
-        raise ValueError(
-            f"{name} must be a positive integer, got {value!r}"
-        ) from None
+        raise ValueError(f"{name} must be a positive integer, got {value!r}") from None
     if parsed < 1:
         raise ValueError(f"{name} must be a positive integer, got {value!r}")
     return parsed

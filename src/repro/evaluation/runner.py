@@ -62,9 +62,7 @@ def default_timeout(fallback: float = 10.0) -> float:
     try:
         parsed = float(value)
     except ValueError:
-        raise ValueError(
-            f"{TIMEOUT_ENV} must be a number of seconds, got {value!r}"
-        ) from None
+        raise ValueError(f"{TIMEOUT_ENV} must be a number of seconds, got {value!r}") from None
     if not math.isfinite(parsed) or parsed <= 0:
         raise ValueError(
             f"{TIMEOUT_ENV} must be a positive finite number of seconds, "
@@ -88,9 +86,7 @@ class SuiteResult:
             return 0.0
         return 100.0 * len(self.solved()) / len(self.reports)
 
-    def average_time(
-        self, solved_only: bool = True, default: float = float("nan")
-    ) -> float:
+    def average_time(self, solved_only: bool = True, default: float = float("nan")) -> float:
         """Mean ``elapsed_s``; ``default`` is returned for an empty pool so
         renderers can opt into ``0.0`` instead of propagating ``nan``."""
         pool = self.solved() if solved_only else list(self.reports.values())

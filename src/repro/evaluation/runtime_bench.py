@@ -16,6 +16,14 @@ on; the report records ``cpu_count`` and ``platform`` (matching
 ``BENCH_holes.json``) so numbers from different machines stay
 interpretable.
 
+Format v3 additionally embeds the *raw per-repeat wall-clocks* under each
+scheme's ``raw`` key and a ``meta`` provenance block (git commit, UTC
+timestamp, clock note — see :func:`repro.evaluation.history.bench_metadata`).
+Raw repeats are what turn two reports into two samples a statistics layer
+can actually test: ``repro bench compare`` runs bootstrap CIs and a
+Mann-Whitney U over them (:mod:`repro.evaluation.benchstats`) instead of
+eyeballing best-of-N point estimates.
+
 Measured honestly: every backend runs the same deterministic stream
 (best-of-``repeats`` wall-clock), and the final accumulator states are
 asserted identical across all backends before any number is reported —
@@ -45,9 +53,10 @@ from typing import Sequence
 from ..ir.compile import compile_fused_steps
 from ..ir.values import Value
 
-#: Envelope identifiers for BENCH_runtime.json.
+#: Envelope identifiers for BENCH_runtime.json.  v3 added per-repeat raw
+#: timings (``raw``) and the ``meta`` provenance block.
 BENCH_FORMAT = "repro/bench-runtime"
-BENCH_FORMAT_VERSION = 2
+BENCH_FORMAT_VERSION = 3
 
 #: Default scheme set: a spread over both domains, element shapes (scalars
 #: and pairs), extra parameters, accumulator sizes, and both batch regimes
@@ -86,45 +95,42 @@ def make_stream(element_arity: int, n: int, kind: str = "int") -> list[Value]:
     return [(value, (i * 31) % 5) for i, value in enumerate(scalars)]
 
 
-def _time_steps(step, initializer, stream, extra, repeats: int) -> tuple[float, tuple]:
-    """Best-of-``repeats`` wall-clock for folding ``stream`` through
-    ``step``; returns (seconds, final state)."""
-    best = float("inf")
+def _time_steps(step, initializer, stream, extra, repeats: int) -> tuple[list[float], tuple]:
+    """Per-repeat wall-clocks for folding ``stream`` through ``step``;
+    returns (seconds per repeat, final state)."""
+    times = []
     final = initializer
     for _ in range(repeats):
         state = initializer
         start = time.perf_counter()
         for element in stream:
             state = step(state, element, extra)
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
+        times.append(time.perf_counter() - start)
         final = state
-    return best, final
+    return times, final
 
 
-def _time_kernel(kernel, initializer, stream, extra, repeats: int) -> tuple[float, tuple]:
-    """Best-of-``repeats`` wall-clock for one whole-batch kernel call."""
-    best = float("inf")
+def _time_kernel(kernel, initializer, stream, extra, repeats: int) -> tuple[list[float], tuple]:
+    """Per-repeat wall-clocks for one whole-batch kernel call each."""
+    times = []
     final = initializer
     for _ in range(repeats):
         start = time.perf_counter()
         state, consumed = kernel.run(initializer, stream, extra)
         elapsed = time.perf_counter() - start
         if consumed != len(stream):
-            raise AssertionError(
-                f"batch kernel consumed {consumed} of {len(stream)} elements"
-            )
-        best = min(best, elapsed)
+            raise AssertionError(f"batch kernel consumed {consumed} of {len(stream)} elements")
+        times.append(elapsed)
         final = state
-    return best, final
+    return times, final
 
 
-def bench_scheme(
-    benchmark, elements: int, repeats: int, stream_kind: str = "int"
-) -> dict:
+def bench_scheme(benchmark, elements: int, repeats: int, stream_kind: str = "int") -> dict:
     """Throughput of one suite benchmark's ground-truth scheme — interpreted
     step, compiled scalar step, and whole-batch kernel — with the final
-    states differential-checked across all three."""
+    states differential-checked across all three.  Headline numbers stay
+    best-of-``repeats``; the per-repeat raw wall-clocks ride along under
+    ``raw`` for the significance layer."""
     scheme = benchmark.ground_truth
     if scheme is None:
         raise ValueError(f"benchmark {benchmark.name!r} has no ground-truth scheme")
@@ -134,21 +140,22 @@ def bench_scheme(
     interpreted = scheme.interpreted_step
     compiled = scheme.compiled_step()
     kernel = scheme.compiled_kernel()
-    t_interp, state_interp = _time_steps(
+    times_interp, state_interp = _time_steps(
         interpreted, scheme.initializer, stream, extra, repeats
     )
-    t_compiled, state_compiled = _time_steps(
+    times_compiled, state_compiled = _time_steps(
         compiled, scheme.initializer, stream, extra, repeats
     )
-    t_batch, state_batch = _time_kernel(
-        kernel, scheme.initializer, stream, extra, repeats
-    )
+    times_batch, state_batch = _time_kernel(kernel, scheme.initializer, stream, extra, repeats)
     if not (state_interp == state_compiled == state_batch):
         raise AssertionError(
             f"execution backends diverged on {benchmark.name!r}: "
             f"interpreted {state_interp!r}, compiled {state_compiled!r}, "
             f"batch {state_batch!r}"
         )
+    t_interp = min(times_interp)
+    t_compiled = min(times_compiled)
+    t_batch = min(times_batch)
     return {
         "domain": benchmark.domain,
         "element_arity": benchmark.element_arity,
@@ -157,6 +164,11 @@ def bench_scheme(
         "batch_eps": elements / t_batch,
         "speedup": t_interp / t_compiled,
         "batch_speedup": t_compiled / t_batch,
+        "raw": {
+            "interpreted_s": times_interp,
+            "compiled_s": times_compiled,
+            "batch_s": times_batch,
+        },
         "states_match": True,
     }
 
@@ -191,34 +203,27 @@ def bench_fused(
             continue
         schemes = [b.ground_truth for b in members]
         stream = make_stream(arity, elements, stream_kind)
-        extras = tuple(
-            {name: 500 for name in s.program.extra_params} for s in schemes
-        )
-        fused = compile_fused_steps(
-            [s.program for s in schemes], name=f"fused-arity{arity}"
-        )
+        extras = tuple({name: 500 for name in s.program.extra_params} for s in schemes)
+        fused = compile_fused_steps([s.program for s in schemes], name=f"fused-arity{arity}")
         initializers = tuple(s.initializer for s in schemes)
 
-        best_fused = float("inf")
+        times_fused = []
         final_states: tuple = initializers
         for _ in range(repeats):
             start = time.perf_counter()
             states, consumed = fused.run(initializers, stream, extras)
             elapsed = time.perf_counter() - start
             if consumed != len(stream):
-                raise AssertionError(
-                    f"fused kernel consumed {consumed} of {len(stream)} elements"
-                )
-            best_fused = min(best_fused, elapsed)
+                raise AssertionError(f"fused kernel consumed {consumed} of {len(stream)} elements")
+            times_fused.append(elapsed)
             final_states = states
+        best_fused = min(times_fused)
         sum_batch = 0.0
         sum_scalar = 0.0
         for bench, scheme, extra, state in zip(members, schemes, extras, final_states):
             sum_batch += elements / scheme_times[bench.name]["batch_eps"]
             sum_scalar += elements / scheme_times[bench.name]["compiled_eps"]
-            state_batch, _ = scheme.compiled_kernel().run(
-                scheme.initializer, stream, extra
-            )
+            state_batch, _ = scheme.compiled_kernel().run(scheme.initializer, stream, extra)
             if state_batch != state:
                 raise AssertionError(
                     f"fused and per-scheme batch states diverged on "
@@ -233,6 +238,7 @@ def bench_fused(
             "scalar_eps": elements / sum_scalar,
             "speedup": sum_batch / best_fused,
             "speedup_vs_scalar": sum_scalar / best_fused,
+            "raw": {"fused_s": times_fused},
             "states_match": True,
         }
     return fused_report
@@ -250,9 +256,7 @@ def _timed_suite(benches, timeout_s: float, workers: int) -> float:
     return time.perf_counter() - start
 
 
-def synthesis_comparison(
-    tasks: Sequence[str], timeout_s: float, workers: int
-) -> dict:
+def synthesis_comparison(tasks: Sequence[str], timeout_s: float, workers: int) -> dict:
     """Synthesis wall-clock with and without oracle compilation.
 
     The result cache is bypassed (both runs must actually synthesize), and
@@ -299,17 +303,19 @@ def run_runtime_benchmark(
     """The full throughput report (the payload of ``BENCH_runtime.json``)."""
     from ..suites import get_benchmark
 
+    from .history import bench_metadata
+
     names = tuple(schemes) if schemes else DEFAULT_SCHEMES
     benches = [get_benchmark(name) for name in names]
     per_scheme = {
-        bench.name: bench_scheme(bench, elements, repeats, stream_kind)
-        for bench in benches
+        bench.name: bench_scheme(bench, elements, repeats, stream_kind) for bench in benches
     }
     speedups = [entry["speedup"] for entry in per_scheme.values()]
     batch_speedups = [entry["batch_speedup"] for entry in per_scheme.values()]
     report = {
         "format": BENCH_FORMAT,
         "version": BENCH_FORMAT_VERSION,
+        "meta": bench_metadata(),
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count() or 1,
         "platform": platform.platform(),
@@ -351,9 +357,7 @@ def best_batch_speedup_by_domain(report: dict) -> dict[str, float]:
 
 
 def write_report(report: dict, path) -> None:
-    Path(path).write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
 def format_report(report: dict) -> str:

@@ -75,15 +75,11 @@ def table2(results: dict[str, dict[str, SuiteResult]]) -> str:
             # rather than leaking "nan" into the generated table.
             avg = suite.average_time()
             cells.extend([pct, "N/A" if math.isnan(avg) else f"{avg:.1f}"])
-        lines.append(
-            f"{solver:18} {cells[0]:>10} {cells[1]:>11} {cells[2]:>11} {cells[3]:>12}"
-        )
+        lines.append(f"{solver:18} {cells[0]:>10} {cells[1]:>11} {cells[2]:>11} {cells[3]:>12}")
     return "\n".join(lines)
 
 
-def qualitative(
-    benchmarks: list[Benchmark], suite: SuiteResult
-) -> str:
+def qualitative(benchmarks: list[Benchmark], suite: SuiteResult) -> str:
     """Section 7.1: compare synthesized schemes against ground truth."""
     same_arity = 0
     different = 0
@@ -103,9 +99,7 @@ def qualitative(
                 same_arity += 1
             else:
                 different += 1
-            gt_size = sum(
-                ast_size(o) for o in bench.ground_truth.program.outputs
-            )
+            gt_size = sum(ast_size(o) for o in bench.ground_truth.program.outputs)
             got_size = sum(ast_size(o) for o in report.scheme.program.outputs)
             size_ratio_num += got_size
             size_ratio_den += gt_size

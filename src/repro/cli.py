@@ -23,8 +23,27 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
   (one generated loop per chunk) instead of per-element push — identical
   results, higher throughput.
 
-  Unbounded source specs (``constant:V``, bare ``counter``) are rejected
-  unless bounded with ``--max-elements`` — they would otherwise hang.
+  Unbounded source specs (``constant:V``, bare ``counter``, ``bids``,
+  ``zipf-keys``) are rejected unless bounded with ``--max-elements`` — they
+  would otherwise hang.  ``repro run --help`` prints the full spec grammar.
+
+* ``serve`` — deploy a compiled scheme as a long-running sharded service:
+  N worker processes own consistent-hashed slices of the key space, drain
+  batched hand-offs through the compiled step kernels, checkpoint to disk
+  every K elements, and are restored from their checkpoints (with replay)
+  when they crash — final aggregates stay bit-identical to a
+  single-process run (:mod:`repro.serve`)::
+
+      python -m repro serve s.json --source zipf-keys:20000:50 --key-field 1 \
+          --value-field 0 --shards 4 --checkpoint-dir ckpts --checkpoint-every 1000
+      python -m repro serve s.json --source bids:5000 --key-field 1 \
+          --shards 2 --checkpoint-dir ckpts --kill-shard 0:2500 --verify
+
+  ``--kill-shard S:AFTER`` SIGKILLs shard S's worker after AFTER elements
+  (fault injection); ``--verify`` replays the stream through a
+  single-process ``KeyedOperator`` and fails unless the states match
+  bit for bit (use a fresh --checkpoint-dir).  A checkpoint directory from
+  a previous deployment of the same scheme and shard count is resumed.
 
 * ``cache`` — maintain the on-disk result cache and scheme store::
 
@@ -49,6 +68,7 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
       python -m repro bench table2 --workers 8 --no-cache
       python -m repro bench runtime --out BENCH_runtime.json
       python -m repro bench holes --hole-workers 4 --out BENCH_holes.json
+      python -m repro bench serve --shards 2 --out BENCH_serve.json
       python -m repro bench compare OLD.json NEW.json
       python -m repro bench compare BENCH_runtime.json --baseline latest
 
@@ -69,7 +89,13 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
   take ``--no-jit`` on ``repro run`` (or ``REPRO_JIT=0``) to force the
   interpreter.
 
-  ``bench runtime`` and ``bench holes`` record raw per-repeat timings and
+  ``bench serve`` load-tests the sharded streaming server end to end —
+  Zipf-keyed traffic through ``repro.serve`` — and reports elements/second
+  plus p99 batch hand-off latency against the single-process baseline,
+  with every repeat differential-checked (:mod:`repro.evaluation.serve_bench`).
+
+  ``bench runtime``, ``bench holes`` and ``bench serve`` record raw
+  per-repeat timings and
   commit metadata (report format v3) and file every report into an
   append-only ``bench_history/`` store (``--history-dir`` /
   ``REPRO_BENCH_HISTORY`` relocate it, ``--no-history`` skips it).  ``bench
@@ -130,11 +156,12 @@ from .runtime import (
     save_checkpoint,
     sources,
 )
+from .serve import ServeError, StreamServer, reference_states, states_match
 from .store import SchemeStore, resolve_store
 from .suites import all_benchmarks, benchmarks_for, get_benchmark
 
 #: Artifact names accepted as ``bench`` targets, besides domains.
-ARTIFACTS = ("table1", "table2", "fig11", "fig13", "runtime", "holes", "compare")
+ARTIFACTS = ("table1", "table2", "fig11", "fig13", "runtime", "holes", "serve", "compare")
 DOMAINS = ("stats", "auction", "all")
 
 
@@ -505,6 +532,47 @@ def _bench_holes(args, timeout: float) -> int:
     return 0
 
 
+def _bench_serve(args) -> int:
+    """``repro bench serve`` — end-to-end throughput and p99 batch
+    hand-off latency of the sharded streaming server against the
+    single-process ``KeyedOperator`` baseline over Zipf-keyed traffic
+    (:mod:`repro.evaluation.serve_bench`).
+
+    Every repeat is a complete serve cycle whose merged states are
+    differential-checked against the baseline; writes ``BENCH_serve.json``
+    with --out (report format v3, accepted by ``bench compare`` and the
+    history store like any other kind).
+    """
+    from .evaluation.serve_bench import (
+        format_report,
+        run_serve_benchmark,
+        write_report,
+    )
+
+    try:
+        report = run_serve_benchmark(
+            args.serve_scheme,
+            elements=args.elements,
+            repeats=args.repeats,
+            shards=args.shards,
+            keys=args.keys,
+            batch_size=args.serve_batch_size,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except AssertionError as exc:
+        print(f"error: serve/single-process states diverge: {exc}", file=sys.stderr)
+        return 1
+    except (KeyError, ValueError, ServeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    _append_history(args, report)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.target == "compare":
         # Pure report-to-report statistics: none of the synthesis knobs
@@ -547,6 +615,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_runtime(args, timeout, workers)
     if args.target == "holes":
         return _bench_holes(args, timeout)
+    if args.target == "serve":
+        # End-to-end serving benchmark: compiled ground-truth schemes, own
+        # worker processes — synthesis knobs and result cache do not apply.
+        return _bench_serve(args)
     cache = resolve_cache(
         enabled=False if args.no_cache else None, directory=args.cache_dir
     )
@@ -755,6 +827,127 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kill_specs(specs: list[str] | None, shards: int) -> dict[int, list[int]]:
+    """``--kill-shard SHARD:AFTER`` fault-injection specs, as a mapping from
+    pushed-element count to the shards to SIGKILL at that point."""
+    kills: dict[int, list[int]] = {}
+    for spec in specs or []:
+        shard_raw, sep, after_raw = spec.partition(":")
+        if not sep:
+            raise ValueError(f"--kill-shard takes SHARD:AFTER, got {spec!r}")
+        try:
+            shard, after = int(shard_raw), int(after_raw)
+        except ValueError:
+            raise ValueError(f"--kill-shard takes SHARD:AFTER, got {spec!r}") from None
+        if not 0 <= shard < shards:
+            raise ValueError(
+                f"--kill-shard shard {shard} out of range for --shards {shards}"
+            )
+        if after < 1:
+            raise ValueError(f"--kill-shard AFTER must be >= 1, got {after}")
+        kills.setdefault(after, []).append(shard)
+    return kills
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.no_jit:
+        import os
+
+        os.environ["REPRO_JIT"] = "0"
+    try:
+        scheme = OnlineScheme.load(args.scheme)
+    except (OSError, SchemeFormatError) as exc:
+        print(f"error: cannot load scheme {args.scheme}: {exc}", file=sys.stderr)
+        return 2
+    if args.max_elements is not None and args.max_elements < 0:
+        print(f"error: --max-elements must be >= 0, got {args.max_elements}",
+              file=sys.stderr)
+        return 2
+    try:
+        stream = sources.from_spec(
+            args.source, allow_unbounded=args.max_elements is not None
+        )
+        extra = _parse_extra(args.extra)
+        kills = _parse_kill_specs(args.kill_shard, args.shards)
+    except ValueError as exc:
+        hint = " (or pass --max-elements N)" if "unbounded" in str(exc) else ""
+        print(f"error: {exc}{hint}", file=sys.stderr)
+        return 2
+    if args.max_elements is not None:
+        import itertools
+
+        stream = itertools.islice(stream, args.max_elements)
+
+    seen: list = []  # retained only under --verify (the oracle needs them)
+    try:
+        server = StreamServer(
+            scheme,
+            shards=args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+            key_field=args.key_field,
+            value_field=args.value_field,
+            extra=extra,
+            checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch_size,
+            max_inflight=args.max_inflight,
+            restart_limit=args.restart_limit,
+            jit=False if args.no_jit else None,
+            fresh=args.fresh,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with server:
+            pushed = 0
+            for element in stream:
+                server.push(element)
+                pushed += 1
+                if args.verify:
+                    seen.append(element)
+                for sid in kills.get(pushed, ()):
+                    server.kill_shard(sid)
+                    print(f"killed shard {sid} after {pushed} elements "
+                          "(crash-restore will replay)")
+            result = server.drain()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    op = result.operator
+    print(
+        f"consumed {result.count} elements over {len(op)} keys across "
+        f"{args.shards} shard(s), {result.restarts} restart(s):"
+    )
+    for key in sorted(op.partitions, key=repr):
+        print(f"  {key!r}: {op.value(key)}")
+    eps = result.count / result.elapsed_s if result.elapsed_s > 0 else 0.0
+    line = f"throughput {eps:,.0f} elements/s"
+    p99 = result.p99_latency_s()
+    if not math.isnan(p99):
+        line += f"; p99 batch hand-off {p99 * 1000:.2f} ms"
+    print(line)
+    print(f"checkpoints: {args.checkpoint_dir} (resumable)")
+    if args.verify:
+        oracle = reference_states(
+            scheme,
+            seen,
+            key_field=args.key_field,
+            value_field=args.value_field,
+            extra=extra,
+            jit=False if args.no_jit else None,
+        )
+        if not states_match(result, oracle):
+            print(
+                "error: verify FAILED — serve states differ from the "
+                "single-process run (was the checkpoint dir fresh?)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"verify: OK — {len(op)} keys bit-identical to the single-process run")
+    return 0
+
+
 _AGE_RE = re.compile(r"^(\d+(?:\.\d+)?)([smhd]?)$")
 _AGE_UNIT_S = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "": 86400.0}
 
@@ -848,7 +1041,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.set_defaults(func=_cmd_compile)
 
     p_run = sub.add_parser(
-        "run", help="deploy a compiled scheme over a stream source"
+        "run",
+        help="deploy a compiled scheme over a stream source",
+        epilog=sources.SPEC_GRAMMAR,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p_run.add_argument("scheme", help="scheme file produced by `repro compile`")
     p_run.add_argument("--source", required=True,
@@ -880,6 +1076,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--resume", default=None, metavar="FILE",
                        help="resume from a checkpoint before consuming the source")
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="deploy a compiled scheme as a sharded, checkpointed streaming "
+             "service (crash-restoring worker processes)",
+        epilog=sources.SPEC_GRAMMAR,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_serve.add_argument("scheme", help="scheme file produced by `repro compile`")
+    p_serve.add_argument("--source", required=True,
+                         help="source spec, e.g. zipf-keys:20000:50 or bids:5000 "
+                              "(unbounded specs need --max-elements; grammar below)")
+    p_serve.add_argument("--key-field", type=int, required=True, metavar="I",
+                         help="route and partition per element[I] (the shard "
+                              "hash ring and the KeyedOperator both key on it)")
+    p_serve.add_argument("--value-field", type=int, default=None, metavar="J",
+                         help="push element[J] into the scheme instead of the "
+                              "whole element")
+    p_serve.add_argument("--shards", type=int, default=2, metavar="N",
+                         help="shard worker processes (default: 2)")
+    p_serve.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                         help="per-shard checkpoint directory; a directory from "
+                              "a previous deployment of the same scheme and "
+                              "shard count is resumed")
+    p_serve.add_argument("--checkpoint-every", type=int, default=1000, metavar="K",
+                         help="checkpoint each shard every K elements "
+                              "(default: 1000; also bounds replay after a crash)")
+    p_serve.add_argument("--batch-size", type=int, default=64, metavar="N",
+                         help="elements per shard hand-off batch (default: 64)")
+    p_serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                         help="unacknowledged batches per shard before push "
+                              "blocks — the backpressure bound (default: 8)")
+    p_serve.add_argument("--restart-limit", type=int, default=5, metavar="N",
+                         help="crash-restores per shard before giving up "
+                              "(default: 5)")
+    p_serve.add_argument("--max-elements", type=int, default=None, metavar="N",
+                         help="stop after N elements; also the only way to "
+                              "serve an unbounded source spec")
+    p_serve.add_argument("--kill-shard", action="append", metavar="SHARD:AFTER",
+                         help="fault injection: SIGKILL shard SHARD's worker "
+                              "after AFTER elements were pushed (repeatable)")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="also fold the stream through a single-process "
+                              "KeyedOperator and fail unless the final states "
+                              "are bit-identical (use a fresh --checkpoint-dir)")
+    p_serve.add_argument("--fresh", action="store_true",
+                         help="wipe any existing checkpoints in --checkpoint-dir "
+                              "instead of resuming them")
+    p_serve.add_argument("--extra", action="append", metavar="NAME=VALUE",
+                         help="bind an extra scalar parameter of the scheme")
+    p_serve.add_argument("--no-jit", action="store_true",
+                         help="interpreted scheme steps in every worker "
+                              "(same results; equivalent to REPRO_JIT=0)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="inspect/maintain the result cache and scheme store"
@@ -1006,6 +1256,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--synthesis", action="store_true",
         help="also time an uncached synthesis pass with and without oracle "
              "compilation (uses --timeout/--workers)",
+    )
+    serve_group = p_bench.add_argument_group(
+        "serve target", "options for `repro bench serve` (end-to-end sharded "
+        "streaming-server throughput and p99 hand-off latency vs the "
+        "single-process baseline; also uses --elements/--repeats/--out)"
+    )
+    serve_group.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard worker processes for the served deployment (default: 2)",
+    )
+    serve_group.add_argument(
+        "--keys", type=int, default=50, metavar="K",
+        help="distinct keys in the Zipf-skewed load (default: 50)",
+    )
+    serve_group.add_argument(
+        "--serve-scheme", dest="serve_scheme", default="mean", metavar="NAME",
+        help="suite benchmark whose ground-truth scheme the shards run "
+             "(default: mean)",
+    )
+    serve_group.add_argument(
+        "--serve-batch-size", dest="serve_batch_size", type=int, default=256,
+        metavar="N",
+        help="elements per shard hand-off batch (default: 256)",
+    )
+    serve_group.add_argument(
+        "--checkpoint-every", type=int, default=5000, metavar="K",
+        help="per-shard checkpoint interval in elements (default: 5000)",
     )
     history_group = p_bench.add_argument_group(
         "bench history", "append-only store of runtime/holes reports "

@@ -33,6 +33,7 @@ from .runtime_bench import (
     run_runtime_benchmark,
     write_report,
 )
+from .serve_bench import run_serve_benchmark
 from .tables import qualitative, table1, table2
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "run_hole_benchmark",
     "run_matrix",
     "run_runtime_benchmark",
+    "run_serve_benchmark",
     "run_suite",
     "suite_to_records",
     "table1",

@@ -286,12 +286,49 @@ def _holes_metrics(report: dict) -> dict[str, MetricSamples]:
     return metrics
 
 
-_EXTRACTORS = {"runtime": _runtime_metrics, "holes": _holes_metrics}
+def _serve_metrics(report: dict) -> dict[str, MetricSamples]:
+    """End-to-end serve throughput, p99 hand-off latency, and the
+    single-process baseline throughput, one sample per repeat."""
+    elements = report.get("elements")
+    metrics: dict[str, MetricSamples] = {}
+    serve_raw = (report.get("serve") or {}).get("raw") or {}
+    single_raw = (report.get("single_process") or {}).get("raw") or {}
+    for name, times in (
+        ("serve/eps", serve_raw.get("wall_s") or ()),
+        ("single_process/eps", single_raw.get("wall_s") or ()),
+    ):
+        samples = tuple(elements / t for t in times if t > 0) if elements else ()
+        metrics[name] = MetricSamples(
+            name=name, unit="eps", higher_is_better=True, samples=samples
+        )
+    metrics["serve/p99_latency"] = MetricSamples(
+        name="serve/p99_latency",
+        unit="s",
+        higher_is_better=False,
+        samples=tuple(serve_raw.get("p99_latency_s") or ()),
+    )
+    return metrics
+
+
+_EXTRACTORS = {
+    "runtime": _runtime_metrics,
+    "holes": _holes_metrics,
+    "serve": _serve_metrics,
+}
 
 #: Workload parameters that must match for timings to mean the same thing.
 _WORKLOAD_KEYS = {
     "runtime": ("elements", "stream"),
     "holes": ("hole_workers", "timeout_s"),
+    "serve": (
+        "scheme",
+        "elements",
+        "shards",
+        "keys",
+        "batch_size",
+        "checkpoint_every",
+        "max_inflight",
+    ),
 }
 
 

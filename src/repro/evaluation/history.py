@@ -44,6 +44,7 @@ INDEX_VERSION = 1
 KINDS = {
     "repro/bench-runtime": "runtime",
     "repro/bench-holes": "holes",
+    "repro/bench-serve": "serve",
 }
 
 
@@ -83,7 +84,8 @@ def bench_metadata() -> dict:
 
 
 def report_kind(report: dict) -> str:
-    """Short kind (``runtime`` / ``holes``) for a bench report dict.
+    """Short kind (``runtime`` / ``holes`` / ``serve``) for a bench report
+    dict.
 
     Raises ``ValueError`` for anything that is not a known bench report —
     the caller is about to file it or compare it, and a wrong guess would

@@ -1,0 +1,189 @@
+"""Load generator / benchmark for the ``repro.serve`` streaming server.
+
+``repro bench serve`` answers the deployment question the other bench verbs
+cannot: what does the *system* around the kernels cost?  A
+:class:`~repro.serve.StreamServer` pays for routing, batching, pipe
+hand-offs, acks, and periodic checkpoints on top of the *same* compiled
+step kernels a single-process :class:`~repro.runtime.keyed.KeyedOperator`
+runs — so the interesting numbers are end-to-end elements/second under a
+Zipf-skewed keyed load (:func:`repro.runtime.sources.zipf_keys`), the p99
+batch hand-off latency (send to ack), and the overhead factor against the
+single-process run of the identical element sequence.
+
+Measured honestly, like the other bench verbs: every repeat is a complete
+serve cycle (fresh checkpoint directory, push, drain) whose merged final
+states are differential-checked against the single-process oracle before
+any number is reported — each benchmark run is also a correctness test of
+the sharded delivery path.  Results are written as ``BENCH_serve.json`` in
+report format v3 (raw per-repeat samples under ``raw``, ``meta``
+provenance block), so ``repro bench compare`` and the ``bench_history/``
+store accept them like any other bench kind.
+
+Entry points: ``repro bench serve`` on the CLI, or
+:func:`run_serve_benchmark` from Python/pytest.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import tempfile
+import time
+from statistics import median
+
+from ..runtime import sources
+from ..runtime.keyed import KeyedOperator
+from ..serve import StreamServer, percentile
+
+#: Envelope identifiers for BENCH_serve.json (born at v3: raw repeats and
+#: the meta provenance block were already the norm when this verb landed).
+BENCH_FORMAT = "repro/bench-serve"
+BENCH_FORMAT_VERSION = 3
+
+#: Default suite scheme the shards run (scalar values, keyed by stream key).
+DEFAULT_SCHEME = "mean"
+
+
+def _load_scheme(name: str):
+    from ..suites import get_benchmark
+
+    scheme = get_benchmark(name).ground_truth
+    if scheme is None:
+        raise ValueError(f"benchmark {name!r} has no ground-truth scheme")
+    return scheme
+
+
+def _oracle_states(scheme, elements, jit):
+    op = KeyedOperator(scheme, lambda e: e[1], value_fn=lambda e: e[0], name="oracle", jit=jit)
+    op.push_many(elements)
+    return {key: part.state for key, part in op.partitions.items()}, op.count
+
+
+def run_serve_benchmark(
+    scheme: str = DEFAULT_SCHEME,
+    *,
+    elements: int = 20000,
+    repeats: int = 3,
+    shards: int = 2,
+    keys: int = 50,
+    seed: int = 1,
+    batch_size: int = 256,
+    checkpoint_every: int = 5000,
+    max_inflight: int = 8,
+    jit: bool | None = None,
+) -> dict:
+    """The full serving report (the payload of ``BENCH_serve.json``).
+
+    Per repeat: one complete serve cycle — fresh checkpoint directory,
+    ``push_many`` the deterministic Zipf-keyed stream, ``drain`` — timed
+    end to end, plus one timed single-process fold of the same elements as
+    the baseline.  The serve run's merged states must equal the baseline's
+    bit for bit or the benchmark raises instead of reporting.
+    """
+    from .history import bench_metadata
+
+    target = _load_scheme(scheme)
+    stream = list(sources.zipf_keys(elements, keys=keys, seed=seed))
+
+    single_times: list[float] = []
+    oracle_states = None
+    oracle_count = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        oracle_states, oracle_count = _oracle_states(target, stream, jit)
+        single_times.append(time.perf_counter() - start)
+
+    serve_times: list[float] = []
+    p99s: list[float] = []
+    restarts = 0
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as ckpt_dir:
+            server = StreamServer(
+                target,
+                shards=shards,
+                checkpoint_dir=ckpt_dir,
+                key_field=1,
+                value_field=0,
+                checkpoint_every=checkpoint_every,
+                batch_size=batch_size,
+                max_inflight=max_inflight,
+                jit=jit,
+            )
+            with server:
+                start = time.perf_counter()
+                server.push_many(stream)
+                result = server.drain()
+                serve_times.append(time.perf_counter() - start)
+        if result.states != oracle_states or result.count != oracle_count:
+            raise AssertionError(
+                f"serve run diverged from the single-process oracle on "
+                f"{scheme!r} ({shards} shards, {elements} elements)"
+            )
+        p99s.append(result.p99_latency_s())
+        restarts += result.restarts
+
+    best_serve = min(serve_times)
+    best_single = min(single_times)
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_FORMAT_VERSION,
+        "meta": bench_metadata(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "scheme": scheme,
+        "elements": elements,
+        "repeats": repeats,
+        "shards": shards,
+        "keys": keys,
+        "seed": seed,
+        "batch_size": batch_size,
+        "checkpoint_every": checkpoint_every,
+        "max_inflight": max_inflight,
+        "serve": {
+            "eps": elements / best_serve,
+            "p99_latency_s": median(p99s),
+            "restarts": restarts,
+            "raw": {"wall_s": serve_times, "p99_latency_s": p99s},
+            "states_match": True,
+        },
+        "single_process": {
+            "eps": elements / best_single,
+            "raw": {"wall_s": single_times},
+        },
+        "overhead": best_serve / best_single,
+    }
+
+
+def serve_latency_percentile(result_latencies, q: float = 0.99) -> float:
+    """Convenience re-export of the server's percentile helper."""
+    return percentile(result_latencies, q)
+
+
+def write_report(report: dict, path) -> None:
+    from .runtime_bench import write_report as _write
+
+    _write(report, path)
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary for the CLI."""
+    serve = report["serve"]
+    single = report["single_process"]
+    return "\n".join(
+        [
+            f"serve throughput ({report['elements']} elements, "
+            f"{report['shards']} shard(s), {report['keys']} Zipf keys, "
+            f"scheme {report['scheme']}, best of {report['repeats']}, "
+            f"{report.get('cpu_count', '?')} core(s))",
+            f"  serve:          {serve['eps']:>12,.0f} eps   "
+            f"p99 hand-off {serve['p99_latency_s'] * 1000:.2f} ms   "
+            f"restarts {serve['restarts']}",
+            f"  single-process: {single['eps']:>12,.0f} eps",
+            f"  overhead:       {report['overhead']:>11.2f}x wall-clock "
+            f"(batch {report['batch_size']}, checkpoint every "
+            f"{report['checkpoint_every']})",
+            "  states: bit-identical to the single-process oracle",
+        ]
+    )

@@ -29,6 +29,7 @@ stopped.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Hashable
 
@@ -219,13 +220,40 @@ def restore_keyed(
 # -- file helpers -----------------------------------------------------------
 
 
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically: temp file in the same
+    directory, then ``os.replace``.
+
+    A checkpoint is the *only* thing standing between a crashed worker and
+    replaying the stream from zero, so a crash mid-write must never leave a
+    torn file behind — readers see either the previous complete checkpoint
+    or the new complete one, nothing in between.  The temp file lives next
+    to the target (``os.replace`` must not cross filesystems) and is
+    removed if the write itself fails.
+    """
+    target = Path(path)
+    tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_checkpoint(op, path) -> None:
     """Write ``op.checkpoint()`` (or a ready-made checkpoint dict) to
-    ``path`` as JSON."""
+    ``path`` as JSON, atomically (see :func:`atomic_write_text`) — a crash
+    mid-write leaves the previous checkpoint intact instead of a torn file.
+    """
     data = op if isinstance(op, dict) else op.checkpoint()
-    Path(path).write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    atomic_write_text(path, json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def load_checkpoint(

@@ -61,16 +61,65 @@ def gaussian_like(n: int, seed: int = 13) -> Iterator[Fraction]:
 
 
 def bids(
-    n: int,
+    n: int | None = None,
+    seed: int = 42,
     low: int = 50,
     high: int = 500,
     categories: int = 5,
-    seed: int = 42,
 ) -> Iterator[tuple[Fraction, int]]:
-    """(price, category) auction bid records — the Nexmark-style source."""
+    """(price, category) auction bid records — the Nexmark-style source.
+
+    ``n=None`` yields forever (the serve load-generator regime); the seed
+    is the second argument so ``bids:N:SEED`` specs vary the traffic
+    without restating the price range.
+    """
     rng = random.Random(seed)
-    for _ in range(n):
+    count = 0
+    while n is None or count < n:
         yield (Fraction(rng.randint(low, high)), rng.randint(1, categories))
+        count += 1
+
+
+def zipf_keys(
+    n: int | None = None,
+    keys: int = 50,
+    seed: int = 1,
+    skew: float = 1.2,
+    low: int = 1,
+    high: int = 1000,
+) -> Iterator[tuple[Fraction, int]]:
+    """(value, key) records with keys Zipf-skewed over ``1..keys`` — the
+    canonical keyed load-generator for ``repro serve`` and its bench.
+
+    Real keyed traffic is never uniform: a few hot keys dominate.  Key
+    frequencies follow ``1 / rank**skew`` (rank 1 hottest); values are
+    uniform integers in ``[low, high]`` as exact :class:`Fraction` values.
+    Deterministic given the seed, and ``n=None`` yields forever.
+    """
+    if keys < 1:
+        raise ValueError(f"zipf-keys needs >= 1 key, got {keys}")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**float(skew)) for rank in range(1, keys + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0  # float round-off must not strand rng.random() == ~1
+
+    count = 0
+    while n is None or count < n:
+        r = rng.random()
+        lo, hi = 0, keys - 1
+        while lo < hi:  # first rank whose cumulative mass covers r
+            mid = (lo + hi) // 2
+            if cumulative[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield (Fraction(rng.randint(low, high)), lo + 1)
+        count += 1
 
 
 def pairs(
@@ -97,7 +146,29 @@ SPEC_SOURCES = {
     "gaussian": gaussian_like,
     "bids": bids,
     "pairs": pairs,
+    "zipf-keys": zipf_keys,
 }
+
+#: The colon-separated spec grammar, shown by ``repro run --help`` and
+#: ``repro serve --help`` (single source of truth for the CLI docs).
+SPEC_GRAMMAR = """\
+source specs (NAME[:ARG...], arguments positional):
+  list:V1,V2,...                      the literal elements (exact rationals)
+  constant:V[:N]                      V repeated N times
+  counter[:N[:START]]                 START, START+1, ...
+  sawtooth:N[:PERIOD[:NOISE[:SEED]]]  noisy sawtooth wave
+  random_walk:N[:STEP[:SEED]]         bounded-step integer random walk
+  gaussian:N[:SEED]                   bell-ish integer distribution
+  pairs:N[:SLOPE[:INTERCEPT[:NOISE[:SEED]]]]
+                                      (x, y) pairs near a line
+  bids[:N[:SEED[:LOW[:HIGH[:CATEGORIES]]]]]
+                                      (price, category) auction bids
+  zipf-keys[:N[:KEYS[:SEED[:SKEW[:LOW[:HIGH]]]]]]
+                                      (value, key) pairs, keys Zipf-skewed
+                                      over 1..KEYS (hot keys dominate)
+Sources are deterministic given their seed.  Specs that omit the element
+count (constant:V, counter, bids, zipf-keys) are unbounded: `repro run`
+and `repro serve` need --max-elements to drain them."""
 
 
 def _spec_value(token: str):
@@ -117,8 +188,9 @@ def _spec_element(token: str) -> Fraction:
 
 
 #: Index of the argument that bounds each spec source; a spec that omits it
-#: builds an infinite stream (``constant(v, n=None)`` / ``counter(n=None)``).
-_BOUND_ARG = {"constant": 1, "counter": 0}
+#: builds an infinite stream (``constant(v, n=None)`` / ``counter(n=None)`` /
+#: ``bids(n=None)`` / ``zipf_keys(n=None)``).
+_BOUND_ARG = {"constant": 1, "counter": 0, "bids": 0, "zipf-keys": 0}
 
 
 def from_spec(spec: str, allow_unbounded: bool = False) -> Iterator[Value]:

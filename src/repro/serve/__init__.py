@@ -1,0 +1,40 @@
+"""``repro.serve`` — a sharded, checkpointed, crash-restoring streaming
+service over the keyed runtime.
+
+The paper's synthesized online schemes are single-process stream folds;
+this package deploys one as a *system*: a :class:`StreamServer` consistent-
+hashes the key space (:class:`HashRing`) across N shard worker processes
+(:func:`~repro.serve.worker.shard_worker`), each draining batched hand-offs
+through the compiled step kernels and checkpointing its partitions to disk.
+Workers that die are restored from their last checkpoint and the server
+replays the non-durable suffix from its bounded buffer — final aggregates
+stay bit-identical to a single-process :class:`~repro.runtime.keyed.KeyedOperator`
+run, kills included.
+
+See :mod:`repro.serve.server` for the delivery contract, and
+:mod:`repro.evaluation.serve_bench` for the load generator / benchmark.
+"""
+
+from .hashring import HashRing, stable_key_hash
+from .server import (
+    ServeError,
+    ServeResult,
+    StreamServer,
+    percentile,
+    reference_states,
+    states_match,
+)
+from .worker import field_extractor, shard_worker
+
+__all__ = [
+    "HashRing",
+    "ServeError",
+    "ServeResult",
+    "StreamServer",
+    "field_extractor",
+    "percentile",
+    "reference_states",
+    "shard_worker",
+    "stable_key_hash",
+    "states_match",
+]

@@ -1,0 +1,628 @@
+"""The streaming server: sharded, checkpointed, crash-restoring ingestion.
+
+:class:`StreamServer` turns the keyed runtime into a *system*: N shard
+worker processes (:mod:`repro.serve.worker`), each owning the
+:class:`~repro.runtime.keyed.KeyedOperator` partitions for the slice of the
+key space a consistent-hash ring (:mod:`repro.serve.hashring`) assigns it.
+Elements are routed by key, coalesced into batches, and handed off over
+pipes; each worker drains its hand-offs through the compiled batch
+:class:`~repro.ir.compile.StepKernel` hot loop and checkpoints its
+partitions to disk every ``checkpoint_every`` elements (atomically — see
+:mod:`repro.runtime.checkpoint`).
+
+**Delivery contract.**  The final per-key states of a serve run are
+bit-identical to a single-process ``KeyedOperator`` run over the same
+element sequence — *including* runs where workers were SIGKILLed
+mid-stream.  The mechanism is a per-shard replay buffer with exactly-once
+delivery into the aggregates:
+
+* every batch sent to a shard stays in the server's buffer, tagged with
+  its absolute offset in that shard's element sequence;
+* each ack carries the shard's *checkpointed* count — the durable prefix —
+  and the buffer drops exactly the batches that prefix covers;
+* when a worker dies, the replacement restores the last checkpoint (count
+  ``C``) and the server re-sends every buffered element from offset ``C``
+  on.  Scheme steps are pure and deterministic, so replaying the
+  non-durable suffix reproduces the lost state exactly; elements the
+  checkpoint already covers are never re-applied.
+
+A crash between a checkpoint write and its ack only means the server
+replays from an older offset than it strictly needed to — the checkpoint
+count in the file is what the replacement worker restores and what the
+replay is sliced against, so no element is applied twice.
+
+**Backpressure.**  The inbound queue per shard is bounded: at most
+``max_inflight`` unacknowledged batches.  ``push`` blocks once the hottest
+shard's queue is full — the load generator slows to the system's actual
+drain rate instead of ballooning memory.  Memory per shard is bounded by
+the replay window: O(``checkpoint_every`` + ``batch_size`` x
+``max_inflight``) elements.
+
+Workers are spawned, reaped, and restarted through
+:class:`repro.supervisor.ServiceSupervisor`; deterministic worker errors
+(a scheme step raising on an element) are *not* restarted — replay would
+fail forever — but surface as :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Iterable, Mapping
+
+import multiprocessing as mp
+
+from ..core.scheme import OnlineScheme
+from ..runtime.checkpoint import atomic_write_text, restore_keyed
+from ..runtime.keyed import KeyedOperator
+from ..supervisor import ServiceSupervisor, _mp_context
+from ..ir.values import Value
+from .hashring import HashRing
+from .worker import field_extractor, shard_worker
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "repro/serve-manifest"
+MANIFEST_VERSION = 1
+
+#: How long one wait for acks/deaths may sleep before re-checking (bounds
+#: crash-detection latency while the server is blocked on backpressure).
+_WAIT_S = 0.25
+
+
+class ServeError(RuntimeError):
+    """The server cannot make progress (worker error, restart budget
+    exhausted, checkpoint-directory mismatch, ...)."""
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 1]) of ``values``;
+    ``nan`` for an empty sample."""
+    data = sorted(values)
+    if not data:
+        return math.nan
+    position = q * (len(data) - 1)
+    lo = math.floor(position)
+    hi = math.ceil(position)
+    if lo == hi:
+        return data[lo]
+    fraction = position - lo
+    return data[lo] * (1 - fraction) + data[hi] * fraction
+
+
+@dataclass
+class ServeResult:
+    """Everything a drained server knows: the merged aggregates plus the
+    run's operational telemetry."""
+
+    operator: KeyedOperator  #: merged single-process-equivalent operator
+    checkpoint: dict  #: merged keyed checkpoint (JSON-ready, loadable)
+    count: int  #: total elements consumed across shards
+    shard_counts: dict[int, int]  #: elements per shard
+    restarts: int  #: worker incarnations beyond the first, total
+    elapsed_s: float  #: start() to drain() wall clock
+    latencies_s: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def states(self) -> dict[Hashable, tuple]:
+        """Final accumulator tuple per key — the differential contract's
+        unit of comparison."""
+        return {key: part.state for key, part in self.operator.partitions.items()}
+
+    def snapshot(self) -> dict[Hashable, Value]:
+        return self.operator.snapshot()
+
+    def p99_latency_s(self) -> float:
+        """99th percentile batch hand-off latency (send to ack)."""
+        return percentile(self.latencies_s, 0.99)
+
+
+class _Batch:
+    __slots__ = ("seq", "start", "elements", "sent_at", "acked")
+
+    def __init__(self, seq: int, start: int, elements: list, sent_at: float):
+        self.seq = seq
+        self.start = start
+        self.elements = elements
+        self.sent_at = sent_at
+        self.acked = False
+
+
+class _Shard:
+    __slots__ = (
+        "sid", "cmd", "ack", "pending", "sent", "ckpt_count", "buffer",
+        "inflight", "final", "drain_sent",
+    )
+
+    def __init__(self, sid: int):
+        self.sid = sid
+        self.cmd = None  #: server's send end of the command pipe
+        self.ack = None  #: server's recv end of the ack pipe
+        self.pending: list = []
+        self.sent = 0  #: absolute offset: elements handed off so far
+        self.ckpt_count = 0  #: durable prefix (last acked checkpoint)
+        self.buffer: deque[_Batch] = deque()
+        self.inflight = 0  #: sent, unacknowledged batches
+        self.final: dict | None = None  #: keyed checkpoint dict after drain
+        self.drain_sent = False
+
+
+class StreamServer:
+    """A long-running sharded deployment of one keyed scheme.
+
+    >>> server = StreamServer(scheme, key_field=1, value_field=0,
+    ...                       shards=4, checkpoint_dir="ckpts")
+    >>> server.start()
+    >>> server.push_many(source)          # blocks under backpressure
+    >>> result = server.drain()           # flush + merge final aggregates
+    >>> result.states                     # == single-process KeyedOperator
+
+    ``key_field`` / ``value_field`` take a tuple index (portable across
+    processes) or a callable (fork platforms).  A checkpoint directory that
+    already holds a manifest is *resumed*: shard counts continue from their
+    checkpoints, provided the manifest's shard count and scheme match
+    (``fresh=True`` wipes it instead).
+    """
+
+    def __init__(
+        self,
+        scheme: OnlineScheme,
+        *,
+        shards: int,
+        checkpoint_dir,
+        key_field,
+        value_field=None,
+        extra: Mapping[str, Value] | None = None,
+        checkpoint_every: int = 1000,
+        batch_size: int = 64,
+        max_inflight: int = 8,
+        restart_limit: int = 5,
+        ring_replicas: int = 64,
+        jit: bool | None = None,
+        fresh: bool = False,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.scheme = scheme
+        self.shards = shards
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.key_field = key_field
+        self.value_field = value_field
+        self.extra = dict(extra or {})
+        self.checkpoint_every = checkpoint_every
+        self.batch_size = batch_size
+        self.max_inflight = max_inflight
+        self.restart_limit = restart_limit
+        self.jit = jit
+        self.fresh = fresh
+        self.ring = HashRing(shards, replicas=ring_replicas)
+        self.latencies_s: list[float] = []
+        self._key_fn = field_extractor(key_field)
+        self._ctx = _mp_context()
+        self._supervisor: ServiceSupervisor | None = None
+        self._shards: dict[int, _Shard] = {}
+        self._seq = 0
+        self._started_at = 0.0
+        self._draining = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "StreamServer":
+        """Create/validate the checkpoint directory and spawn the shard
+        workers (resuming their checkpoints when the directory holds a
+        compatible previous deployment)."""
+        if self._supervisor is not None:
+            raise ServeError("server already started")
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        resume = self._prepare_manifest()
+        self._supervisor = ServiceSupervisor(daemon=True)
+        for sid in range(self.shards):
+            shard = _Shard(sid)
+            self._shards[sid] = shard
+            if resume:
+                shard.sent = shard.ckpt_count = self._checkpoint_count(sid)
+            self._spawn_shard(shard, resume=resume, restart=False)
+        self._started_at = time.monotonic()
+        return self
+
+    def __enter__(self) -> "StreamServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Hard stop: kill every worker (their last checkpoints remain on
+        disk; a later server over the same directory resumes them)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.shutdown()
+        for shard in self._shards.values():
+            for conn in (shard.cmd, shard.ack):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+
+    # -- ingestion ---------------------------------------------------------
+
+    def push(self, element: Value) -> None:
+        """Route one element to its key's shard; blocks when that shard's
+        inbound queue is full (backpressure)."""
+        if self._supervisor is None or self._draining or self._closed:
+            raise ServeError("server is not accepting elements")
+        shard = self._shards[self.ring.shard_for(self._key_fn(element))]
+        shard.pending.append(element)
+        if len(shard.pending) >= self.batch_size:
+            self._flush_shard(shard)
+
+    def push_many(self, elements: Iterable[Value]) -> None:
+        for element in elements:
+            self.push(element)
+
+    def kill_shard(self, sid: int) -> None:
+        """SIGKILL a shard's current worker process (fault injection; the
+        next interaction triggers crash-restore)."""
+        pid = self._supervisor.pid(sid)
+        if pid is not None:
+            os.kill(pid, signal.SIGKILL)
+
+    def restart_count(self) -> int:
+        return sum(self._supervisor.restarts(sid) for sid in self._shards)
+
+    # -- drain -------------------------------------------------------------
+
+    def drain(self) -> ServeResult:
+        """Flush every pending batch, ask each worker for its final
+        checkpoint, and merge the shards into one
+        :class:`~repro.runtime.keyed.KeyedOperator`-equivalent result.
+
+        Workers that die mid-drain are restored and re-drained; the merged
+        aggregates are bit-identical to a single-process run regardless.
+        """
+        if self._supervisor is None:
+            raise ServeError("server was never started")
+        if self._draining:
+            raise ServeError("server already drained")
+        for shard in self._shards.values():
+            self._flush_shard(shard)
+        self._draining = True
+        for shard in self._shards.values():
+            self._send_drain(shard)
+        while any(s.final is None for s in self._shards.values()):
+            self._pump(block=True)
+        elapsed = time.monotonic() - self._started_at
+        return self._merge(elapsed)
+
+    # -- internals: spawn/restore ------------------------------------------
+
+    def _manifest(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "shards": self.shards,
+            "checkpoint_every": self.checkpoint_every,
+            "scheme": self.scheme.to_dict(),
+        }
+
+    def _prepare_manifest(self) -> bool:
+        """Write or validate the manifest; returns True when resuming."""
+        path = self.checkpoint_dir / MANIFEST_NAME
+        if self.fresh or not path.exists():
+            if self.fresh:
+                for sid in range(self.shards):
+                    self._checkpoint_path(sid).unlink(missing_ok=True)
+            atomic_write_text(
+                path, json.dumps(self._manifest(), indent=2, sort_keys=True) + "\n"
+            )
+            return False
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServeError(f"unreadable serve manifest {path}: {exc}") from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ServeError(f"{path} is not a serve manifest")
+        if manifest.get("shards") != self.shards:
+            raise ServeError(
+                f"checkpoint dir {self.checkpoint_dir} was written by a "
+                f"{manifest.get('shards')}-shard deployment, not {self.shards} "
+                "(the hash ring would route keys to the wrong checkpoints); "
+                "use a fresh directory or fresh=True"
+            )
+        if manifest.get("scheme") != self.scheme.to_dict():
+            raise ServeError(
+                f"checkpoint dir {self.checkpoint_dir} belongs to a different "
+                "scheme; use a fresh directory or fresh=True"
+            )
+        return True
+
+    def _checkpoint_path(self, sid: int) -> Path:
+        return self.checkpoint_dir / f"shard-{sid:02d}.json"
+
+    def _checkpoint_count(self, sid: int) -> int:
+        """The durable element count in a shard's on-disk checkpoint (0
+        without one) — what a restored worker will resume from, hence where
+        replay must start."""
+        path = self._checkpoint_path(sid)
+        if not path.exists():
+            return 0
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            count = data.get("count")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServeError(f"unreadable shard checkpoint {path}: {exc}") from exc
+        if not isinstance(count, int) or count < 0:
+            raise ServeError(f"shard checkpoint {path} has no usable count")
+        return count
+
+    def _worker_args(self, shard: _Shard, cmd_recv, ack_send, resume: bool) -> tuple:
+        return (
+            shard.sid,
+            cmd_recv,
+            ack_send,
+            self.scheme,
+            self.key_field,
+            self.value_field,
+            self.extra,
+            str(self._checkpoint_path(shard.sid)),
+            self.checkpoint_every,
+            self.jit,
+            resume,
+        )
+
+    def _spawn_shard(self, shard: _Shard, *, resume: bool, restart: bool) -> None:
+        cmd_recv, cmd_send = self._ctx.Pipe(duplex=False)
+        ack_recv, ack_send = self._ctx.Pipe(duplex=False)
+        args = self._worker_args(shard, cmd_recv, ack_send, resume)
+        if restart:
+            self._supervisor.restart(shard.sid, args=args)
+        else:
+            self._supervisor.start(shard.sid, shard_worker, args)
+        # Close this process's copies of the worker-side ends: the worker's
+        # death must surface as EPIPE on cmd.send and EOF on ack.recv, which
+        # only happens once no other process holds those ends open.
+        cmd_recv.close()
+        ack_send.close()
+        shard.cmd = cmd_send
+        shard.ack = ack_recv
+
+    def _restore_shard(self, shard: _Shard) -> None:
+        """Crash-restore: respawn the worker from its last checkpoint and
+        replay the non-durable suffix of the shard's element sequence."""
+        result = self._supervisor.result(shard.sid)
+        if result is not None and result.kind != "crashed":
+            # Deterministic failures (scheme step raised, bad command)
+            # would fail again on replay; surface them instead.
+            raise ServeError(
+                f"shard {shard.sid} worker failed: {result.kind} {result.message}"
+            )
+        if self._supervisor.restarts(shard.sid) >= self.restart_limit:
+            raise ServeError(
+                f"shard {shard.sid} exceeded the restart limit "
+                f"({self.restart_limit}); giving up"
+            )
+        for conn in (shard.cmd, shard.ack):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        durable = self._checkpoint_count(shard.sid)
+        if durable < shard.ckpt_count:
+            raise ServeError(
+                f"shard {shard.sid} checkpoint went backwards "
+                f"({durable} < {shard.ckpt_count})"
+            )
+        self._spawn_shard(shard, resume=True, restart=True)
+        # Rebuild the replay window: everything past the durable prefix is
+        # re-sent; the checkpoint already covers the rest.
+        old = list(shard.buffer)
+        shard.buffer.clear()
+        shard.inflight = 0
+        shard.ckpt_count = durable
+        for batch in old:
+            end = batch.start + len(batch.elements)
+            if end <= durable:
+                continue
+            cut = max(0, durable - batch.start)
+            self._transmit(shard, batch.elements[cut:], batch.start + cut)
+        if self._draining:
+            shard.drain_sent = False
+            self._send_drain(shard)
+
+    # -- internals: hand-off loop ------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _flush_shard(self, shard: _Shard) -> None:
+        if not shard.pending:
+            return
+        elements, shard.pending = shard.pending, []
+        while shard.inflight >= self.max_inflight:
+            self._pump(block=True, shard=shard)
+        self._transmit(shard, elements, shard.sent)
+
+    def _transmit(self, shard: _Shard, elements: list, start: int) -> None:
+        """Send one batch (recording it in the replay buffer first — a send
+        that dies mid-flight is replayed from the buffer)."""
+        if not elements:
+            return
+        seq = self._next_seq()
+        batch = _Batch(seq, start, elements, time.monotonic())
+        shard.buffer.append(batch)
+        shard.inflight += 1
+        shard.sent = max(shard.sent, start + len(elements))
+        try:
+            shard.cmd.send(("batch", seq, elements))
+        except (BrokenPipeError, OSError):
+            self._restore_shard(shard)
+
+    def _send_drain(self, shard: _Shard) -> None:
+        if shard.drain_sent or shard.final is not None:
+            return
+        shard.drain_sent = True
+        try:
+            shard.cmd.send(("drain", self._next_seq()))
+        except (BrokenPipeError, OSError):
+            self._restore_shard(shard)
+
+    def _pump(self, *, block: bool, shard: _Shard | None = None) -> None:
+        """One supervision round: reap worker deaths/finals, drain acks;
+        optionally block until something happens (bounded by ``_WAIT_S`` so
+        a SIGKILLed worker is noticed even while we wait on its acks)."""
+        progressed = False
+        for sid in self._supervisor.poll(0.0):
+            progressed = True
+            self._on_finished(self._shards[sid])
+        for each in self._shards.values():
+            progressed |= self._drain_acks(each)
+        if progressed or not block:
+            return
+        waitables = []
+        targets = [shard] if shard is not None else list(self._shards.values())
+        for each in targets:
+            if each.final is None and each.ack is not None:
+                waitables.append(each.ack)
+        if waitables:
+            try:
+                mp.connection.wait(waitables, timeout=_WAIT_S)
+            except OSError:  # a pipe died mid-wait; the next poll reaps it
+                pass
+
+    def _drain_acks(self, shard: _Shard) -> bool:
+        progressed = False
+        if shard.ack is None:
+            return False
+        try:
+            while shard.ack.poll():
+                message = shard.ack.recv()
+                if message[0] != "ack":
+                    raise ServeError(
+                        f"shard {shard.sid}: unexpected message {message[0]!r}"
+                    )
+                _, seq, _count, ckpt = message
+                now = time.monotonic()
+                for batch in shard.buffer:
+                    if not batch.acked and batch.seq <= seq:
+                        batch.acked = True
+                        shard.inflight -= 1
+                        self.latencies_s.append(now - batch.sent_at)
+                shard.ckpt_count = max(shard.ckpt_count, ckpt)
+                while (
+                    shard.buffer
+                    and shard.buffer[0].acked
+                    and shard.buffer[0].start + len(shard.buffer[0].elements)
+                    <= shard.ckpt_count
+                ):
+                    shard.buffer.popleft()
+                progressed = True
+        except (EOFError, OSError):
+            pass  # worker death; the supervisor poll will reap and restore
+        return progressed
+
+    def _on_finished(self, shard: _Shard) -> None:
+        result = self._supervisor.result(shard.sid)
+        if result is None:  # pragma: no cover - poll just reported it
+            return
+        if result.kind == "ok":
+            if not self._draining:
+                raise ServeError(
+                    f"shard {shard.sid} worker exited mid-stream: {result.value!r}"
+                )
+            self._drain_acks(shard)  # acks sent before the final payload
+            shard.final = result.value
+            shard.inflight = 0
+            return
+        self._restore_shard(shard)
+
+    # -- internals: merge --------------------------------------------------
+
+    def _merge(self, elapsed_s: float) -> ServeResult:
+        finals = {sid: self._shards[sid].final for sid in sorted(self._shards)}
+        shard_counts = {}
+        partitions: list = []
+        seen: set = set()
+        for sid, ckpt in finals.items():
+            if not isinstance(ckpt, dict):
+                raise ServeError(f"shard {sid} returned no final checkpoint")
+            shard_counts[sid] = int(ckpt.get("count", 0))
+            for entry in ckpt.get("partitions", ()):
+                raw_key = json.dumps(entry[0], sort_keys=True)
+                if raw_key in seen:
+                    raise ServeError(
+                        f"key {entry[0]!r} appears in more than one shard "
+                        "(hash-ring mismatch between runs?)"
+                    )
+                seen.add(raw_key)
+                partitions.append(entry)
+        base = finals[min(finals)] if finals else {}
+        merged = {
+            "kind": base.get("kind", "repro/checkpoint-keyed"),
+            "version": base.get("version", 1),
+            "name": self.scheme.provenance,
+            "count": sum(shard_counts.values()),
+            "extra": base.get("extra", {}),
+            "scheme": self.scheme.to_dict(),
+            "partitions": partitions,
+        }
+        operator = restore_keyed(
+            merged,
+            field_extractor(self.key_field),
+            value_fn=field_extractor(self.value_field),
+            jit=self.jit,
+        )
+        return ServeResult(
+            operator=operator,
+            checkpoint=merged,
+            count=merged["count"],
+            shard_counts=shard_counts,
+            restarts=self.restart_count(),
+            elapsed_s=elapsed_s,
+            latencies_s=list(self.latencies_s),
+        )
+
+
+def reference_states(
+    scheme: OnlineScheme,
+    elements: Iterable[Value],
+    *,
+    key_field,
+    value_field=None,
+    extra: Mapping[str, Value] | None = None,
+    jit: bool | None = None,
+) -> KeyedOperator:
+    """The single-process oracle a serve run must match bit-for-bit: one
+    ``KeyedOperator`` folding the same element sequence in one process."""
+    op = KeyedOperator(
+        scheme,
+        field_extractor(key_field),
+        value_fn=field_extractor(value_field),
+        extra=extra,
+        jit=jit,
+    )
+    op.push_many(list(elements))
+    return op
+
+
+def states_match(result: ServeResult, oracle: KeyedOperator) -> bool:
+    """Bit-identical comparison of a serve result against the oracle: same
+    key set, same accumulator tuples, same total element count."""
+    got = result.states
+    want = {key: part.state for key, part in oracle.partitions.items()}
+    return got == want and result.count == oracle.count

@@ -1,0 +1,119 @@
+"""The shard worker: one process, one slice of the key space.
+
+A worker owns the :class:`~repro.runtime.keyed.KeyedOperator` partitions for
+every key the server's hash ring routes to it.  Its whole life is a loop on
+the command pipe:
+
+* ``("batch", seq, elements)`` — drain the elements through
+  ``KeyedOperator.push_many`` (each key's run goes through the compiled
+  batch :class:`~repro.ir.compile.StepKernel` hot loop), checkpoint to disk
+  if ``checkpoint_every`` elements accumulated since the last one, then
+  acknowledge with ``("ack", seq, count, checkpointed_count)``.
+* ``("drain", seq)`` — write a final checkpoint and *return* the full keyed
+  checkpoint dict, which ships to the server over the supervisor's result
+  pipe (:func:`repro.supervisor._child_entry` protocol).
+
+Checkpoints are written atomically
+(:func:`repro.runtime.checkpoint.save_checkpoint` — temp file +
+``os.replace``), so a SIGKILL at any instant leaves either the previous or
+the new complete checkpoint on disk; never a torn file.  The ack carries
+``checkpointed_count`` precisely so the server knows which prefix of the
+shard's stream is durable: everything after it stays in the server's replay
+buffer until a later checkpoint covers it.
+
+Restore is the worker's own first move: spawned with ``resume=True`` it
+reloads its checkpoint file (if present) and continues from that count;
+the server replays the non-durable suffix.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from ..runtime.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..runtime.keyed import KeyedOperator
+
+
+def field_extractor(field) -> Callable | None:
+    """Turn a CLI-style field index into an extractor (``None`` and
+    callables pass through) — tuple indices are picklable, closures are
+    not, so the index form is what crosses process boundaries portably."""
+    if field is None or callable(field):
+        return field
+    index = int(field)
+    return lambda element: element[index]
+
+
+def shard_worker(
+    shard_id: int,
+    cmd_conn,
+    ack_conn,
+    scheme,
+    key_field,
+    value_field,
+    extra: dict,
+    checkpoint_path: str,
+    checkpoint_every: int,
+    jit: bool | None,
+    resume: bool,
+):
+    """Process body of one shard (run under the service supervisor).
+
+    Returns the final keyed checkpoint dict (the supervisor ships it back
+    as the service's ``ok`` result).  Raises — which the supervisor
+    reports as an ``error`` result — on malformed commands or scheme-step
+    failures; those are deterministic, so the server must *not* restart
+    and replay them.
+    """
+    key_fn = field_extractor(key_field)
+    value_fn = field_extractor(value_field)
+    op = None
+    if resume and os.path.exists(checkpoint_path):
+        op = load_checkpoint(checkpoint_path, key_fn=key_fn, value_fn=value_fn)
+        if not isinstance(op, KeyedOperator):
+            raise CheckpointError(
+                f"shard {shard_id} checkpoint {checkpoint_path!r} is not keyed"
+            )
+        if op.scheme != scheme:
+            raise CheckpointError(
+                f"shard {shard_id} checkpoint was taken under a different scheme"
+            )
+        op.extra.update(extra)
+        for part in op.partitions.values():
+            part.extra.update(extra)
+    if op is None:
+        op = KeyedOperator(
+            scheme,
+            key_fn,
+            value_fn=value_fn,
+            extra=extra,
+            name=f"shard-{shard_id}",
+            jit=jit,
+        )
+    checkpointed = op.count  # a restored checkpoint is durable by definition
+
+    while True:
+        try:
+            message = cmd_conn.recv()
+        except (EOFError, OSError):
+            # Server gone (crash or hard close): parent-death SIGKILL is the
+            # usual exit; this path covers an explicitly closed pipe.
+            return op.checkpoint()
+        kind = message[0]
+        if kind == "batch":
+            _, seq, elements = message
+            op.push_many(elements)
+            if checkpoint_every and op.count - checkpointed >= checkpoint_every:
+                save_checkpoint(op, checkpoint_path)
+                checkpointed = op.count
+            ack_conn.send(("ack", seq, op.count, checkpointed))
+        elif kind == "drain":
+            save_checkpoint(op, checkpoint_path)
+            return op.checkpoint()
+        else:
+            raise ValueError(f"shard {shard_id}: unknown command {kind!r}")

@@ -1,12 +1,13 @@
 """Generic process supervision with hard wall-clock deadlines.
 
-One supervisor, two tenants: the *bench-level* parallelism of
-:mod:`repro.evaluation.parallel` (one process per (solver, benchmark) cell)
-and the *hole-level* parallelism of :mod:`repro.core.parallel_synthesize`
-(one process per sketch-hole sub-task).  Both need exactly the same core —
-spawn up to ``workers`` children, reap results from pipes, and SIGKILL any
-child that outlives its deadline — so that core lives here, free of any
-domain knowledge.
+One spawn/reap core, three tenants: the *bench-level* parallelism of
+:mod:`repro.evaluation.parallel` (one process per (solver, benchmark) cell),
+the *hole-level* parallelism of :mod:`repro.core.parallel_synthesize`
+(one process per sketch-hole sub-task), and the *shard workers* of
+:mod:`repro.serve` (long-lived, restartable — see
+:class:`ServiceSupervisor`).  All need exactly the same core — spawn
+children, reap results from pipes, and SIGKILL anything that outlives its
+deadline — so that core lives here, free of any domain knowledge.
 
 Contract:
 
@@ -289,3 +290,291 @@ class ProcessSupervisor:
             job, "error", message=f"malformed worker payload: {payload!r}",
             elapsed_s=elapsed,
         )
+
+
+class _Service:
+    """Book-keeping for one long-lived service: the current incarnation's
+    process/pipe, the spawn recipe for restarts, and the terminal result."""
+
+    __slots__ = (
+        "key", "fn", "args", "proc", "conn", "started", "first_started",
+        "deadline", "restarts", "result", "cancelled",
+    )
+
+    def __init__(self, key, fn, args):
+        self.key = key
+        self.fn = fn
+        self.args = args
+        self.proc = None
+        self.conn = None
+        self.started = 0.0
+        self.first_started = 0.0
+        self.deadline: float | None = None
+        self.restarts = 0
+        self.result: JobResult | None = None
+        self.cancelled = False
+
+
+class ServiceSupervisor:
+    """Long-lived *restartable* services on the same spawn/reap/deadline
+    core as :class:`ProcessSupervisor`.
+
+    Where :meth:`ProcessSupervisor.run` drives a finite batch of jobs to
+    completion, a service is a worker that is *supposed* to keep running —
+    a shard of a streaming server, say — until its payload returns (its
+    result ships over the same ``_child_entry`` pipe protocol) or it dies.
+    The supervisor's contract:
+
+    * :meth:`start` spawns a service under ``key``; :meth:`restart` kills
+      (if needed) and respawns it with fresh ``args`` — the crash-restore
+      hook: the caller rebuilds channels and checkpoint arguments, the
+      supervisor reuses the spawn machinery and counts incarnations
+      (:meth:`restarts`).
+    * A service's optional wall-clock budget (``timeout_s``) is an
+      *absolute* deadline anchored at the **first** start: restarting does
+      not buy a crashing service more time, exactly like the outer
+      ``deadline`` of batch runs.
+    * :meth:`poll` waits until a service finishes — payload arrives, the
+      process dies, or a deadline expires — and returns the keys that just
+      reached a terminal :meth:`result` (``ok`` / ``error`` / ``crashed``
+      / ``timeout``, the :class:`JobResult` vocabulary, plus ``cancelled``
+      for :meth:`cancel`).  It waits on result pipes *and* process
+      sentinels: a service shipping a large final payload blocks in
+      ``send`` until the supervisor reads it, so the pipe must be able to
+      wake the poll.
+    * :meth:`cancel` kills a service and marks it ``cancelled``; cancelled
+      (and otherwise finished) services refuse :meth:`restart` — restore
+      logic cannot accidentally resurrect something the caller shut down.
+
+    Children are daemonic forks armed with a parent-death SIGKILL (see
+    :func:`_arm_parent_death_signal`), so a dying supervisor cannot leak
+    shard workers.
+    """
+
+    def __init__(self, kill_grace_s: float = KILL_GRACE_S, daemon: bool = True):
+        self.kill_grace_s = kill_grace_s
+        self.daemon = daemon
+        self._ctx = _mp_context()
+        self._services: dict = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, key, fn: Callable, args: tuple = (),
+              timeout_s: float | None = None) -> None:
+        """Spawn a service under ``key``; ``timeout_s`` (optional) caps its
+        total wall-clock across *all* incarnations."""
+        svc = self._services.get(key)
+        if svc is not None and svc.result is None:
+            raise ValueError(f"service {key!r} is already running")
+        svc = _Service(key, fn, args)
+        self._services[key] = svc
+        self._spawn(svc)
+        svc.first_started = svc.started
+        if timeout_s is not None:
+            svc.deadline = svc.first_started + timeout_s + self.kill_grace_s
+
+    def restart(self, key, args: tuple | None = None) -> int:
+        """Kill (if alive) and respawn ``key`` — with fresh ``args`` when
+        given, the stored recipe otherwise.  Returns the incarnation count.
+        Finished or cancelled services refuse to restart."""
+        svc = self._require(key)
+        if svc.cancelled:
+            raise ValueError(f"service {key!r} was cancelled")
+        if svc.result is not None and svc.result.kind == "ok":
+            raise ValueError(f"service {key!r} already finished")
+        if svc.proc is not None and svc.proc.is_alive():
+            _kill_quietly(svc.proc, svc.conn)
+        if args is not None:
+            svc.args = args
+        svc.result = None
+        svc.restarts += 1
+        self._spawn(svc)
+        return svc.restarts
+
+    def cancel(self, key) -> None:
+        """Kill ``key`` and mark it terminally ``cancelled`` (idempotent on
+        finished services: their result is kept)."""
+        svc = self._require(key)
+        if svc.result is None:
+            if svc.proc is not None:
+                _kill_quietly(svc.proc, svc.conn)
+            svc.result = JobResult(
+                Job(svc.key, svc.fn, svc.args, 0.0), "cancelled",
+                elapsed_s=time.monotonic() - svc.started,
+            )
+        svc.cancelled = True
+
+    def shutdown(self) -> None:
+        """Kill every still-running service (results of finished ones stay
+        readable)."""
+        for svc in self._services.values():
+            if svc.result is None and svc.proc is not None:
+                _kill_quietly(svc.proc, svc.conn)
+                svc.result = JobResult(
+                    Job(svc.key, svc.fn, svc.args, 0.0), "cancelled",
+                    elapsed_s=time.monotonic() - svc.started,
+                )
+                svc.cancelled = True
+
+    def __enter__(self) -> "ServiceSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- observation -------------------------------------------------------
+
+    def alive(self, key) -> bool:
+        svc = self._services.get(key)
+        return (
+            svc is not None
+            and svc.result is None
+            and svc.proc is not None
+            and svc.proc.is_alive()
+        )
+
+    def pid(self, key) -> int | None:
+        svc = self._require(key)
+        return None if svc.proc is None else svc.proc.pid
+
+    def restarts(self, key) -> int:
+        return self._require(key).restarts
+
+    def result(self, key) -> JobResult | None:
+        """The terminal result of ``key``, or ``None`` while it runs."""
+        return self._require(key).result
+
+    def poll(self, timeout: float | None = 0.0) -> list:
+        """Reap services that finished (payload, death, or deadline); block
+        up to ``timeout`` seconds for one to do so (``None``: until the
+        next event or deadline).  Returns the keys newly holding a
+        :meth:`result`, in no particular order."""
+        finished = self._reap_ready(timeout=0.0)
+        if finished or timeout == 0.0:
+            return finished
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            running = [s for s in self._services.values() if s.result is None]
+            if not running:
+                return []
+            wait_until = deadline
+            for svc in running:
+                if svc.deadline is not None:
+                    wait_until = (
+                        svc.deadline
+                        if wait_until is None
+                        else min(wait_until, svc.deadline)
+                    )
+            waitables = []
+            for svc in running:
+                waitables.append(svc.proc.sentinel)
+                waitables.append(svc.conn)
+            mp.connection.wait(
+                waitables,
+                timeout=None
+                if wait_until is None
+                else max(0.0, wait_until - time.monotonic()),
+            )
+            finished = self._reap_ready(timeout=0.0)
+            if finished:
+                return finished
+            if deadline is not None and time.monotonic() >= deadline:
+                return []
+
+    # -- internals ---------------------------------------------------------
+
+    def _require(self, key) -> _Service:
+        svc = self._services.get(key)
+        if svc is None:
+            raise KeyError(f"unknown service {key!r}")
+        return svc
+
+    def _spawn(self, svc: _Service) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_child_entry,
+            args=(child_conn, svc.fn, svc.args),
+            daemon=self.daemon,
+        )
+        svc.started = time.monotonic()
+        proc.start()
+        child_conn.close()
+        svc.proc = proc
+        svc.conn = parent_conn
+
+    def _reap_ready(self, timeout: float) -> list:
+        """One sweep: collect payloads/corpses, enforce deadlines."""
+        finished = []
+        now = time.monotonic()
+        for key, svc in self._services.items():
+            if svc.result is not None:
+                continue
+            job = Job(svc.key, svc.fn, svc.args, 0.0)
+            elapsed = now - svc.started
+            try:
+                has_payload = svc.conn.poll(timeout)
+            except (EOFError, OSError):
+                has_payload = False
+            if has_payload:
+                try:
+                    payload = svc.conn.recv()
+                except (EOFError, OSError):
+                    svc.proc.join()
+                    svc.result = JobResult(
+                        job, "crashed", elapsed_s=elapsed,
+                        exitcode=svc.proc.exitcode,
+                    )
+                else:
+                    svc.proc.join()
+                    svc.result = ProcessSupervisor._from_payload(
+                        payload, job, elapsed
+                    )
+                svc.conn.close()
+                finished.append(key)
+                continue
+            if not svc.proc.is_alive():
+                svc.proc.join()
+                # Prefer a payload that landed between the poll above and
+                # the death check (pipe data survives the writer's death).
+                try:
+                    if svc.conn.poll():
+                        svc.result = ProcessSupervisor._from_payload(
+                            svc.conn.recv(), job, elapsed
+                        )
+                    else:
+                        svc.result = JobResult(
+                            job, "crashed", elapsed_s=elapsed,
+                            exitcode=svc.proc.exitcode,
+                        )
+                except (EOFError, OSError):
+                    svc.result = JobResult(
+                        job, "crashed", elapsed_s=elapsed,
+                        exitcode=svc.proc.exitcode,
+                    )
+                svc.conn.close()
+                finished.append(key)
+                continue
+            if svc.deadline is not None and now >= svc.deadline:
+                svc.proc.kill()
+                svc.proc.join()
+                try:
+                    if svc.conn.poll():
+                        svc.result = ProcessSupervisor._from_payload(
+                            svc.conn.recv(), job, elapsed
+                        )
+                    else:
+                        svc.result = JobResult(job, "timeout", elapsed_s=elapsed)
+                except (EOFError, OSError):
+                    svc.result = JobResult(job, "timeout", elapsed_s=elapsed)
+                svc.conn.close()
+                finished.append(key)
+        return finished
+
+
+def _kill_quietly(proc, conn) -> None:
+    proc.kill()
+    proc.join()
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - already closed
+        pass

@@ -1,0 +1,86 @@
+"""Atomicity of checkpoint writes: a crash mid-write must leave the
+previous complete checkpoint on disk, never a torn file."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.scheme import OnlineScheme
+from repro.ir.dsl import add
+from repro.ir.nodes import OnlineProgram
+from repro.runtime import OnlineOperator, load_checkpoint, save_checkpoint
+from repro.runtime.checkpoint import atomic_write_text
+
+
+def sum_scheme() -> OnlineScheme:
+    return OnlineScheme((0,), OnlineProgram(("s",), "x", (add("s", "x"),)))
+
+
+class TestAtomicWriteText:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, '{"v": 1}\n')
+        assert path.read_text() == '{"v": 1}\n'
+        atomic_write_text(path, '{"v": 2}\n')
+        assert path.read_text() == '{"v": 2}\n'
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "out.json", "data\n")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.json"]
+
+    def test_interrupted_write_preserves_previous_contents(self, tmp_path, monkeypatch):
+        # Simulate a crash partway through the new write: the replace never
+        # happens, so the previous complete file must survive untouched.
+        path = tmp_path / "ck.json"
+        atomic_write_text(path, "previous complete checkpoint\n")
+
+        real_fsync = os.fsync
+
+        def exploding_fsync(fd):
+            real_fsync(fd)
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="disk gone"):
+            atomic_write_text(path, "torn")
+        monkeypatch.undo()
+        assert path.read_text() == "previous complete checkpoint\n"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ck.json"]
+
+    def test_interrupted_first_write_leaves_nothing(self, tmp_path, monkeypatch):
+        path = tmp_path / "ck.json"
+        monkeypatch.setattr(os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("x")))
+        with pytest.raises(OSError):
+            atomic_write_text(path, "torn")
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSaveCheckpointAtomicity:
+    def test_torn_save_keeps_previous_checkpoint_loadable(self, tmp_path, monkeypatch):
+        path = tmp_path / "op.json"
+        op = OnlineOperator(sum_scheme())
+        op.push_many([1, 2, 3])
+        save_checkpoint(op, path)
+
+        op.push_many([4, 5])
+        monkeypatch.setattr(os, "replace", lambda a, b: (_ for _ in ()).throw(OSError("crash")))
+        with pytest.raises(OSError):
+            save_checkpoint(op, path)
+        monkeypatch.undo()
+
+        restored = load_checkpoint(path)  # the old file, complete and valid
+        assert restored.count == 3
+        assert restored.state == (6,)
+
+    def test_save_accepts_ready_made_dicts(self, tmp_path):
+        # The serve worker merges/relays checkpoint dicts; save_checkpoint
+        # must write them unchanged.
+        op = OnlineOperator(sum_scheme())
+        op.push_many([2, 2])
+        path = tmp_path / "dict.json"
+        save_checkpoint(op.checkpoint(), path)
+        assert json.loads(path.read_text())["count"] == 2
+        assert load_checkpoint(path).state == (4,)

@@ -97,3 +97,97 @@ class TestCli:
     def test_bench_unknown_solver_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "--solver", "z3"])
+
+
+class TestKeyedLoadGenSources:
+    """The seeded keyed/infinite load-generator specs that feed `repro
+    serve` and `repro bench serve` (PR 7)."""
+
+    def test_zipf_keys_shape_and_bounds(self):
+        from repro.runtime.sources import zipf_keys
+
+        for value, key in zipf_keys(100, keys=8, low=5, high=9):
+            assert isinstance(value, Fraction) and 5 <= value <= 9
+            assert isinstance(key, int) and 1 <= key <= 8
+
+    def test_zipf_keys_deterministic_per_seed(self):
+        from repro.runtime.sources import zipf_keys
+
+        assert list(zipf_keys(50, keys=10, seed=4)) == list(
+            zipf_keys(50, keys=10, seed=4)
+        )
+        assert list(zipf_keys(50, keys=10, seed=4)) != list(
+            zipf_keys(50, keys=10, seed=5)
+        )
+
+    def test_zipf_keys_skewed_toward_low_ranks(self):
+        from collections import Counter
+
+        from repro.runtime.sources import zipf_keys
+
+        counts = Counter(key for _, key in zipf_keys(3000, keys=10, skew=1.2))
+        assert counts[1] > counts[10]  # rank 1 is the hot key
+        assert counts[1] > 3000 / 10  # and hotter than uniform
+
+    def test_zipf_keys_infinite_without_n(self):
+        import itertools
+
+        from repro.runtime.sources import zipf_keys
+
+        assert len(list(itertools.islice(zipf_keys(), 25))) == 25
+
+    def test_zipf_keys_rejects_no_keys(self):
+        from repro.runtime.sources import zipf_keys
+
+        with pytest.raises(ValueError):
+            next(zipf_keys(1, keys=0))
+
+    def test_bids_infinite_without_n(self):
+        import itertools
+
+        assert len(list(itertools.islice(bids(), 25))) == 25
+
+    def test_bids_seed_is_second_positional(self):
+        # bids:N:SEED — the spec grammar varies traffic via the seed.
+        assert list(bids(10, 1)) == list(bids(10, seed=1))
+        assert list(bids(10, 1)) != list(bids(10, 2))
+
+    def test_specs_build_keyed_sources(self):
+        from repro.runtime.sources import from_spec
+
+        records = list(from_spec("zipf-keys:20:5:9"))
+        assert len(records) == 20
+        assert all(1 <= key <= 5 for _, key in records)
+        assert records == list(from_spec("zipf-keys:20:5:9"))
+
+    def test_unbounded_specs_need_opt_in(self):
+        from repro.runtime.sources import from_spec
+
+        for spec in ("zipf-keys", "bids", "zipf-keys:"):
+            with pytest.raises(ValueError, match="unbounded"):
+                from_spec(spec)
+        import itertools
+
+        stream = from_spec("zipf-keys", allow_unbounded=True)
+        assert len(list(itertools.islice(stream, 7))) == 7
+
+    def test_spec_grammar_documents_every_source(self):
+        from repro.runtime.sources import SPEC_GRAMMAR, SPEC_SOURCES
+
+        for name in SPEC_SOURCES:
+            assert name in SPEC_GRAMMAR
+        assert "list:" in SPEC_GRAMMAR
+
+    def test_run_help_shows_spec_grammar(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "zipf-keys" in out and "source specs" in out
+
+    def test_serve_help_shows_spec_grammar(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "zipf-keys" in out and "source specs" in out

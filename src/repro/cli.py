@@ -40,10 +40,31 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
           --shards 2 --checkpoint-dir ckpts --kill-shard 0:2500 --verify
 
   ``--kill-shard S:AFTER`` SIGKILLs shard S's worker after AFTER elements
-  (fault injection); ``--verify`` replays the stream through a
-  single-process ``KeyedOperator`` and fails unless the states match
-  bit for bit (use a fresh --checkpoint-dir).  A checkpoint directory from
-  a previous deployment of the same scheme and shard count is resumed.
+  (fault injection); ``--fault SPEC`` injects the full grammar of
+  :mod:`repro.faults` (``kill:S:AFTER``, ``stall:S:AFTER[:SECS]``,
+  ``corrupt-checkpoint:S:GEN``, ``torn-write:NTH``, ``poison:OFFSET``);
+  ``--verify`` replays the stream through a single-process
+  ``KeyedOperator`` and fails unless the states match bit for bit (use a
+  fresh --checkpoint-dir).  ``--on-error quarantine`` retries a
+  deterministically failing element once and dead-letters it to
+  ``deadletter-NN.jsonl`` instead of halting (default ``fail`` preserves
+  the bit-identity contract).  A checkpoint directory from a previous
+  deployment of the same scheme and shard count is resumed; checkpoints
+  are digest-verified generation lineages, so corrupt files are
+  quarantined as ``*.corrupt`` and restore falls back to the newest
+  intact generation.
+
+* ``chaos`` — N seeded fault-injection trials against the serve runtime,
+  every surviving trial differentially verified against the
+  single-process oracle (:mod:`repro.evaluation.chaos`)::
+
+      python -m repro chaos --trials 5 --seed 8 --shards 2
+      python -m repro chaos --trials 5 --seed 8 --faults kill,poison \
+          --on-error quarantine --workdir chaos-work --out chaos.json
+
+  Exit 0 when every trial is bit-identical or correctly refused, 1 on any
+  divergence, 2 on usage errors.  The same ``--seed`` reproduces the same
+  fault schedules and verdicts.
 
 * ``cache`` — maintain the on-disk result cache and scheme store::
 
@@ -145,6 +166,7 @@ from .evaluation import (
     table1,
     table2,
 )
+from .faults import FaultPlan
 from .frontend import python_to_ir
 from .ir.parser import parse_program
 from .ir.pretty import pretty_program
@@ -869,6 +891,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         extra = _parse_extra(args.extra)
         kills = _parse_kill_specs(args.kill_shard, args.shards)
+        plan = FaultPlan(args.fault or [])
     except ValueError as exc:
         hint = " (or pass --max-elements N)" if "unbounded" in str(exc) else ""
         print(f"error: {exc}{hint}", file=sys.stderr)
@@ -877,6 +900,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         import itertools
 
         stream = itertools.islice(stream, args.max_elements)
+    if plan.poison_offsets:
+        stream = plan.apply_stream(stream, value_index=args.value_field)
 
     seen: list = []  # retained only under --verify (the oracle needs them)
     try:
@@ -890,7 +915,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             batch_size=args.batch_size,
             max_inflight=args.max_inflight,
-            restart_limit=args.restart_limit,
+            restart_budget=args.restart_budget,
+            restart_window_s=args.restart_window,
+            liveness_timeout_s=args.liveness_timeout,
+            on_error=args.on_error,
+            faults=plan if plan else None,
             jit=False if args.no_jit else None,
             fresh=args.fresh,
         )
@@ -905,7 +934,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 pushed += 1
                 if args.verify:
                     seen.append(element)
-                for sid in kills.get(pushed, ()):
+                for sid in (*kills.get(pushed, ()), *plan.kills_at(pushed)):
                     server.kill_shard(sid)
                     print(f"killed shard {sid} after {pushed} elements "
                           "(crash-restore will replay)")
@@ -927,6 +956,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not math.isnan(p99):
         line += f"; p99 batch hand-off {p99 * 1000:.2f} ms"
     print(line)
+    if result.hung_restarts or result.quarantined:
+        print(
+            f"hardening: {result.hung_restarts} hung-worker restart(s), "
+            f"{result.quarantined} quarantined checkpoint generation(s)"
+        )
+    if result.dead_lettered:
+        print(
+            f"dead-lettered {result.dead_lettered} element(s) "
+            f"(deadletter-*.jsonl in {args.checkpoint_dir})"
+        )
     print(f"checkpoints: {args.checkpoint_dir} (resumable)")
     if args.verify:
         oracle = reference_states(
@@ -946,6 +985,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 1
         print(f"verify: OK — {len(op)} keys bit-identical to the single-process run")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .evaluation import chaos
+
+    try:
+        kinds = chaos.normalize_fault_kinds(
+            k for k in args.faults.split(",") if k.strip()
+        )
+        if args.trials < 1:
+            raise ValueError(f"--trials must be >= 1, got {args.trials}")
+        if args.liveness_timeout <= 0:
+            raise ValueError(
+                f"--liveness-timeout must be > 0, got {args.liveness_timeout}"
+            )
+        report = chaos.run_chaos(
+            trials=args.trials,
+            seed=args.seed,
+            shards=args.shards,
+            schemes=tuple(args.scheme) if args.scheme else chaos.DEFAULT_SCHEMES,
+            source=args.source,
+            elements=args.elements,
+            keys=args.keys,
+            checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch_size,
+            fault_kinds=kinds,
+            on_error=args.on_error,
+            workdir=args.workdir,
+            liveness_timeout_s=args.liveness_timeout,
+            jit=False if args.no_jit else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(chaos.format_report(report))
+    if args.out:
+        chaos.write_report(report, args.out)
+        print(f"chaos report written to {args.out}")
+    return 0 if report["ok"] else 1
 
 
 _AGE_RE = re.compile(r"^(\d+(?:\.\d+)?)([smhd]?)$")
@@ -1108,15 +1186,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
                          help="unacknowledged batches per shard before push "
                               "blocks — the backpressure bound (default: 8)")
-    p_serve.add_argument("--restart-limit", type=int, default=5, metavar="N",
-                         help="crash-restores per shard before giving up "
-                              "(default: 5)")
+    p_serve.add_argument("--restart-budget", type=int, default=5, metavar="N",
+                         help="crash-restores per shard within --restart-window "
+                              "before giving up (default: 5)")
+    p_serve.add_argument("--restart-window", type=float, default=60.0,
+                         metavar="SECS",
+                         help="sliding window for --restart-budget "
+                              "(default: 60)")
+    p_serve.add_argument("--liveness-timeout", type=float, default=10.0,
+                         metavar="SECS",
+                         help="SIGKILL and restart a shard whose worker sent "
+                              "no ack or heartbeat for SECS (default: 10)")
+    p_serve.add_argument("--on-error", choices=("fail", "quarantine"),
+                         default="fail",
+                         help="fail: halt on a failing element (bit-identity "
+                              "preserved; default); quarantine: retry it once, "
+                              "dead-letter it to deadletter-NN.jsonl on an "
+                              "identical second failure and keep going")
     p_serve.add_argument("--max-elements", type=int, default=None, metavar="N",
                          help="stop after N elements; also the only way to "
                               "serve an unbounded source spec")
     p_serve.add_argument("--kill-shard", action="append", metavar="SHARD:AFTER",
                          help="fault injection: SIGKILL shard SHARD's worker "
                               "after AFTER elements were pushed (repeatable)")
+    p_serve.add_argument("--fault", action="append", metavar="SPEC",
+                         help="fault injection: kill:S:AFTER, "
+                              "stall:S:AFTER[:SECS], corrupt-checkpoint:S:GEN, "
+                              "torn-write:NTH, poison:OFFSET (repeatable; "
+                              "poison + --verify needs --on-error fail, where "
+                              "the server correctly refuses)")
     p_serve.add_argument("--verify", action="store_true",
                          help="also fold the stream through a single-process "
                               "KeyedOperator and fail unless the final states "
@@ -1130,6 +1228,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="interpreted scheme steps in every worker "
                               "(same results; equivalent to REPRO_JIT=0)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection trials against the serve runtime, each "
+             "differentially verified against the single-process oracle",
+    )
+    p_chaos.add_argument("--trials", type=int, default=5, metavar="N",
+                         help="randomized trials to run (default: 5)")
+    p_chaos.add_argument("--seed", type=int, default=8, metavar="S",
+                         help="master seed; the same seed reproduces the same "
+                              "fault schedules and verdicts (default: 8)")
+    p_chaos.add_argument("--shards", type=int, default=2, metavar="N",
+                         help="shard worker processes per trial (default: 2)")
+    p_chaos.add_argument("--scheme", action="append", metavar="NAME",
+                         help="benchmark scheme(s) to cycle through "
+                              "(repeatable; default: mean and q_avg_price)")
+    p_chaos.add_argument("--source", default=None, metavar="SPEC",
+                         help="base source spec, reseeded per trial "
+                              "(default: zipf-keys:ELEMENTS:KEYS:1)")
+    p_chaos.add_argument("--elements", type=int, default=3000, metavar="N",
+                         help="stream length per trial for the default source "
+                              "(default: 3000)")
+    p_chaos.add_argument("--keys", type=int, default=20, metavar="N",
+                         help="key count for the default source (default: 20)")
+    p_chaos.add_argument("--checkpoint-every", type=int, default=200,
+                         metavar="K",
+                         help="checkpoint cadence per shard (default: 200)")
+    p_chaos.add_argument("--batch-size", type=int, default=32, metavar="N",
+                         help="elements per hand-off batch (default: 32)")
+    p_chaos.add_argument("--faults", default="kill,stall,corrupt",
+                         metavar="KINDS",
+                         help="comma-separated fault kinds to schedule: kill, "
+                              "stall, corrupt, torn, poison "
+                              "(default: kill,stall,corrupt)")
+    p_chaos.add_argument("--on-error", choices=("fail", "quarantine"),
+                         default="fail",
+                         help="element-failure policy under test (default: "
+                              "fail; use quarantine with poison faults to "
+                              "exercise dead-lettering)")
+    p_chaos.add_argument("--liveness-timeout", type=float, default=1.5,
+                         metavar="SECS",
+                         help="hung-worker deadline per trial (default: 1.5; "
+                              "keeps stall trials fast)")
+    p_chaos.add_argument("--workdir", default=None, metavar="DIR",
+                         help="keep per-trial checkpoint dirs under DIR "
+                              "(default: a temp dir, removed afterwards)")
+    p_chaos.add_argument("--out", default=None, metavar="FILE",
+                         help="also write the chaos report JSON to FILE")
+    p_chaos.add_argument("--no-jit", action="store_true",
+                         help="interpreted scheme steps everywhere "
+                              "(same results; equivalent to REPRO_JIT=0)")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_cache = sub.add_parser(
         "cache", help="inspect/maintain the result cache and scheme store"

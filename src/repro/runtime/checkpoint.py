@@ -28,8 +28,10 @@ stopped.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import re
 from pathlib import Path
 from typing import Callable, Hashable
 
@@ -220,16 +222,35 @@ def restore_keyed(
 # -- file helpers -----------------------------------------------------------
 
 
+def _fsync_dir(directory) -> None:
+    """Best-effort fsync of a directory (persists a rename in its entry
+    table).  Platforms that cannot open directories for fsync (Windows)
+    simply skip it — the file contents are already durable either way."""
+    try:
+        fd = os.open(directory, getattr(os, "O_DIRECTORY", os.O_RDONLY))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically: temp file in the same
-    directory, then ``os.replace``.
+    """Write ``text`` to ``path`` atomically and durably: temp file in the
+    same directory, fsync, ``os.replace``, then fsync the directory.
 
     A checkpoint is the *only* thing standing between a crashed worker and
     replaying the stream from zero, so a crash mid-write must never leave a
     torn file behind — readers see either the previous complete checkpoint
     or the new complete one, nothing in between.  The temp file lives next
     to the target (``os.replace`` must not cross filesystems) and is
-    removed if the write itself fails.
+    removed if the write itself fails.  The final directory fsync persists
+    the rename itself: without it a power loss shortly after ``os.replace``
+    can roll the directory entry back to the old file even though the new
+    contents were fsynced.
     """
     target = Path(path)
     tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
@@ -245,6 +266,7 @@ def atomic_write_text(path, text: str) -> None:
         except OSError:
             pass
         raise
+    _fsync_dir(target.parent)
 
 
 def save_checkpoint(op, path) -> None:
@@ -289,3 +311,176 @@ def load_checkpoint(
     if kind == _PIPELINE:
         return restore_pipeline(data)
     raise CheckpointError(f"unknown checkpoint kind {kind!r}")
+
+
+# -- checkpoint generations (integrity-verified lineage) ---------------------
+#
+# Atomicity (above) protects a single write against a crash mid-write; it
+# does not protect against a file that *was* replaced but arrives damaged —
+# a torn sector, bit rot, a filesystem that lied about durability.  For that
+# the serve workers keep a short *lineage* of checkpoints instead of one
+# file: ``{base}.gen00000001.json``, ``.gen00000002.json``, ... each wrapped
+# in an envelope carrying a monotonic generation number, the stream offset
+# it covers (``consumed``), and a BLAKE2b content digest.  The loader
+# verifies the digest, quarantines anything damaged by renaming it
+# ``*.corrupt`` (preserved for inspection, never silently deleted), and
+# falls back to the newest intact generation.  Only when files existed but
+# *none* survive does it raise — restoring "from scratch" silently would
+# violate exactly-once delivery, so that case must be a refusal.
+
+GENERATION_FORMAT = "repro/checkpoint-generation"
+GENERATION_VERSION = 1
+
+_GEN_RE = re.compile(r"\.gen(\d{8})\.json$")
+
+
+def content_digest(generation: int, consumed: int, payload: dict) -> str:
+    """BLAKE2b-128 over the canonical JSON of the *protected* envelope
+    fields.  Covering generation and consumed (not just the payload) means
+    renaming-based tampering — swapping one generation's body into
+    another's envelope — is also caught."""
+    canon = json.dumps(
+        {"generation": generation, "consumed": consumed, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(canon.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def generation_path(base, generation: int) -> Path:
+    """``{base}.gen{generation:08d}.json`` — zero-padded so lexicographic
+    order is generation order."""
+    base = Path(base)
+    return base.with_name(f"{base.name}.gen{generation:08d}.json")
+
+
+def list_generations(base) -> list[tuple[int, Path]]:
+    """All on-disk generations for ``base``, oldest first."""
+    base = Path(base)
+    if not base.parent.is_dir():
+        return []
+    found = []
+    for entry in base.parent.iterdir():
+        if not entry.name.startswith(base.name):
+            continue
+        match = _GEN_RE.search(entry.name)
+        if match and entry.name == f"{base.name}.gen{match.group(1)}.json":
+            found.append((int(match.group(1)), entry))
+    found.sort()
+    return found
+
+
+def save_generation(
+    payload: dict,
+    base,
+    *,
+    generation: int,
+    consumed: int,
+    keep: int = 3,
+) -> Path:
+    """Write one generation of a checkpoint lineage atomically and prune
+    generations older than the newest ``keep``.
+
+    Returns the path written.  Pruning never touches ``*.corrupt`` files —
+    quarantined evidence outlives the lineage that produced it.
+    """
+    if keep < 1:
+        raise CheckpointError(f"keep must be >= 1, got {keep}")
+    path = generation_path(base, generation)
+    envelope = {
+        "format": GENERATION_FORMAT,
+        "version": GENERATION_VERSION,
+        "generation": generation,
+        "consumed": consumed,
+        "digest": content_digest(generation, consumed, payload),
+        "payload": payload,
+    }
+    atomic_write_text(path, json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    for gen, old in list_generations(base):
+        if gen <= generation - keep:
+            try:
+                os.unlink(old)
+            except OSError:
+                pass
+    return path
+
+
+def verify_generation(path) -> tuple[int, int, dict]:
+    """Load and integrity-check one generation file.
+
+    Returns ``(generation, consumed, payload)``; raises
+    :class:`CheckpointError` on torn JSON, a malformed envelope, or a
+    digest mismatch.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: not a readable generation file: {exc}") from None
+    if not isinstance(data, dict) or data.get("format") != GENERATION_FORMAT:
+        raise CheckpointError(f"{path}: not a checkpoint generation envelope")
+    if data.get("version") != GENERATION_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported generation version {data.get('version')!r}"
+        )
+    generation = data.get("generation")
+    consumed = data.get("consumed")
+    payload = data.get("payload")
+    if (
+        not isinstance(generation, int)
+        or isinstance(generation, bool)
+        or generation < 1
+        or not isinstance(consumed, int)
+        or isinstance(consumed, bool)
+        or consumed < 0
+        or not isinstance(payload, dict)
+    ):
+        raise CheckpointError(f"{path}: malformed generation envelope")
+    if data.get("digest") != content_digest(generation, consumed, payload):
+        raise CheckpointError(f"{path}: content digest mismatch (corrupt checkpoint)")
+    return generation, consumed, payload
+
+
+def quarantine_generation(path) -> Path:
+    """Rename a damaged generation file to ``{name}.corrupt`` so it is out
+    of the lineage but preserved for inspection.  Returns the new path (a
+    numeric suffix is added if a previous quarantine left one there)."""
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    n = 1
+    while target.exists():
+        target = path.with_name(f"{path.name}.corrupt.{n}")
+        n += 1
+    os.replace(path, target)
+    _fsync_dir(path.parent)
+    return target
+
+
+def load_latest_generation(
+    base,
+    on_quarantine: Callable[[Path, CheckpointError], None] | None = None,
+):
+    """Restore from the newest intact generation of a lineage.
+
+    Walks the on-disk generations newest-first; each damaged file is
+    quarantined (renamed ``*.corrupt``, reported through ``on_quarantine``)
+    and the walk falls back to the next older one.  Returns
+    ``(generation, consumed, payload)`` from the first file that verifies,
+    ``None`` when no generation files exist at all (a genuinely fresh
+    start), and raises :class:`CheckpointError` when files existed but all
+    were damaged — that situation must be a refusal, never a silent
+    restart from zero.
+    """
+    found = list_generations(base)
+    if not found:
+        return None
+    for _, path in reversed(found):
+        try:
+            return verify_generation(path)
+        except CheckpointError as exc:
+            quarantined = quarantine_generation(path)
+            if on_quarantine is not None:
+                on_quarantine(quarantined, exc)
+    raise CheckpointError(
+        f"all {len(found)} checkpoint generation(s) under {base} are corrupt "
+        "(quarantined as *.corrupt); refusing to restart from scratch"
+    )

@@ -232,6 +232,55 @@ def from_spec(spec: str, allow_unbounded: bool = False) -> Iterator[Value]:
         raise ValueError(f"bad arguments for source {name!r}: {exc}") from None
 
 
+#: Positional index of each spec source's seed argument (sources without
+#: one are deterministic as-is and reseed to themselves).
+_SEED_ARG = {
+    "sawtooth": 3,
+    "random_walk": 2,
+    "gaussian": 1,
+    "bids": 1,
+    "zipf-keys": 2,
+    "pairs": 4,
+}
+
+
+def reseed_spec(spec: str, seed: int) -> str:
+    """Rewrite a source spec's seed argument to ``seed``.
+
+    ``reseed_spec("zipf-keys:4000:20", 9)`` -> ``"zipf-keys:4000:20:9"``;
+    arguments between the spec's last and the seed position are padded with
+    the source function's own defaults, so the stream differs from the
+    original *only* in its seed.  Seedless specs (``counter``, ``list``,
+    ``constant``) pass through unchanged — they are deterministic already.
+    This is how ``repro chaos`` gives every trial fresh-but-reproducible
+    traffic from one trial seed.
+    """
+    import inspect
+
+    name, _, rest = spec.partition(":")
+    index = _SEED_ARG.get(name)
+    if index is None:
+        if name != "list" and name not in SPEC_SOURCES:
+            raise ValueError(f"unknown source {name!r} in spec {spec!r}")
+        return spec
+    args = rest.split(":") if rest else []
+    parameters = list(inspect.signature(SPEC_SOURCES[name]).parameters.values())
+    while len(args) < index:
+        default = parameters[len(args)].default
+        if default is inspect.Parameter.empty or default is None:
+            raise ValueError(
+                f"cannot reseed spec {spec!r}: argument "
+                f"{parameters[len(args)].name!r} has no paddable default; "
+                "spell the spec out through its seed position"
+            )
+        args.append(str(default))
+    if len(args) == index:
+        args.append(str(seed))
+    else:
+        args[index] = str(seed)
+    return name + ":" + ":".join(args)
+
+
 def merge_round_robin(*sources: Iterator[Value]) -> Iterator[Value]:
     """Interleave several finite sources."""
     iterators = [iter(s) for s in sources]

@@ -9,7 +9,14 @@ through the compiled step kernels and checkpointing its partitions to disk.
 Workers that die are restored from their last checkpoint and the server
 replays the non-durable suffix from its bounded buffer — final aggregates
 stay bit-identical to a single-process :class:`~repro.runtime.keyed.KeyedOperator`
-run, kills included.
+run, kills included.  Checkpoints are digest-verified generation lineages
+(corrupt files quarantined, fallback to the newest intact one), idle
+workers heartbeat so *hung* shards trip a liveness deadline, restarts pay
+jittered exponential backoff against a sliding-window budget, and
+``on_error="quarantine"`` dead-letters deterministically failing elements
+instead of halting — all of it provable on demand with the seeded fault
+injection of :mod:`repro.faults` and the ``repro chaos`` harness
+(:mod:`repro.evaluation.chaos`).
 
 See :mod:`repro.serve.server` for the delivery contract, and
 :mod:`repro.evaluation.serve_bench` for the load generator / benchmark.
@@ -24,13 +31,14 @@ from .server import (
     reference_states,
     states_match,
 )
-from .worker import field_extractor, shard_worker
+from .worker import WorkerConfig, field_extractor, shard_worker
 
 __all__ = [
     "HashRing",
     "ServeError",
     "ServeResult",
     "StreamServer",
+    "WorkerConfig",
     "field_extractor",
     "percentile",
     "reference_states",

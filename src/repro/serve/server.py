@@ -41,15 +41,31 @@ the replay window: O(``checkpoint_every`` + ``batch_size`` x
 Workers are spawned, reaped, and restarted through
 :class:`repro.supervisor.ServiceSupervisor`; deterministic worker errors
 (a scheme step raising on an element) are *not* restarted — replay would
-fail forever — but surface as :class:`ServeError`.
+fail forever — but surface as :class:`ServeError` (or, with
+``on_error="quarantine"``, are retried once and dead-lettered by the
+worker itself — see :mod:`repro.serve.worker`).
+
+**Hardening.**  Checkpoints are integrity-verified *lineages* (BLAKE2b
+digest + monotonic generation number, newest ``keep_generations``
+retained); restore quarantines damaged generations as ``*.corrupt`` and
+falls back to the newest intact one, and only an entirely corrupt lineage
+is a refusal (never a silent fresh start).  Workers heartbeat through the
+ack pipe while idle; a shard that neither acks nor heartbeats within
+``liveness_timeout_s`` is SIGKILLed and restored like a crash (a *hung*
+worker, not just a dead one).  Restarts pay a jittered exponential
+backoff and draw from a sliding-window budget (``restart_budget`` within
+``restart_window_s``) instead of a lifetime cap, so an old incident never
+counts against a fresh one.  Fault injection threads through the same
+seams (:mod:`repro.faults`): stalls and checkpoint corruption ride into
+workers on their :class:`~repro.serve.worker.WorkerConfig`, kills are
+driven by the pusher, and ``repro chaos`` differentially verifies the lot.
 """
 
 from __future__ import annotations
 
 import json
 import math
-import os
-import signal
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -59,16 +75,25 @@ from typing import Hashable, Iterable, Mapping
 import multiprocessing as mp
 
 from ..core.scheme import OnlineScheme
-from ..runtime.checkpoint import atomic_write_text, restore_keyed
+from ..faults import FaultPlan
+from ..runtime.checkpoint import (
+    CheckpointError,
+    atomic_write_text,
+    load_latest_generation,
+    restore_keyed,
+)
 from ..runtime.keyed import KeyedOperator
 from ..supervisor import ServiceSupervisor, _mp_context
 from ..ir.values import Value
 from .hashring import HashRing
-from .worker import field_extractor, shard_worker
+from .worker import WorkerConfig, field_extractor, shard_worker
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = "repro/serve-manifest"
-MANIFEST_VERSION = 1
+#: v2: per-shard checkpoints became digest-verified generation lineages
+#: ({base}.genNNNNNNNN.json) — a v1 directory's single-file layout cannot
+#: be resumed, so the version check below refuses it.
+MANIFEST_VERSION = 2
 
 #: How long one wait for acks/deaths may sleep before re-checking (bounds
 #: crash-detection latency while the server is blocked on backpressure).
@@ -102,10 +127,14 @@ class ServeResult:
 
     operator: KeyedOperator  #: merged single-process-equivalent operator
     checkpoint: dict  #: merged keyed checkpoint (JSON-ready, loadable)
-    count: int  #: total elements consumed across shards
-    shard_counts: dict[int, int]  #: elements per shard
+    count: int  #: total elements *applied* across shards
+    shard_counts: dict[int, int]  #: elements handed off per shard
     restarts: int  #: worker incarnations beyond the first, total
     elapsed_s: float  #: start() to drain() wall clock
+    consumed: int = 0  #: elements handed off (count + dead_lettered)
+    dead_lettered: int = 0  #: elements quarantined to dead-letter files
+    hung_restarts: int = 0  #: restarts triggered by the liveness deadline
+    quarantined: int = 0  #: checkpoint generations renamed *.corrupt
     latencies_s: list[float] = field(repr=False, default_factory=list)
 
     @property
@@ -136,7 +165,7 @@ class _Batch:
 class _Shard:
     __slots__ = (
         "sid", "cmd", "ack", "pending", "sent", "ckpt_count", "buffer",
-        "inflight", "final", "drain_sent",
+        "inflight", "final", "drain_sent", "last_seen", "restart_times",
     )
 
     def __init__(self, sid: int):
@@ -145,11 +174,13 @@ class _Shard:
         self.ack = None  #: server's recv end of the ack pipe
         self.pending: list = []
         self.sent = 0  #: absolute offset: elements handed off so far
-        self.ckpt_count = 0  #: durable prefix (last acked checkpoint)
+        self.ckpt_count = 0  #: durable prefix (last acked checkpoint floor)
         self.buffer: deque[_Batch] = deque()
         self.inflight = 0  #: sent, unacknowledged batches
-        self.final: dict | None = None  #: keyed checkpoint dict after drain
+        self.final: dict | None = None  #: final worker payload after drain
         self.drain_sent = False
+        self.last_seen = 0.0  #: monotonic instant of the last ack/heartbeat
+        self.restart_times: list[float] = []  #: sliding restart-budget window
 
 
 class StreamServer:
@@ -181,7 +212,15 @@ class StreamServer:
         checkpoint_every: int = 1000,
         batch_size: int = 64,
         max_inflight: int = 8,
-        restart_limit: int = 5,
+        restart_budget: int = 5,
+        restart_window_s: float = 60.0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        liveness_timeout_s: float = 10.0,
+        keep_generations: int = 3,
+        on_error: str = "fail",
+        faults: FaultPlan | None = None,
+        seed: int | None = None,
         ring_replicas: int = 64,
         jit: bool | None = None,
         fresh: bool = False,
@@ -194,6 +233,12 @@ class StreamServer:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if keep_generations < 1:
+            raise ValueError(f"keep_generations must be >= 1, got {keep_generations}")
+        if on_error not in ("fail", "quarantine"):
+            raise ValueError(f"on_error must be 'fail' or 'quarantine', got {on_error!r}")
+        if liveness_timeout_s <= 0:
+            raise ValueError(f"liveness_timeout_s must be > 0, got {liveness_timeout_s}")
         self.scheme = scheme
         self.shards = shards
         self.checkpoint_dir = Path(checkpoint_dir)
@@ -203,11 +248,20 @@ class StreamServer:
         self.checkpoint_every = checkpoint_every
         self.batch_size = batch_size
         self.max_inflight = max_inflight
-        self.restart_limit = restart_limit
+        self.restart_budget = restart_budget
+        self.restart_window_s = restart_window_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.liveness_timeout_s = liveness_timeout_s
+        self.keep_generations = keep_generations
+        self.on_error = on_error
+        self.faults = faults.validate(shards) if faults is not None else None
         self.jit = jit
         self.fresh = fresh
         self.ring = HashRing(shards, replicas=ring_replicas)
         self.latencies_s: list[float] = []
+        self.quarantine_events: list[tuple[str, str]] = []  #: (path, error)
+        self._rng = random.Random(seed)  #: backoff jitter (seedable for chaos)
         self._key_fn = field_extractor(key_field)
         self._ctx = _mp_context()
         self._supervisor: ServiceSupervisor | None = None
@@ -216,6 +270,7 @@ class StreamServer:
         self._started_at = 0.0
         self._draining = False
         self._closed = False
+        self._hung_restarts = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -278,9 +333,7 @@ class StreamServer:
     def kill_shard(self, sid: int) -> None:
         """SIGKILL a shard's current worker process (fault injection; the
         next interaction triggers crash-restore)."""
-        pid = self._supervisor.pid(sid)
-        if pid is not None:
-            os.kill(pid, signal.SIGKILL)
+        self._supervisor.kill(sid)
 
     def restart_count(self) -> int:
         return sum(self._supervisor.restarts(sid) for sid in self._shards)
@@ -325,18 +378,34 @@ class StreamServer:
         path = self.checkpoint_dir / MANIFEST_NAME
         if self.fresh or not path.exists():
             if self.fresh:
-                for sid in range(self.shards):
-                    self._checkpoint_path(sid).unlink(missing_ok=True)
+                for entry in self.checkpoint_dir.iterdir():
+                    name = entry.name
+                    if name.startswith(("shard-", "deadletter-")):
+                        entry.unlink(missing_ok=True)
             atomic_write_text(
                 path, json.dumps(self._manifest(), indent=2, sort_keys=True) + "\n"
             )
             return False
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ServeError(f"unreadable serve manifest {path}: {exc}") from exc
-        if manifest.get("format") != MANIFEST_FORMAT:
-            raise ServeError(f"{path} is not a serve manifest")
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"serve manifest {path} is torn or not JSON ({exc}); "
+                "pass --fresh (fresh=True) to rebuild the checkpoint "
+                "directory, or point at a clean one"
+            ) from None
+        if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+            raise ServeError(
+                f"{path} is not a serve manifest; pass --fresh (fresh=True) "
+                "to rebuild the checkpoint directory"
+            )
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ServeError(
+                f"checkpoint dir {self.checkpoint_dir} was written by a build "
+                f"with manifest version {manifest.get('version')!r} (this one "
+                f"writes {MANIFEST_VERSION}, with a different checkpoint "
+                "layout); use a fresh directory or fresh=True"
+            )
         if manifest.get("shards") != self.shards:
             raise ServeError(
                 f"checkpoint dir {self.checkpoint_dir} was written by a "
@@ -351,44 +420,59 @@ class StreamServer:
             )
         return True
 
-    def _checkpoint_path(self, sid: int) -> Path:
-        return self.checkpoint_dir / f"shard-{sid:02d}.json"
+    def _checkpoint_base(self, sid: int) -> Path:
+        """Lineage prefix: generations are ``shard-NN.genNNNNNNNN.json``."""
+        return self.checkpoint_dir / f"shard-{sid:02d}"
+
+    def _deadletter_path(self, sid: int) -> Path:
+        return self.checkpoint_dir / f"deadletter-{sid:02d}.jsonl"
+
+    def _note_quarantine(self, path, error) -> None:
+        self.quarantine_events.append((str(path), str(error)))
 
     def _checkpoint_count(self, sid: int) -> int:
-        """The durable element count in a shard's on-disk checkpoint (0
-        without one) — what a restored worker will resume from, hence where
-        replay must start."""
-        path = self._checkpoint_path(sid)
-        if not path.exists():
-            return 0
+        """The durable element count of a shard's newest *intact*
+        checkpoint generation (0 without any) — what a restored worker will
+        resume from, hence where replay must start.  Damaged generations
+        are quarantined on the way; an entirely corrupt lineage is a
+        refusal, never a silent restart from zero."""
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-            count = data.get("count")
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ServeError(f"unreadable shard checkpoint {path}: {exc}") from exc
-        if not isinstance(count, int) or count < 0:
-            raise ServeError(f"shard checkpoint {path} has no usable count")
-        return count
+            latest = load_latest_generation(
+                self._checkpoint_base(sid), on_quarantine=self._note_quarantine
+            )
+        except CheckpointError as exc:
+            raise ServeError(f"shard {sid} cannot be restored: {exc}") from None
+        return 0 if latest is None else latest[1]
 
-    def _worker_args(self, shard: _Shard, cmd_recv, ack_send, resume: bool) -> tuple:
-        return (
-            shard.sid,
-            cmd_recv,
-            ack_send,
-            self.scheme,
-            self.key_field,
-            self.value_field,
-            self.extra,
-            str(self._checkpoint_path(shard.sid)),
-            self.checkpoint_every,
-            self.jit,
-            resume,
+    def _worker_config(self, shard: _Shard, *, resume: bool, incarnation: int) -> WorkerConfig:
+        # A worker that neither acks nor heartbeats for liveness_timeout_s
+        # is presumed hung; beat several times per deadline so scheduling
+        # hiccups alone cannot trip it.
+        heartbeat = max(0.05, min(1.0, self.liveness_timeout_s / 5.0))
+        return WorkerConfig(
+            shard_id=shard.sid,
+            scheme=self.scheme,
+            key_field=self.key_field,
+            value_field=self.value_field,
+            extra=self.extra,
+            checkpoint_base=str(self._checkpoint_base(shard.sid)),
+            checkpoint_every=self.checkpoint_every,
+            keep_generations=self.keep_generations,
+            jit=self.jit,
+            resume=resume,
+            heartbeat_every_s=heartbeat,
+            on_error=self.on_error,
+            deadletter_path=str(self._deadletter_path(shard.sid)),
+            faults=self.faults.shard_plan(shard.sid) if self.faults else None,
+            incarnation=incarnation,
         )
 
     def _spawn_shard(self, shard: _Shard, *, resume: bool, restart: bool) -> None:
         cmd_recv, cmd_send = self._ctx.Pipe(duplex=False)
         ack_recv, ack_send = self._ctx.Pipe(duplex=False)
-        args = self._worker_args(shard, cmd_recv, ack_send, resume)
+        incarnation = self._supervisor.restarts(shard.sid) + 1 if restart else 0
+        config = self._worker_config(shard, resume=resume, incarnation=incarnation)
+        args = (config, cmd_recv, ack_send)
         if restart:
             self._supervisor.restart(shard.sid, args=args)
         else:
@@ -400,6 +484,7 @@ class StreamServer:
         ack_send.close()
         shard.cmd = cmd_send
         shard.ack = ack_recv
+        shard.last_seen = time.monotonic()
 
     def _restore_shard(self, shard: _Shard) -> None:
         """Crash-restore: respawn the worker from its last checkpoint and
@@ -411,11 +496,29 @@ class StreamServer:
             raise ServeError(
                 f"shard {shard.sid} worker failed: {result.kind} {result.message}"
             )
-        if self._supervisor.restarts(shard.sid) >= self.restart_limit:
+        # Sliding-window restart budget: only restarts inside the window
+        # count, so an incident an hour ago never dooms this one — but a
+        # crash loop exhausts the budget fast no matter how long it runs.
+        now = time.monotonic()
+        shard.restart_times = [
+            t for t in shard.restart_times if now - t < self.restart_window_s
+        ]
+        if len(shard.restart_times) >= self.restart_budget:
             raise ServeError(
-                f"shard {shard.sid} exceeded the restart limit "
-                f"({self.restart_limit}); giving up"
+                f"shard {shard.sid} exhausted its restart budget "
+                f"({self.restart_budget} restarts within {self.restart_window_s:g}s); "
+                "giving up"
             )
+        # Jittered exponential backoff: doubling per recent restart, the
+        # jitter (x0.5–1.5, from the seedable RNG) de-synchronizing shards
+        # that all crashed on the same cause.
+        delay = min(
+            self.backoff_max_s,
+            self.backoff_base_s * (2 ** len(shard.restart_times)),
+        ) * (0.5 + self._rng.random())
+        shard.restart_times.append(now)
+        if delay > 0:
+            time.sleep(delay)
         for conn in (shard.cmd, shard.ack):
             try:
                 conn.close()
@@ -483,15 +586,17 @@ class StreamServer:
             self._restore_shard(shard)
 
     def _pump(self, *, block: bool, shard: _Shard | None = None) -> None:
-        """One supervision round: reap worker deaths/finals, drain acks;
-        optionally block until something happens (bounded by ``_WAIT_S`` so
-        a SIGKILLed worker is noticed even while we wait on its acks)."""
+        """One supervision round: reap worker deaths/finals, drain acks,
+        kill hung workers; optionally block until something happens
+        (bounded by ``_WAIT_S`` so a SIGKILLed worker is noticed even while
+        we wait on its acks)."""
         progressed = False
         for sid in self._supervisor.poll(0.0):
             progressed = True
             self._on_finished(self._shards[sid])
         for each in self._shards.values():
             progressed |= self._drain_acks(each)
+        self._check_liveness()
         if progressed or not block:
             return
         waitables = []
@@ -505,6 +610,23 @@ class StreamServer:
             except OSError:  # a pipe died mid-wait; the next poll reaps it
                 pass
 
+    def _check_liveness(self) -> None:
+        """SIGKILL any worker that has neither acked nor heartbeat within
+        the liveness deadline — a *hung* worker (wedged step, fault-injected
+        stall) that EPIPE/EOF detection can never catch because the process
+        is still alive.  The kill surfaces through the normal reap path, so
+        restore, replay, and the restart budget all apply unchanged."""
+        now = time.monotonic()
+        for shard in self._shards.values():
+            if shard.final is not None or not self._supervisor.alive(shard.sid):
+                continue
+            if now - shard.last_seen > self.liveness_timeout_s:
+                self._hung_restarts += 1
+                self._supervisor.kill(shard.sid)
+                # Reset the clock so the deadline cannot re-fire during the
+                # (short) gap before the supervisor reaps the corpse.
+                shard.last_seen = now
+
     def _drain_acks(self, shard: _Shard) -> bool:
         progressed = False
         if shard.ack is None:
@@ -512,6 +634,10 @@ class StreamServer:
         try:
             while shard.ack.poll():
                 message = shard.ack.recv()
+                shard.last_seen = time.monotonic()
+                if message[0] == "hb":
+                    progressed = True
+                    continue
                 if message[0] != "ack":
                     raise ServeError(
                         f"shard {shard.sid}: unexpected message {message[0]!r}"
@@ -556,12 +682,23 @@ class StreamServer:
     def _merge(self, elapsed_s: float) -> ServeResult:
         finals = {sid: self._shards[sid].final for sid in sorted(self._shards)}
         shard_counts = {}
+        applied = 0
+        consumed = 0
+        dead_lettered = 0
         partitions: list = []
         seen: set = set()
-        for sid, ckpt in finals.items():
-            if not isinstance(ckpt, dict):
+        checkpoints = {}
+        for sid, payload in finals.items():
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("checkpoint"), dict
+            ):
                 raise ServeError(f"shard {sid} returned no final checkpoint")
-            shard_counts[sid] = int(ckpt.get("count", 0))
+            ckpt = payload["checkpoint"]
+            checkpoints[sid] = ckpt
+            applied += int(ckpt.get("count", 0))
+            shard_counts[sid] = int(payload.get("consumed", ckpt.get("count", 0)))
+            consumed += shard_counts[sid]
+            dead_lettered += int(payload.get("dead_lettered", 0))
             for entry in ckpt.get("partitions", ()):
                 raw_key = json.dumps(entry[0], sort_keys=True)
                 if raw_key in seen:
@@ -571,12 +708,15 @@ class StreamServer:
                     )
                 seen.add(raw_key)
                 partitions.append(entry)
-        base = finals[min(finals)] if finals else {}
+        base = checkpoints[min(checkpoints)] if checkpoints else {}
         merged = {
             "kind": base.get("kind", "repro/checkpoint-keyed"),
             "version": base.get("version", 1),
             "name": self.scheme.provenance,
-            "count": sum(shard_counts.values()),
+            # Applied elements, not handed-off ones: dead-lettered elements
+            # never reached an accumulator, and a restored merged operator
+            # must agree with its partitions.
+            "count": applied,
             "extra": base.get("extra", {}),
             "scheme": self.scheme.to_dict(),
             "partitions": partitions,
@@ -590,10 +730,14 @@ class StreamServer:
         return ServeResult(
             operator=operator,
             checkpoint=merged,
-            count=merged["count"],
+            count=applied,
             shard_counts=shard_counts,
             restarts=self.restart_count(),
             elapsed_s=elapsed_s,
+            consumed=consumed,
+            dead_lettered=dead_lettered,
+            hung_restarts=self._hung_restarts,
+            quarantined=len(self.quarantine_events),
             latencies_s=list(self.latencies_s),
         )
 

@@ -391,6 +391,16 @@ class ServiceSupervisor:
         self._spawn(svc)
         return svc.restarts
 
+    def kill(self, key) -> None:
+        """SIGKILL the live incarnation of ``key`` *without* recording a
+        result — the hammer for a hung (not dead) worker.  The corpse
+        surfaces through :meth:`poll` as a normal ``crashed`` result, so
+        the caller's existing crash-restore path (and :meth:`restart`)
+        applies unchanged; a finished or already-dead service is a no-op."""
+        svc = self._require(key)
+        if svc.result is None and svc.proc is not None and svc.proc.is_alive():
+            svc.proc.kill()
+
     def cancel(self, key) -> None:
         """Kill ``key`` and mark it terminally ``cancelled`` (idempotent on
         finished services: their result is kept)."""

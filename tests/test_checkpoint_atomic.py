@@ -57,6 +57,38 @@ class TestAtomicWriteText:
         assert not path.exists()
         assert list(tmp_path.iterdir()) == []
 
+    def test_fsyncs_containing_directory_after_replace(self, tmp_path, monkeypatch):
+        # The rename itself must be made durable: without fsyncing the
+        # directory, a power cut after os.replace can forget the new entry.
+        import stat
+
+        real_fsync = os.fsync
+        synced_dirs = []
+
+        def recording_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                synced_dirs.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        atomic_write_text(tmp_path / "out.json", "data\n")
+        monkeypatch.undo()
+        assert synced_dirs, "atomic_write_text never fsynced the directory"
+
+    def test_directory_fsync_failure_is_not_fatal(self, tmp_path, monkeypatch):
+        # Some filesystems refuse fsync on a directory fd; the write (which
+        # already completed atomically) must not be reported as failed.
+        from repro.runtime import checkpoint as ckpt_mod
+
+        monkeypatch.setattr(
+            ckpt_mod.os, "open",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no dir fds here")),
+        )
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "data\n")
+        monkeypatch.undo()
+        assert path.read_text() == "data\n"
+
 
 class TestSaveCheckpointAtomicity:
     def test_torn_save_keeps_previous_checkpoint_loadable(self, tmp_path, monkeypatch):

@@ -239,15 +239,15 @@ class TestServerResume:
                 value_field=0, extra={"rate": 1},
             ).start()
 
-    def test_restart_limit_gives_up(self, tmp_path):
+    def test_restart_budget_gives_up(self, tmp_path):
         scheme = sum_scheme()
         with StreamServer(
             scheme, shards=1, checkpoint_dir=tmp_path, key_field=1, value_field=0,
-            batch_size=4, restart_limit=0,
+            batch_size=4, restart_budget=0,
         ) as server:
             server.push_many(keyed_stream(40))
             server.kill_shard(0)
-            with pytest.raises(ServeError, match="restart limit"):
+            with pytest.raises(ServeError, match="restart budget"):
                 server.drain()
 
     def test_config_validation(self, tmp_path):

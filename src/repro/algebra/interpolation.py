@@ -36,9 +36,7 @@ def lagrange_interpolate(points: Sequence[Point]) -> list[Fraction]:
     return _trim(coeffs)
 
 
-def fit_polynomial(
-    points: Sequence[Point], max_degree: int | None = None
-) -> list[Fraction] | None:
+def fit_polynomial(points: Sequence[Point], max_degree: int | None = None) -> list[Fraction] | None:
     """Fit the lowest-degree polynomial consistent with *all* points.
 
     Unlike :func:`lagrange_interpolate`, the number of points may exceed the

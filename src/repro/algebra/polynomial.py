@@ -71,9 +71,7 @@ class Poly:
     __slots__ = ("terms", "_hash")
 
     def __init__(self, terms: Mapping[Monomial, Fraction] | None = None):
-        cleaned = {
-            m: c for m, c in (terms or {}).items() if c != 0
-        }
+        cleaned = {m: c for m, c in (terms or {}).items() if c != 0}
         object.__setattr__(self, "terms", cleaned)
         object.__setattr__(self, "_hash", None)
 
@@ -224,18 +222,14 @@ class Poly:
         """
         if divisor.is_zero():
             return None
-        lead_m, lead_c = max(
-            divisor.terms.items(), key=lambda mc: (mono_degree(mc[0]), mc[0])
-        )
+        lead_m, lead_c = max(divisor.terms.items(), key=lambda mc: (mono_degree(mc[0]), mc[0]))
         quotient = _ZERO
         remainder = self
         # Bounded loop: each step strictly removes the chosen monomial.
         for _ in range(len(self.terms) * (len(divisor.terms) + 1) + 16):
             if remainder.is_zero():
                 break
-            candidates = [
-                (m, c) for m, c in remainder.terms.items() if mono_divides(lead_m, m)
-            ]
+            candidates = [(m, c) for m, c in remainder.terms.items() if mono_divides(lead_m, m)]
             if not candidates:
                 break
             m, c = max(candidates, key=lambda mc: (mono_degree(mc[0]), mc[0]))
@@ -315,9 +309,7 @@ class Poly:
         if self.is_zero():
             return "0"
         parts = []
-        for mono, coeff in sorted(
-            self.terms.items(), key=lambda mc: (-mono_degree(mc[0]), mc[0])
-        ):
+        for mono, coeff in sorted(self.terms.items(), key=lambda mc: (-mono_degree(mc[0]), mc[0])):
             factors = []
             if coeff != 1 or not mono:
                 factors.append(str(coeff))

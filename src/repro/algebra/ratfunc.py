@@ -44,9 +44,7 @@ def _common_monomial(p: Poly) -> Monomial:
         if common is None:
             common = exps
         else:
-            common = {
-                v: min(e, exps.get(v, 0)) for v, e in common.items() if exps.get(v, 0) > 0
-            }
+            common = {v: min(e, exps.get(v, 0)) for v, e in common.items() if exps.get(v, 0) > 0}
         if not common:
             return ()
     if not common:
@@ -94,9 +92,7 @@ def _univariate_gcd(a: Poly, b: Poly, var: str) -> Poly:
     if not ca:
         return Poly.zero()
     lead = ca[-1]
-    terms = {
-        ((var, i),) if i else (): c / lead for i, c in enumerate(ca) if c != 0
-    }
+    terms = {((var, i),) if i else (): c / lead for i, c in enumerate(ca) if c != 0}
     return Poly(terms)
 
 

@@ -84,9 +84,7 @@ def _partition_monomial(partition: tuple[int, ...]) -> Monomial:
     return mono
 
 
-def rewrite_symmetric(
-    poly: Poly, elem_vars: Sequence[str]
-) -> Poly | None:
+def rewrite_symmetric(poly: Poly, elem_vars: Sequence[str]) -> Poly | None:
     """Rewrite ``poly`` (over ``elem_vars`` and arbitrary other variables)
     into a polynomial over power sums ``p_1, p_2, ...`` and the other
     variables.
@@ -152,9 +150,7 @@ def _rewrite_pure(poly: Poly, elem_vars: tuple[str, ...]) -> Poly | None:
     return result
 
 
-def rewrite_symmetric_ratfunc(
-    term: RatFunc, elem_vars: Sequence[str]
-) -> RatFunc | None:
+def rewrite_symmetric_ratfunc(term: RatFunc, elem_vars: Sequence[str]) -> RatFunc | None:
     num = rewrite_symmetric(term.num, elem_vars)
     den = rewrite_symmetric(term.den, elem_vars)
     if num is None or den is None:

@@ -84,6 +84,14 @@ class CompiledScheme:
     from_store: bool = False
     elapsed_s: float = 0.0
     report: SynthesisReport | None = None
+    #: Static-analysis report (:mod:`repro.ir.analysis`), computed at
+    #: compile time and cached in the scheme store alongside the scheme.
+    analysis: dict | None = None
+
+    @property
+    def analysis_verdict(self) -> str | None:
+        """``"ok"`` / ``"warn"`` / ``"error"``, or ``None`` if not analyzed."""
+        return None if self.analysis is None else self.analysis.get("verdict")
 
     # -- persistence ------------------------------------------------------
 
@@ -120,9 +128,7 @@ class CompiledScheme:
         extra: Mapping[str, Value] | None = None,
     ) -> KeyedOperator:
         """A per-key partitioned operator (group-by deployments)."""
-        return KeyedOperator(
-            self.scheme, key_fn, value_fn=value_fn, extra=extra, name=self.name
-        )
+        return KeyedOperator(self.scheme, key_fn, value_fn=value_fn, extra=extra, name=self.name)
 
     def run(
         self, stream: Iterable[Value], extra: Mapping[str, Value] | None = None
@@ -130,9 +136,7 @@ class CompiledScheme:
         """Lazy prefix results over ``stream`` (Figure 8 semantics)."""
         return self.scheme.run(stream, extra)
 
-    def __call__(
-        self, stream: Iterable[Value], extra: Mapping[str, Value] | None = None
-    ) -> Value:
+    def __call__(self, stream: Iterable[Value], extra: Mapping[str, Value] | None = None) -> Value:
         """Batch application: the final result over ``stream`` — same answer
         as the original batch function, computed in O(1) memory.  The whole
         stream is folded by the scheme's compiled batch
@@ -159,6 +163,14 @@ def _coerce_program(fn_or_source, name: str | None) -> tuple[Program, str]:
     )
 
 
+def _analyze_scheme(scheme: OnlineScheme, config: SynthesisConfig, name: str) -> dict:
+    from .ir.analysis import AnalysisBounds, FieldBounds
+
+    element = tuple(FieldBounds() for _ in range(config.element_arity))
+    bounds = AnalysisBounds(element=element, source="compile")
+    return scheme.analyze(bounds, name=name, search_witness=False)
+
+
 def compile(
     fn_or_source,
     *,
@@ -166,6 +178,7 @@ def compile(
     store: SchemeStore | None = _DEFAULT_STORE,  # type: ignore[assignment]
     name: str | None = None,
     force: bool = False,
+    analyze: bool = True,
 ) -> CompiledScheme:
     """Compile a batch function into a deployable online scheme, once.
 
@@ -175,6 +188,12 @@ def compile(
     future process.  ``store=None`` disables persistence; ``force=True``
     recompiles and overwrites the stored entry.  Raises :class:`CompileError`
     if synthesis fails.
+
+    ``analyze=True`` (default) attaches the static-analysis report
+    (:mod:`repro.ir.analysis`) to the result; reports are cached in the
+    store next to the scheme, so store-served compiles reuse them.  The key
+    includes the implementation digest, which covers the analyzer itself —
+    a cached report is always from the current analyzer version.
     """
     global _synthesis_calls
     program, task_name = _coerce_program(fn_or_source, name)
@@ -184,16 +203,26 @@ def compile(
 
     key = scheme_key(program, config) if store is not None else None
     if store is not None and not force:
-        cached = store.get(key)
+        cached, cached_analysis = store.get_entry(key)
         if cached is not None:
-            return CompiledScheme(cached, task_name, key=key, from_store=True)
+            if analyze and cached_analysis is None:
+                cached_analysis = _analyze_scheme(cached, config, task_name)
+                store.put(key, cached, task=task_name, analysis=cached_analysis)
+            return CompiledScheme(
+                cached,
+                task_name,
+                key=key,
+                from_store=True,
+                analysis=cached_analysis if analyze else None,
+            )
 
     _synthesis_calls += 1
     report = synthesize(program, config, task_name)
     if report.scheme is None:
         raise CompileError(task_name, report)
+    analysis = _analyze_scheme(report.scheme, config, task_name) if analyze else None
     if store is not None:
-        store.put(key, report.scheme, task=task_name)
+        store.put(key, report.scheme, task=task_name, analysis=analysis)
     return CompiledScheme(
         report.scheme,
         task_name,
@@ -201,6 +230,7 @@ def compile(
         from_store=False,
         elapsed_s=report.elapsed_s,
         report=report,
+        analysis=analysis,
     )
 
 

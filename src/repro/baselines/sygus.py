@@ -73,18 +73,14 @@ class Cvc5Style:
                 raise SynthesisTimeout("candidate failed full-stream validation")
             report.scheme = scheme
             report.success = True
-            report.record_hole(
-                HoleOutcome(0, "enumerative", ast_size(spec), ast_size(expr))
-            )
+            report.record_hole(HoleOutcome(0, "enumerative", ast_size(spec), ast_size(expr)))
         except (SynthesisTimeout, UnsupportedProgram, EvaluationError) as exc:
             report.failure_reason = f"{type(exc).__name__}: {exc}"
         finally:
             report.elapsed_s = time.monotonic() - started
         return report
 
-    def _enumerate_tuple(
-        self, rfs: RFS, spec: Expr, config: SynthesisConfig
-    ) -> Expr | None:
+    def _enumerate_tuple(self, rfs: RFS, spec: Expr, config: SynthesisConfig) -> Expr | None:
         """Joint synthesis: per-component banks, cross-product assembly.
 
         Components are enumerated bottom-up with shared sub-expression pools;
@@ -132,18 +128,14 @@ class SketchStyle:
                 raise SynthesisTimeout("candidate failed full-stream validation")
             report.scheme = scheme
             report.success = True
-            report.record_hole(
-                HoleOutcome(0, "enumerative", ast_size(spec), ast_size(expr))
-            )
+            report.record_hole(HoleOutcome(0, "enumerative", ast_size(spec), ast_size(expr)))
         except (SynthesisTimeout, UnsupportedProgram, EvaluationError) as exc:
             report.failure_reason = f"{type(exc).__name__}: {exc}"
         finally:
             report.elapsed_s = time.monotonic() - started
         return report
 
-    def _complete(
-        self, rfs: RFS, spec: Expr, config: SynthesisConfig
-    ) -> Expr | None:
+    def _complete(self, rfs: RFS, spec: Expr, config: SynthesisConfig) -> Expr | None:
         bank = build_bank(rfs, spec, config, salt="sketch")
         if bank is None:
             return None
@@ -210,9 +202,7 @@ def _program_from_tuple(rfs: RFS, expr: Expr):
     if isinstance(expr, MakeTuple) and expr.arity == len(rfs):
         outputs = tuple(simplify_expr(e) for e in expr.items)
     else:
-        outputs = tuple(
-            simplify_expr(Proj(expr, i)) for i in range(len(rfs))
-        )
+        outputs = tuple(simplify_expr(Proj(expr, i)) for i in range(len(rfs)))
     return OnlineProgram(
         state_params=rfs.names,
         elem_param="x",

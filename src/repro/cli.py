@@ -66,6 +66,21 @@ The compile/load/deploy lifecycle, plus the evaluation workflows:
   divergence, 2 on usage errors.  The same ``--seed`` reproduces the same
   fault schedules and verdicts.
 
+* ``analyze`` — static analysis over a compiled scheme, or every
+  ground-truth scheme of the suite (:mod:`repro.ir.analysis`)::
+
+      python -m repro analyze mean.scheme.json --source bids:1000
+      python -m repro analyze s.json --max-elements 1000 --out report.json
+      python -m repro analyze --suite all --strict --out analysis.json
+
+  Reports interval/int64 certificates, division-by-zero reachability
+  (with a concrete witness stream when a zero denominator is reachable),
+  dead state components, and well-formedness findings as versioned JSON.
+  Exit 0 on ``ok``/``warn`` verdicts (``--strict`` promotes warnings),
+  1 on an ``error`` verdict, 2 on usage errors.  ``repro run`` and
+  ``repro serve`` run the same analysis as a preflight and refuse
+  ``error``-verdict schemes unless ``--no-analyze`` is given.
+
 * ``cache`` — maintain the on-disk result cache and scheme store::
 
       python -m repro cache stats
@@ -207,16 +222,13 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     print(f"offline program:\n  {pretty_program(program)}\n")
     try:
         hole_workers = (
-            args.hole_workers
-            if args.hole_workers is not None
-            else default_hole_workers()
+            args.hole_workers if args.hole_workers is not None else default_hole_workers()
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if hole_workers < 1:
-        print(f"error: --hole-workers must be >= 1, got {hole_workers}",
-              file=sys.stderr)
+        print(f"error: --hole-workers must be >= 1, got {hole_workers}", file=sys.stderr)
         return 2
     config = SynthesisConfig(
         timeout_s=args.timeout,
@@ -235,16 +247,13 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 def _bench_domain(args, config, workers, cache) -> int:
     solver_cls = SOLVERS.get(args.solver)
     if solver_cls is None:
-        print(f"unknown solver {args.solver!r}; choices: {sorted(SOLVERS)}",
-              file=sys.stderr)
+        print(f"unknown solver {args.solver!r}; choices: {sorted(SOLVERS)}", file=sys.stderr)
         return 2
     domain = args.target or args.domain
     benches = all_benchmarks() if domain == "all" else benchmarks_for(domain)
     if args.task:
         benches = [b for b in benches if b.name in set(args.task)]
-    result = run_suite(
-        solver_cls(), benches, config, verbose=True, workers=workers, cache=cache
-    )
+    result = run_suite(solver_cls(), benches, config, verbose=True, workers=workers, cache=cache)
     print()
     print(
         f"{result.solver}: {len(result.solved())}/{len(result.reports)} solved, "
@@ -255,9 +264,7 @@ def _bench_domain(args, config, workers, cache) -> int:
 
 def _bench_table1(args, config, workers, cache) -> int:
     benches = all_benchmarks()
-    suite = run_suite(
-        OperaFull(), benches, config, verbose=True, workers=workers, cache=cache
-    )
+    suite = run_suite(OperaFull(), benches, config, verbose=True, workers=workers, cache=cache)
     print()
     print(table1(benches))
     print()
@@ -465,9 +472,7 @@ def _bench_runtime(args, timeout: float, workers: int) -> int:
     if args.assert_batch_speedup is not None:
         best = best_batch_speedup_by_domain(report)
         slow = {
-            domain: value
-            for domain, value in best.items()
-            if value < args.assert_batch_speedup
+            domain: value for domain, value in best.items() if value < args.assert_batch_speedup
         }
         if slow:
             detail = ", ".join(f"{d}={v:.2f}x" for d, v in sorted(slow.items()))
@@ -522,8 +527,7 @@ def _bench_holes(args, timeout: float) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except AssertionError as exc:
-        print(f"error: parallel/sequential reports diverge: {exc}",
-              file=sys.stderr)
+        print(f"error: parallel/sequential reports diverge: {exc}", file=sys.stderr)
         return 1
     print(format_holes_report(report))
     if args.out:
@@ -611,9 +615,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         timeout = args.timeout if args.timeout is not None else default_timeout()
         workers = args.workers if args.workers is not None else default_workers()
         hole_workers = (
-            args.hole_workers
-            if args.hole_workers is not None
-            else default_hole_workers()
+            args.hole_workers if args.hole_workers is not None else default_hole_workers()
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -621,15 +623,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not math.isfinite(timeout) or timeout <= 0:
         # nan/inf would disable both the cooperative budget and the hard
         # wall-clock kill (nan never compares past a deadline).
-        print(f"error: --timeout must be positive and finite, got {timeout}",
-              file=sys.stderr)
+        print(f"error: --timeout must be positive and finite, got {timeout}", file=sys.stderr)
         return 2
     if workers < 1:
         print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
         return 2
     if hole_workers < 1:
-        print(f"error: --hole-workers must be >= 1, got {hole_workers}",
-              file=sys.stderr)
+        print(f"error: --hole-workers must be >= 1, got {hole_workers}", file=sys.stderr)
         return 2
     if args.target == "runtime":
         # The throughput benchmark times both backends itself; the result
@@ -641,16 +641,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # End-to-end serving benchmark: compiled ground-truth schemes, own
         # worker processes — synthesis knobs and result cache do not apply.
         return _bench_serve(args)
-    cache = resolve_cache(
-        enabled=False if args.no_cache else None, directory=args.cache_dir
-    )
+    cache = resolve_cache(enabled=False if args.no_cache else None, directory=args.cache_dir)
     config = SynthesisConfig(timeout_s=timeout, hole_workers=hole_workers)
 
     if args.target == "table1":
         code = _bench_table1(args, config, workers, cache)
     elif args.target in ("table2", "fig11"):
-        code = _bench_matrix(args, config, workers, cache,
-                             figure=args.target == "fig11")
+        code = _bench_matrix(args, config, workers, cache, figure=args.target == "fig11")
     elif args.target == "fig13":
         code = _bench_fig13(args, config, workers, cache)
     else:
@@ -679,14 +676,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         return 2
     name = args.name or path.stem
     config = SynthesisConfig(timeout_s=args.timeout, element_arity=args.arity)
-    store = resolve_store(
-        enabled=False if args.no_store else None, directory=args.store_dir
-    )
+    store = resolve_store(enabled=False if args.no_store else None, directory=args.store_dir)
 
     try:
-        compiled = api.compile(
-            program, config=config, store=store, name=name, force=args.force
-        )
+        compiled = api.compile(program, config=config, store=store, name=name, force=args.force)
     except api.CompileError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -696,8 +689,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if compiled.from_store:
         print(f"scheme store: hit — {name} served without synthesis", file=diag)
     else:
-        print(f"scheme store: miss — synthesized {name} in {compiled.elapsed_s:.2f}s",
-              file=diag)
+        print(f"scheme store: miss — synthesized {name} in {compiled.elapsed_s:.2f}s", file=diag)
     print(compiled.scheme.describe(), file=diag)
     if args.output:
         compiled.save(args.output)
@@ -719,6 +711,45 @@ def _parse_extra(pairs: list[str] | None) -> dict:
     return extra
 
 
+def _preflight_analyze(
+    scheme: OnlineScheme,
+    scheme_path: str,
+    source_spec: str | None,
+    max_elements: int | None,
+) -> int:
+    """Static-analysis gate run by ``repro run`` / ``repro serve`` before
+    deploying a scheme.  Only an ``error`` verdict (the scheme *will* fault)
+    refuses deployment; warnings print one line and proceed.  Returns the
+    exit code to propagate, or 0 to continue."""
+    from .ir.analysis import UNKNOWN_BOUNDS, bounds_from_spec
+
+    try:
+        bounds = bounds_from_spec(source_spec, max_elements) if source_spec else UNKNOWN_BOUNDS
+    except ValueError:
+        bounds = UNKNOWN_BOUNDS  # unknown source: analyze structure-only
+    # No witness search here: errors come from the well-formedness audit,
+    # which needs no stream; preflight must not cost a stream replay.
+    report = scheme.analyze(bounds, name=scheme_path, search_witness=False)
+    verdict = report.get("verdict")
+    if verdict == "error":
+        print(
+            f"error: static analysis refuses {scheme_path}: the scheme will "
+            "fault at runtime (pass --no-analyze to deploy anyway)",
+            file=sys.stderr,
+        )
+        for finding in report.get("findings", ()):
+            if finding.get("level") == "error":
+                print(f"  - [{finding.get('analysis')}] {finding.get('message')}", file=sys.stderr)
+        return 1
+    if verdict == "warn":
+        messages = [
+            f.get("message", "") for f in report.get("findings", ()) if f.get("level") == "warn"
+        ]
+        head = messages[0] if messages else "see `repro analyze` for details"
+        print(f"analysis: warn — {head}", file=sys.stderr)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.no_jit:
         # Operators resolve their execution backend through jit_enabled();
@@ -733,25 +764,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: cannot load scheme {args.scheme}: {exc}", file=sys.stderr)
         return 2
     if args.max_elements is not None and args.max_elements < 0:
-        print(f"error: --max-elements must be >= 0, got {args.max_elements}",
-              file=sys.stderr)
+        print(f"error: --max-elements must be >= 0, got {args.max_elements}", file=sys.stderr)
         return 2
     if args.batch_size is not None and args.batch_size < 1:
-        print(f"error: --batch-size must be >= 1, got {args.batch_size}",
-              file=sys.stderr)
+        print(f"error: --batch-size must be >= 1, got {args.batch_size}", file=sys.stderr)
         return 2
     try:
         # An explicit --max-elements makes unbounded sources safe to drain.
-        stream = sources.from_spec(
-            args.source, allow_unbounded=args.max_elements is not None
-        )
+        stream = sources.from_spec(args.source, allow_unbounded=args.max_elements is not None)
         extra = _parse_extra(args.extra)
     except ValueError as exc:
-        hint = (
-            " (or pass --max-elements N)" if "unbounded" in str(exc) else ""
-        )
+        hint = " (or pass --max-elements N)" if "unbounded" in str(exc) else ""
         print(f"error: {exc}{hint}", file=sys.stderr)
         return 2
+    if not args.no_analyze:
+        code = _preflight_analyze(scheme, args.scheme, args.source, args.max_elements)
+        if code:
+            return code
     if args.max_elements is not None:
         import itertools
 
@@ -780,9 +809,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     "(pipeline checkpoints cannot be resumed by `repro run`)"
                 )
             if op.scheme != scheme:
-                raise CheckpointError(
-                    "checkpoint was taken under a different scheme"
-                )
+                raise CheckpointError("checkpoint was taken under a different scheme")
             if extra:
                 # Fresh bindings override the checkpointed ones, everywhere
                 # (keyed partitions each hold their own copy).
@@ -862,9 +889,7 @@ def _parse_kill_specs(specs: list[str] | None, shards: int) -> dict[int, list[in
         except ValueError:
             raise ValueError(f"--kill-shard takes SHARD:AFTER, got {spec!r}") from None
         if not 0 <= shard < shards:
-            raise ValueError(
-                f"--kill-shard shard {shard} out of range for --shards {shards}"
-            )
+            raise ValueError(f"--kill-shard shard {shard} out of range for --shards {shards}")
         if after < 1:
             raise ValueError(f"--kill-shard AFTER must be >= 1, got {after}")
         kills.setdefault(after, []).append(shard)
@@ -882,13 +907,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot load scheme {args.scheme}: {exc}", file=sys.stderr)
         return 2
     if args.max_elements is not None and args.max_elements < 0:
-        print(f"error: --max-elements must be >= 0, got {args.max_elements}",
-              file=sys.stderr)
+        print(f"error: --max-elements must be >= 0, got {args.max_elements}", file=sys.stderr)
         return 2
     try:
-        stream = sources.from_spec(
-            args.source, allow_unbounded=args.max_elements is not None
-        )
+        stream = sources.from_spec(args.source, allow_unbounded=args.max_elements is not None)
         extra = _parse_extra(args.extra)
         kills = _parse_kill_specs(args.kill_shard, args.shards)
         plan = FaultPlan(args.fault or [])
@@ -896,6 +918,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hint = " (or pass --max-elements N)" if "unbounded" in str(exc) else ""
         print(f"error: {exc}{hint}", file=sys.stderr)
         return 2
+    if not args.no_analyze:
+        code = _preflight_analyze(scheme, args.scheme, args.source, args.max_elements)
+        if code:
+            return code
     if args.max_elements is not None:
         import itertools
 
@@ -991,15 +1017,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .evaluation import chaos
 
     try:
-        kinds = chaos.normalize_fault_kinds(
-            k for k in args.faults.split(",") if k.strip()
-        )
+        kinds = chaos.normalize_fault_kinds(k for k in args.faults.split(",") if k.strip())
         if args.trials < 1:
             raise ValueError(f"--trials must be >= 1, got {args.trials}")
         if args.liveness_timeout <= 0:
-            raise ValueError(
-                f"--liveness-timeout must be > 0, got {args.liveness_timeout}"
-            )
+            raise ValueError(f"--liveness-timeout must be > 0, got {args.liveness_timeout}")
         report = chaos.run_chaos(
             trials=args.trials,
             seed=args.seed,
@@ -1034,9 +1056,7 @@ def _parse_age(text: str) -> float:
     """``30d`` / ``12h`` / ``45m`` / ``90s``; a bare number means days."""
     m = _AGE_RE.match(text.strip())
     if not m:
-        raise ValueError(
-            f"bad age {text!r}; use e.g. 30d, 12h, 45m, 90s (bare number = days)"
-        )
+        raise ValueError(f"bad age {text!r}; use e.g. 30d, 12h, 45m, 90s (bare number = days)")
     return float(m.group(1)) * _AGE_UNIT_S[m.group(2)]
 
 
@@ -1062,8 +1082,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     # gc
     if args.older_than is None:
-        print("error: gc requires --older-than (e.g. --older-than 30d)",
-              file=sys.stderr)
+        print("error: gc requires --older-than (e.g. --older-than 30d)", file=sys.stderr)
         return 2
     try:
         age_s = _parse_age(args.older_than)
@@ -1078,15 +1097,127 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    benches = (
-        all_benchmarks() if args.domain == "all" else benchmarks_for(args.domain)
-    )
+    benches = all_benchmarks() if args.domain == "all" else benchmarks_for(args.domain)
     width = max(len(b.name) for b in benches)
     for bench in benches:
-        extras = f" (params: {', '.join(bench.program.extra_params)})" if bench.program.extra_params else ""
+        extra_params = bench.program.extra_params
+        extras = f" (params: {', '.join(extra_params)})" if extra_params else ""
         shape = "pairs" if bench.element_arity == 2 else "scalars"
         print(f"{bench.name:<{width}}  [{bench.domain}/{shape}] {bench.description}{extras}")
     return 0
+
+
+def _analysis_summary_line(report: dict) -> str:
+    """One human line per analyzed scheme: verdict, certificates, hazards."""
+    iv = report.get("intervals", {})
+    certs = sum(1 for s in iv.get("state", ()) if s.get("int64"))
+    total = len(iv.get("state", ()))
+    dz = report.get("divzero", {}).get("verdict", "?")
+    bits = [f"divzero={dz}", f"int64={certs}/{total}"]
+    removable = report.get("liveness", {}).get("removable", ())
+    if removable:
+        bits.append(f"dead-state={','.join(removable)}")
+    name = report.get("scheme") or "<scheme>"
+    return f"{report.get('verdict', '?'):5s}  {name}  ({'; '.join(bits)})"
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .ir.analysis import (
+        ANALYSIS_FORMAT,
+        ANALYSIS_VERSION,
+        AnalysisBounds,
+        FieldBounds,
+        bounds_from_spec,
+        exit_code,
+    )
+
+    if (args.scheme is None) == (args.suite is None):
+        print("error: pass exactly one of SCHEME.json or --suite", file=sys.stderr)
+        return 2
+    if args.max_elements is not None and args.max_elements < 0:
+        print(f"error: --max-elements must be >= 0, got {args.max_elements}", file=sys.stderr)
+        return 2
+
+    spec_bounds = None
+    if args.source is not None:
+        try:
+            spec_bounds = bounds_from_spec(args.source, args.max_elements)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.scheme is not None:
+        try:
+            scheme = OnlineScheme.load(args.scheme)
+        except (OSError, SchemeFormatError) as exc:
+            print(f"error: cannot load scheme {args.scheme}: {exc}", file=sys.stderr)
+            return 2
+        bounds = spec_bounds
+        if bounds is None:
+            bounds = AnalysisBounds(max_elements=args.max_elements)
+        report = scheme.analyze(
+            bounds, name=args.name or Path(args.scheme).stem,
+            search_witness=not args.no_witness,
+        )
+        payload = report
+        code = exit_code(report, strict=args.strict)
+        print(_analysis_summary_line(report))
+        for finding in report.get("findings", ()):
+            if finding.get("level") != "info" or args.verbose:
+                print(f"  [{finding.get('level')}/{finding.get('analysis')}] "
+                      f"{finding.get('message')}")
+    else:
+        benches = all_benchmarks() if args.suite == "all" else benchmarks_for(args.suite)
+        reports, skipped = [], []
+        for bench in benches:
+            if bench.ground_truth is None:
+                skipped.append(bench.name)
+                continue
+            bounds = spec_bounds
+            if bounds is None:
+                # Shape-only bounds: the benchmark states its element arity
+                # even when no concrete range is known.
+                bounds = AnalysisBounds(
+                    element=tuple(
+                        FieldBounds() for _ in range(bench.element_arity)
+                    ),
+                    max_elements=args.max_elements,
+                )
+            report = bench.ground_truth.analyze(
+                bounds, name=bench.name, search_witness=not args.no_witness
+            )
+            reports.append(report)
+            print(_analysis_summary_line(report))
+        counts = {"ok": 0, "warn": 0, "error": 0}
+        for r in reports:
+            counts[r.get("verdict", "error")] += 1
+        worst = "error" if counts["error"] else "warn" if counts["warn"] else "ok"
+        payload = {
+            "format": f"{ANALYSIS_FORMAT}-suite",
+            "version": ANALYSIS_VERSION,
+            "suite": args.suite,
+            "verdict": worst,
+            "summary": counts,
+            "skipped": skipped,
+            "schemes": reports,
+        }
+        code = exit_code(payload, strict=args.strict)
+        line = (
+            f"{len(reports)} scheme(s): {counts['ok']} ok, "
+            f"{counts['warn']} warn, {counts['error']} error"
+        )
+        if skipped:
+            line += f"; {len(skipped)} without a ground truth skipped"
+        print(line)
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.out}")
+    elif args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1107,10 +1238,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="task name for provenance (default: file stem)")
     p_compile.add_argument("--timeout", type=float, default=60.0,
                            help="synthesis budget in seconds")
-    p_compile.add_argument("--arity", type=int, default=1,
-                           help="stream element arity (tuples: k)")
-    p_compile.add_argument("--force", action="store_true",
-                           help="recompile even on a store hit")
+    p_compile.add_argument("--arity", type=int, default=1, help="stream element arity (tuples: k)")
+    p_compile.add_argument("--force", action="store_true", help="recompile even on a store hit")
     p_compile.add_argument("--no-store", action="store_true",
                            help="do not read or write the persistent scheme store")
     p_compile.add_argument("--store-dir", default=None,
@@ -1143,8 +1272,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--value-field", type=int, default=None, metavar="J",
                        help="with --key-field: push element[J] instead of the "
                             "whole element")
-    p_run.add_argument("--trace", action="store_true",
-                       help="print every per-element result")
+    p_run.add_argument("--trace", action="store_true", help="print every per-element result")
     p_run.add_argument("--no-jit", action="store_true",
                        help="run on the tree-walking interpreter instead of "
                             "the compiled scheme step (same results; "
@@ -1153,6 +1281,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write an operator checkpoint after the run")
     p_run.add_argument("--resume", default=None, metavar="FILE",
                        help="resume from a checkpoint before consuming the source")
+    p_run.add_argument("--no-analyze", action="store_true",
+                       help="skip the static-analysis preflight (which refuses "
+                            "schemes the analyzer proves will fault)")
     p_run.set_defaults(func=_cmd_run)
 
     p_serve = sub.add_parser(
@@ -1227,7 +1358,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-jit", action="store_true",
                          help="interpreted scheme steps in every worker "
                               "(same results; equivalent to REPRO_JIT=0)")
+    p_serve.add_argument("--no-analyze", action="store_true",
+                         help="skip the static-analysis preflight (which "
+                              "refuses schemes the analyzer proves will fault)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static analysis over a compiled scheme (or the whole suite): "
+             "interval/int64 certification, div-by-zero reachability, dead "
+             "state, well-formedness",
+        epilog=sources.SPEC_GRAMMAR,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_analyze.add_argument("scheme", nargs="?", default=None,
+                           help="scheme file produced by `repro compile` "
+                                "(omit with --suite)")
+    p_analyze.add_argument("--suite", default=None, choices=list(DOMAINS),
+                           help="analyze every ground-truth scheme of a "
+                                "benchmark domain instead of one file")
+    p_analyze.add_argument("--source", default=None, metavar="SPEC",
+                           help="derive element bounds from a stream source "
+                                "spec, e.g. bids:1000 (sharpens interval and "
+                                "int64 certificates; grammar below)")
+    p_analyze.add_argument("--max-elements", type=int, default=None, metavar="N",
+                           help="assume the stream is at most N elements long "
+                                "(enables affine growth certificates)")
+    p_analyze.add_argument("--name", default=None,
+                           help="scheme name for the report (default: file stem)")
+    p_analyze.add_argument("--out", default=None, metavar="FILE",
+                           help="write the full JSON report to FILE")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="print the full JSON report to stdout")
+    p_analyze.add_argument("--strict", action="store_true",
+                           help="exit 1 on warnings too (default: only on "
+                                "error verdicts)")
+    p_analyze.add_argument("--no-witness", action="store_true",
+                           help="skip the concrete div-by-zero witness search "
+                                "(faster; reachable sites degrade to unknown)")
+    p_analyze.add_argument("--verbose", action="store_true", help="also print info-level findings")
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -1281,9 +1451,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(same results; equivalent to REPRO_JIT=0)")
     p_chaos.set_defaults(func=_cmd_chaos)
 
-    p_cache = sub.add_parser(
-        "cache", help="inspect/maintain the result cache and scheme store"
-    )
+    p_cache = sub.add_parser("cache", help="inspect/maintain the result cache and scheme store")
     p_cache.add_argument("action", choices=("stats", "clear", "gc"))
     p_cache.add_argument("--cache-dir", default=None,
                          help="cache root (default: REPRO_CACHE_DIR or "
@@ -1292,10 +1460,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gc: remove entries older than AGE "
                               "(30d, 12h, 45m, 90s; bare number = days)")
     which = p_cache.add_mutually_exclusive_group()
-    which.add_argument("--results", action="store_true",
-                       help="only the synthesis result cache")
-    which.add_argument("--schemes", action="store_true",
-                       help="only the compiled scheme store")
+    which.add_argument("--results", action="store_true", help="only the synthesis result cache")
+    which.add_argument("--schemes", action="store_true", help="only the compiled scheme store")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_syn = sub.add_parser("synthesize", help="derive an online scheme")
@@ -1311,9 +1477,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_syn.set_defaults(func=_cmd_synthesize)
 
-    p_bench = sub.add_parser(
-        "bench", help="run solvers over the suite / regenerate an artifact"
-    )
+    p_bench = sub.add_parser("bench", help="run solvers over the suite / regenerate an artifact")
     p_bench.add_argument(
         "target",
         nargs="?",

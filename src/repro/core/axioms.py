@@ -45,9 +45,7 @@ def apply_lambda(func: Expr, *args: Expr) -> Expr:
     """Beta-reduce a lambda application; builtin names become calls."""
     if isinstance(func, Lambda):
         if len(func.params) != len(args):
-            raise ValueError(
-                f"lambda arity {len(func.params)} vs {len(args)} arguments"
-            )
+            raise ValueError(f"lambda arity {len(func.params)} vs {len(args)} arguments")
         return substitute(func.body, dict(zip(func.params, args)))
     if isinstance(func, str) and is_builtin(func):  # defensive; not produced by parser
         return Call(func, tuple(args))

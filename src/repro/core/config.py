@@ -80,6 +80,14 @@ class SynthesisConfig:
     #: fallback.  Only consulted when ``enum_shards > 1``.
     enum_shard_generated_cap: int = 20_000
 
+    #: Skip statically-redundant candidates (guaranteed-faulting or
+    #: provably duplicating an already-banked signature — see
+    #: :mod:`repro.ir.analysis.prune`) before paying for their oracle-env
+    #: evaluation.  By construction this cannot change what the enumerator
+    #: finds (tests enforce prune-on/off identity), so like
+    #: ``hole_workers`` it is excluded from the fingerprint.
+    enum_static_prune: bool = True
+
     #: Internal: deadline computed at synthesis start.
     _deadline: float | None = field(default=None, repr=False)
 
@@ -114,7 +122,7 @@ class SynthesisConfig:
         payload = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("timeout_s", "hole_workers", "_deadline")
+            if f.name not in ("timeout_s", "hole_workers", "enum_static_prune", "_deadline")
         }
         blob = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -63,9 +63,7 @@ class _Decomposer:
         if isinstance(expr, (ListVar, Map, Filter, Fold, Snoc, Lambda)):
             # A bare list value (or stray lambda) cannot appear in an online
             # program and is not a scalar list expression either.
-            raise UnsupportedProgram(
-                f"cannot sketch list-typed expression {pretty(expr)}"
-            )
+            raise UnsupportedProgram(f"cannot sketch list-typed expression {pretty(expr)}")
         # Rules Leaf / Func / ITE: copy structure, recurse into children.
         new_children = tuple(self.sketch_expr(c) for c in expr.children())
         return rebuild(expr, new_children)

@@ -139,9 +139,7 @@ def decode_poly(poly: Poly, ctx: EncodingContext) -> Expr:
         return Const(0)
     positives: list[Expr] = []
     negatives: list[Expr] = []
-    for mono, coeff in sorted(
-        poly.terms.items(), key=lambda mc: (-mono_degree(mc[0]), mc[0])
-    ):
+    for mono, coeff in sorted(poly.terms.items(), key=lambda mc: (-mono_degree(mc[0]), mc[0])):
         target = positives if coeff > 0 else negatives
         target.append(_decode_monomial(mono, abs(coeff), ctx))
     result: Expr | None = None

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..ir.analysis.prune import statically_redundant
 from ..ir.evaluator import EvaluationError, evaluate
 from ..ir.nodes import Call, Const, Expr, If, MakeTuple, Proj, Var
 from ..ir.traversal import ast_size, used_builtins
@@ -63,20 +64,29 @@ def _signature(expr: Expr, envs: Sequence[dict[str, Value]]) -> tuple | None:
             return None
         if isinstance(value, float):
             value = round(value, 9)
-        values.append(value)
+        # NaN hashes are id-based since Python 3.10; canonicalize so
+        # NaN-valued behaviours deduplicate deterministically (and the
+        # static prune's value-identity reasoning stays exact).
+        values.append(_canon_nan(value))
     try:
         return tuple(values) if all(_hashable(v) for v in values) else None
     except TypeError:
         return None
 
 
+def _canon_nan(value: Value) -> Value:
+    if isinstance(value, float) and value != value:
+        return "nan"
+    if isinstance(value, tuple):
+        return tuple(_canon_nan(v) for v in value)
+    return value
+
+
 def _hashable(value: Value) -> bool:
-    return isinstance(value, (int, float, bool, tuple)) or is_number(value)
+    return isinstance(value, (int, float, bool, tuple, str)) or is_number(value)
 
 
-def build_bank(
-    rfs: RFS, spec: Expr, config: SynthesisConfig, salt: str
-) -> Bank | None:
+def build_bank(rfs: RFS, spec: Expr, config: SynthesisConfig, salt: str) -> Bank | None:
     """Random RFS-consistent environments and the spec's target values."""
     rng = make_rng(config, f"enum:{salt}")
     envs: list[dict[str, Value]] = []
@@ -118,6 +128,9 @@ class EnumStats:
     generated: int = 0
     kept: int = 0
     checked: int = 0
+    #: Candidates discarded by the static redundancy test before their
+    #: oracle-env evaluation (see :mod:`repro.ir.analysis.prune`).
+    pruned: int = 0
 
 
 def enumerate_expression(
@@ -161,9 +174,7 @@ def enumerate_expression(
     unops = [op for op in ("neg", "abs", "sqrt", "exp", "log") if op in offline_ops or op == "neg"]
     want_conditionals = bool(offline_ops & set(_PREDICATES))
     predicates = [op for op in _PREDICATES if op in offline_ops]
-    tuple_arities = sorted(
-        {len(v) for v in bank.spec_signature if isinstance(v, tuple)}
-    )
+    tuple_arities = sorted({len(v) for v in bank.spec_signature if isinstance(v, tuple)})
     want_tuples = bool(tuple_arities)
     # Pair-shaped stream elements need projections even for scalar outputs.
     want_projections = want_tuples or any(
@@ -188,6 +199,11 @@ def enumerate_expression(
             raise EnumerationCapExceeded("enumeration work cap exhausted")
         if stats.kept > config.enumeration_max_kept:
             raise EnumerationCapExceeded("enumeration memory budget exhausted")
+        if config.enum_static_prune and statically_redundant(expr):
+            # Provably faults everywhere or duplicates a banked signature:
+            # skipping the env sweep cannot change what the search finds.
+            stats.pruned += 1
+            return None
         signature = _signature(expr, bank.envs)
         if signature is None:
             return None
@@ -288,9 +304,7 @@ def _terminal_tail(seeds: Iterable[Expr]) -> list[Expr]:
     return tail
 
 
-def shard_terminal_tail(
-    seeds: Iterable[Expr], shard: int, shards: int
-) -> list[Expr]:
+def shard_terminal_tail(seeds: Iterable[Expr], shard: int, shards: int) -> list[Expr]:
     """Deterministic round-robin slice of the constant/seed pool for one
     enumeration shard (variables are shared by every shard)."""
     return _terminal_tail(seeds)[shard::shards]
@@ -326,9 +340,7 @@ def enumerate_sharded(
     order = range(shards + 1) if only_shard is None else (only_shard,)
     for shard in order:
         if shard >= shards:  # the unsharded completeness fallback
-            found = enumerate_expression(
-                rfs, spec, config, seeds=seeds, salt=salt, stats=stats
-            )
+            found = enumerate_expression(rfs, spec, config, seeds=seeds, salt=salt, stats=stats)
         else:
             try:
                 found = enumerate_expression(

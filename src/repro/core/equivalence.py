@@ -57,9 +57,7 @@ def random_element(rng: random.Random, arity: int = 1) -> Value:
     return tuple(random_rational(rng) for _ in range(arity))
 
 
-def random_list(
-    rng: random.Random, max_len: int, min_len: int = 0, arity: int = 1
-) -> list[Value]:
+def random_list(rng: random.Random, max_len: int, min_len: int = 0, arity: int = 1) -> list[Value]:
     length = rng.randint(min_len, max_len)
     return [random_element(rng, arity) for _ in range(length)]
 
@@ -151,9 +149,7 @@ def check_expr_equivalence(
     identical results and exceptions.
     """
     rng = make_rng(config, salt)
-    online_params = tuple(
-        dict.fromkeys((*rfs.extra_params, *rfs.names, elem_param))
-    )
+    online_params = tuple(dict.fromkeys((*rfs.extra_params, *rfs.names, elem_param)))
     offline_params = tuple(dict.fromkeys((*rfs.extra_params, rfs.list_param)))
     candidate_fn = _compiled_evaluator(candidate, online_params, "oracle-candidate")
     spec_fn = _compiled_evaluator(spec, offline_params, "oracle-spec")

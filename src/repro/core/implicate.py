@@ -67,9 +67,7 @@ def find_implicates(rfs: RFS, spec: Expr, limit: int = 4) -> list[Expr]:
         return []
     elim_vars = list(ctx.list_expr_vars.values())
     avoid = frozenset({rfs.result_param}) if len(rfs) > 1 else frozenset()
-    solutions = find_definitions(
-        equations, elim_vars, TARGET_VAR, keep, ctx.table, avoid
-    )
+    solutions = find_definitions(equations, elim_vars, TARGET_VAR, keep, ctx.table, avoid)
     decoded: list[Expr] = []
     for solution in solutions[:limit]:
         try:

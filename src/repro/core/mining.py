@@ -52,9 +52,7 @@ class MinedTerm:
     unroll_depth: int
 
 
-def _unrolled_equations(
-    rfs: RFS, spec: Expr, k: int, ctx: EncodingContext
-) -> list[Poly]:
+def _unrolled_equations(rfs: RFS, spec: Expr, k: int, ctx: EncodingContext) -> list[Poly]:
     """Lines 14-17 of Algorithm 4: unroll ``Φ`` at depth ``k`` and the
     specification at depth ``k + 1`` (the extra element is the new ``x``)."""
     polys: list[Poly] = []
@@ -69,9 +67,7 @@ def _unrolled_equations(
     unrolled_spec = unroll(spec, {rfs.list_param: extended})
     if isinstance(unrolled_spec, list):
         raise UnrollFailure("list-valued specification")
-    polys.append(
-        Equation(RatFunc.var(TARGET_VAR), encode_expr(unrolled_spec, ctx)).to_poly()
-    )
+    polys.append(Equation(RatFunc.var(TARGET_VAR), encode_expr(unrolled_spec, ctx)).to_poly())
     return polys
 
 
@@ -95,9 +91,7 @@ def _rewrite_system(
                 rewritable = False
                 break
             new_args.append(rewritten)
-        new_name = (
-            table.intern(atom.op, tuple(new_args), atom.meta) if rewritable else name
-        )
+        new_name = (table.intern(atom.op, tuple(new_args), atom.meta) if rewritable else name)
         atom_mapping[name] = new_name
         return new_name
 
@@ -115,9 +109,7 @@ def _rewrite_system(
     rewritten_polys: list[Poly] = []
     for poly in polys:
         subs = {
-            var: Poly.var(process_atom(var))
-            for var in poly.variables()
-            if table.is_atom_var(var)
+            var: Poly.var(process_atom(var)) for var in poly.variables() if table.is_atom_var(var)
         }
         if subs:
             poly = poly.substitute_poly(subs)
@@ -128,9 +120,7 @@ def _rewrite_system(
     return rewritten_polys
 
 
-def mine_expressions(
-    rfs: RFS, spec: Expr, config: SynthesisConfig
-) -> MinedTerm | None:
+def mine_expressions(rfs: RFS, spec: Expr, config: SynthesisConfig) -> MinedTerm | None:
     """Unroll, rewrite, eliminate; return the mined target definition."""
     k = config.unroll_depth
     ctx = EncodingContext()
@@ -147,12 +137,7 @@ def mine_expressions(
         return None
 
     psum_vars = sorted(
-        {
-            var
-            for poly in rewritten
-            for var in poly.variables()
-            if var.startswith(PSUM_PREFIX)
-        }
+        {var for poly in rewritten for var in poly.variables() if var.startswith(PSUM_PREFIX)}
     )
     keep = frozenset(rfs.names) | {ELEM_PARAM} | frozenset(rfs.extra_params)
     avoid = frozenset({rfs.result_param}) if len(rfs) > 1 else frozenset()

@@ -77,9 +77,7 @@ def _hole_job(
 
     config.start_clock()
     try:
-        expr, method = synthesize_expr(
-            rfs, spec, config, salt=salt, enum_shard=enum_shard
-        )
+        expr, method = synthesize_expr(rfs, spec, config, salt=salt, enum_shard=enum_shard)
         return (_OK, expr, method)
     except HoleSynthesisFailure:
         return (_NONE, None, None)
@@ -160,9 +158,7 @@ def solve_sketch_parallel(
             tag, value, method = decision
             if tag == _OK:
                 fills[hole_id] = value
-                report.record_hole(
-                    HoleOutcome(hole_id, method, ast_size(spec), ast_size(value))
-                )
+                report.record_hole(HoleOutcome(hole_id, method, ast_size(spec), ast_size(value)))
                 cursor += 1
                 continue
             if tag == _NONE:
@@ -204,13 +200,9 @@ def solve_sketch_parallel(
 
     settle()
     if cursor < len(holes):  # all workers gone, holes still open
-        raise SynthesisError(
-            f"hole workers exited without deciding hole {holes[cursor][0]}"
-        )
+        raise SynthesisError(f"hole workers exited without deciding hole {holes[cursor][0]}")
 
-    outputs = tuple(
-        simplify_expr(fill_holes(out, fills)) for out in sketch.program.outputs
-    )
+    outputs = tuple(simplify_expr(fill_holes(out, fills)) for out in sketch.program.outputs)
     return OnlineProgram(
         state_params=sketch.program.state_params,
         elem_param=sketch.program.elem_param,

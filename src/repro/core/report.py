@@ -33,9 +33,7 @@ class SynthesisReport:
 
     def record_hole(self, outcome: HoleOutcome) -> None:
         self.holes.append(outcome)
-        self.method_counts[outcome.method] = (
-            self.method_counts.get(outcome.method, 0) + 1
-        )
+        self.method_counts[outcome.method] = (self.method_counts.get(outcome.method, 0) + 1)
 
     def online_size(self) -> int | None:
         if self.scheme is None:

@@ -63,9 +63,7 @@ class RFS:
 
     def describe(self) -> str:
         width = max(len(n) for n in self.entries)
-        lines = [
-            f"  {name:<{width}} ↦ {pretty(spec)}" for name, spec in self.entries.items()
-        ]
+        lines = [f"  {name:<{width}} ↦ {pretty(spec)}" for name, spec in self.entries.items()]
         return "\n".join(lines)
 
 

@@ -44,16 +44,12 @@ class OnlineScheme:
     #: :mod:`repro.ir.compile`).  Per-instance, so deserializing a scheme
     #: starts with a cold cache; dropped on pickling (closures are process
     #: artifacts, not data).
-    _compiled_step: object = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    _compiled_step: object = field(default=None, init=False, repr=False, compare=False)
     #: Lazily-built whole-batch kernel (see
     #: :func:`repro.ir.compile.compile_step_batch`); same lifecycle as
     #: ``_compiled_step`` — per-instance, cold after deserialization,
     #: dropped on pickling.
-    _compiled_kernel: object = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    _compiled_kernel: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.initializer) != self.program.arity:
@@ -86,9 +82,7 @@ class OnlineScheme:
                 cached = _UNCOMPILABLE
             self._compiled_step = cached
         if cached is _UNCOMPILABLE:
-            raise IRCompileError(
-                f"online program of {self.provenance!r} is not compilable"
-            )
+            raise IRCompileError(f"online program of {self.provenance!r} is not compilable")
         return cached  # type: ignore[return-value]
 
     def interpreted_step(
@@ -118,9 +112,7 @@ class OnlineScheme:
                 cached = _UNCOMPILABLE
             self._compiled_kernel = cached
         if cached is _UNCOMPILABLE:
-            raise IRCompileError(
-                f"online program of {self.provenance!r} is not batch-compilable"
-            )
+            raise IRCompileError(f"online program of {self.provenance!r} is not batch-compilable")
         return cached  # type: ignore[return-value]
 
     def invalidate_compiled(self) -> None:
@@ -158,9 +150,7 @@ class OnlineScheme:
                 return self.compiled_kernel()
             except IRCompileError:
                 pass
-        return StepKernel.from_step(
-            self._resolve_step(jit), name=self.provenance
-        )
+        return StepKernel.from_step(self._resolve_step(jit), name=self.provenance)
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
@@ -220,9 +210,7 @@ class OnlineScheme:
         closure call, with identical results.
         """
         try:
-            state, _consumed = self._resolve_kernel().run(
-                self.initializer, stream, extra
-            )
+            state, _consumed = self._resolve_kernel().run(self.initializer, stream, extra)
         except BaseException as exc:
             # Strip the kernel's partial-progress marker: nothing on this
             # path resumes, and the caught exception must not keep the
@@ -249,6 +237,53 @@ class OnlineScheme:
     def describe(self) -> str:
         init = ", ".join(repr(v) for v in self.initializer)
         return f"initializer: ({init})\nprogram:\n{pretty_online(self.program)}"
+
+    # -- static analysis ---------------------------------------------------
+
+    def analyze(
+        self,
+        bounds=None,
+        name: str | None = None,
+        search_witness: bool = True,
+    ) -> dict:
+        """Run the full static-analysis suite over this scheme.
+
+        Returns the versioned report dict of
+        :func:`repro.ir.analysis.report.analyze_online` — verdict
+        (``ok``/``warn``/``error``), interval certificates, div-by-zero
+        reachability, liveness, well-formedness findings.
+        """
+        from ..ir.analysis import UNKNOWN_BOUNDS, analyze_online
+
+        return analyze_online(
+            self.program,
+            self.initializer,
+            bounds if bounds is not None else UNKNOWN_BOUNDS,
+            name=name,
+            search_witness=search_witness,
+        )
+
+    def eliminate_dead_state(
+        self, element_arity: int | None = None
+    ) -> tuple["OnlineScheme", tuple[str, ...]]:
+        """Drop dead state components whose updates are provably total.
+
+        Returns ``(scheme, removed_names)``; when nothing is safely
+        removable the original scheme object is returned unchanged.  The
+        rewrite is fault-preserving by construction (only total updates are
+        dropped), so the result is bit-identical on every stream —
+        differential tests enforce this on all ground truths.
+        """
+        from dataclasses import replace
+
+        from ..ir.analysis import eliminate_dead_state as _eds
+
+        program, initializer, removed = _eds(self.program, self.initializer, element_arity)
+        if not removed:
+            return self, ()
+        rewritten = replace(self, initializer=initializer, program=program)
+        rewritten.provenance = f"{self.provenance} (dead state removed: {', '.join(removed)})"
+        return rewritten, removed
 
     # -- serialization (compile once, deploy anywhere) --------------------
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..ir.builtins import get_builtin
+from ..ir.builtins import get_builtin, is_builtin
 from ..ir.nodes import Call, Const, Expr, If, MakeTuple, Proj, const
 from ..ir.traversal import transform_bottom_up
 from ..ir.values import is_number
@@ -29,11 +29,13 @@ def _is_const(expr: Expr, value=None) -> bool:
 
 def _fold_constants(node: Expr) -> Expr:
     if isinstance(node, Call) and isinstance(node.func, str):
-        if all(isinstance(a, Const) for a in node.args):
+        if all(isinstance(a, Const) for a in node.args) and is_builtin(node.func):
             builtin = get_builtin(node.func)
             try:
                 value = builtin.impl(*(a.value for a in node.args))  # type: ignore[union-attr]
-            except (ArithmeticError, ValueError, OverflowError):
+            except (ArithmeticError, ValueError, OverflowError, TypeError):
+                # A constant subtree that faults (e.g. a bool fed to numeric
+                # arithmetic) is left in place so the fault stays at runtime.
                 return node
             if is_number(value) and not isinstance(value, float):
                 return const(value)

@@ -92,9 +92,7 @@ def synthesize_expr(
             seeds = seeds_from_template(template)
 
     if config.enum_shards > 1:
-        found = enumerate_sharded(
-            rfs, spec, config, seeds=seeds, salt=salt, only_shard=enum_shard
-        )
+        found = enumerate_sharded(rfs, spec, config, seeds=seeds, salt=salt, only_shard=enum_shard)
     else:
         found = enumerate_expression(rfs, spec, config, seeds=seeds, salt=salt)
     if found is not None:
@@ -128,12 +126,8 @@ def _solve_sketch(
         except HoleSynthesisFailure:
             raise HoleSynthesisFailure(hole_id, pretty(spec)) from None
         fills[hole_id] = expr
-        report.record_hole(
-            HoleOutcome(hole_id, method, ast_size(spec), ast_size(expr))
-        )
-    outputs = tuple(
-        simplify_expr(fill_holes(out, fills)) for out in sketch.program.outputs
-    )
+        report.record_hole(HoleOutcome(hole_id, method, ast_size(spec), ast_size(expr)))
+    outputs = tuple(simplify_expr(fill_holes(out, fills)) for out in sketch.program.outputs)
     return OnlineProgram(
         state_params=sketch.program.state_params,
         elem_param=sketch.program.elem_param,
@@ -142,9 +136,7 @@ def _solve_sketch(
     )
 
 
-def _solve_monolithic(
-    rfs: RFS, config: SynthesisConfig, report: SynthesisReport
-) -> OnlineProgram:
+def _solve_monolithic(rfs: RFS, config: SynthesisConfig, report: SynthesisReport) -> OnlineProgram:
     """Opera-NoDecomp: synthesize the whole output tuple as one expression."""
     spec = MakeTuple(tuple(rfs.entries.values()))
     expr, method = synthesize_expr(rfs, spec, config, salt="monolith")
@@ -152,9 +144,7 @@ def _solve_monolithic(
     if isinstance(expr, MakeTuple) and expr.arity == len(rfs):
         outputs = expr.items
     else:
-        outputs = tuple(
-            simplify_expr(Proj(expr, i)) for i in range(len(rfs))
-        )
+        outputs = tuple(simplify_expr(Proj(expr, i)) for i in range(len(rfs)))
     return OnlineProgram(
         state_params=rfs.names,
         elem_param="x",
@@ -184,9 +174,7 @@ def synthesize(
             online = _solve_monolithic(rfs, config, report)
 
         pruned = prune_unused_accumulators(rfs, initializer, online)
-        scheme = OnlineScheme(
-            pruned.initializer, pruned.program, provenance=f"opera:{task_name}"
-        )
+        scheme = OnlineScheme(pruned.initializer, pruned.program, provenance=f"opera:{task_name}")
         if not check_scheme_equivalence(program, scheme, config):
             raise SynthesisError("final scheme failed Definition 3.3 testing")
         report.scheme = scheme

@@ -198,9 +198,7 @@ def solve_template(
     lengths = sorted(alphas)
 
     for coeff_polys in _projective_fits(alphas, lengths, config):
-        coeff_exprs: list[Expr | None] = [
-            _poly_in_n(coeffs, n_expr) for coeffs in coeff_polys
-        ]
+        coeff_exprs: list[Expr | None] = [_poly_in_n(coeffs, n_expr) for coeffs in coeff_polys]
         num = _combine(template.num_terms, coeff_exprs[: len(template.num_terms)])
         den = _combine(template.den_terms, coeff_exprs[len(template.num_terms) :])
         if num is None:
@@ -274,8 +272,5 @@ def _projective_fits(
                 gcd_num = gcd(gcd_num, abs(c.numerator) * (lcm_den // c.denominator))
             factor = Fraction(lcm_den, gcd_num or 1)
             coeffs = [c * factor for c in coeffs]
-        coeff_polys = [
-            coeffs[j * (degree + 1) : (j + 1) * (degree + 1)]
-            for j in range(unknowns)
-        ]
+        coeff_polys = [coeffs[j * (degree + 1) : (j + 1) * (degree + 1)] for j in range(unknowns)]
         yield coeff_polys

@@ -115,9 +115,7 @@ def _division_free(expr: Expr) -> bool:
         return False
     from ..ir.nodes import If, MakeTuple, Proj
 
-    return not any(
-        isinstance(sub, (If, MakeTuple, Proj)) for sub in iter_subexprs(expr)
-    )
+    return not any(isinstance(sub, (If, MakeTuple, Proj)) for sub in iter_subexprs(expr))
 
 
 def check_symbolic(
@@ -153,9 +151,7 @@ def check_symbolic(
         return None
     from ..algebra.elimination import solve_target
 
-    spec_term = solve_target(
-        result.equations, TARGET_VAR, frozenset(keep), ctx.table
-    )
+    spec_term = solve_target(result.equations, TARGET_VAR, frozenset(keep), ctx.table)
     if spec_term is None:
         return None
     if any(ctx.table.is_atom_var(v) for v in spec_term.variables()):

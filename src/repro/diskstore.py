@@ -39,9 +39,7 @@ class ObjectDirectory:
         if base.is_dir():
             yield from base.glob(f"*/*{self.suffix}")
 
-    def write_atomic(
-        self, key: str, write: Callable, binary: bool = False
-    ) -> None:
+    def write_atomic(self, key: str, write: Callable, binary: bool = False) -> None:
         """Create parents and write via temp file + ``os.replace`` so
         readers and Ctrl-C never observe a torn entry.  ``write(handle)``
         does the serialization; OSError propagates to the caller, which

@@ -298,9 +298,7 @@ def _serve_metrics(report: dict) -> dict[str, MetricSamples]:
         ("single_process/eps", single_raw.get("wall_s") or ()),
     ):
         samples = tuple(elements / t for t in times if t > 0) if elements else ()
-        metrics[name] = MetricSamples(
-            name=name, unit="eps", higher_is_better=True, samples=samples
-        )
+        metrics[name] = MetricSamples(name=name, unit="eps", higher_is_better=True, samples=samples)
     metrics["serve/p99_latency"] = MetricSamples(
         name="serve/p99_latency",
         unit="s",

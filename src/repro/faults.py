@@ -120,17 +120,13 @@ def parse_fault(spec: str) -> FaultSpec:
         )
     if kind == "stall":
         if len(args) not in (2, 3):
-            raise FaultSpecError(
-                f"bad fault spec {spec!r}: stall takes SHARD:AFTER[:SECS]"
-            )
+            raise FaultSpecError(f"bad fault spec {spec!r}: stall takes SHARD:AFTER[:SECS]")
         secs = DEFAULT_STALL_SECS
         if len(args) == 3:
             try:
                 secs = float(args[2])
             except ValueError:
-                raise FaultSpecError(
-                    f"bad fault spec {spec!r}: SECS must be a number"
-                ) from None
+                raise FaultSpecError(f"bad fault spec {spec!r}: SECS must be a number") from None
             if secs <= 0:
                 raise FaultSpecError(f"bad fault spec {spec!r}: SECS must be > 0")
         return FaultSpec(
@@ -141,9 +137,7 @@ def parse_fault(spec: str) -> FaultSpec:
         )
     if kind == "corrupt-checkpoint":
         if len(args) != 2:
-            raise FaultSpecError(
-                f"bad fault spec {spec!r}: corrupt-checkpoint takes SHARD:GEN"
-            )
+            raise FaultSpecError(f"bad fault spec {spec!r}: corrupt-checkpoint takes SHARD:GEN")
         return FaultSpec(
             "corrupt-checkpoint",
             shard=_int_field(args[0], "SHARD", spec),
@@ -157,9 +151,7 @@ def parse_fault(spec: str) -> FaultSpec:
         if len(args) != 1:
             raise FaultSpecError(f"bad fault spec {spec!r}: poison takes OFFSET")
         return FaultSpec("poison", offset=_int_field(args[0], "OFFSET", spec))
-    raise FaultSpecError(
-        f"unknown fault kind {kind!r} in {spec!r}; choices: {', '.join(_KINDS)}"
-    )
+    raise FaultSpecError(f"unknown fault kind {kind!r} in {spec!r}; choices: {', '.join(_KINDS)}")
 
 
 @dataclass(frozen=True)

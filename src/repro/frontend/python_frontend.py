@@ -338,16 +338,11 @@ class _Translator:
         names = list(updates)
         name_set = set(names)
         # An update is self-contained if it reads no *other* accumulator.
-        entangled = any(
-            (free_vars(update) & name_set) - {name}
-            for name, update in updates.items()
-        )
+        entangled = any((free_vars(update) & name_set) - {name} for name, update in updates.items())
         if not entangled:
             for name in names:
                 init = self.env[name]
-                self.env[name] = Fold(
-                    Lambda((name, loop_var), updates[name]), init, lst
-                )
+                self.env[name] = Fold(Lambda((name, loop_var), updates[name]), init, lst)
             return
         # Mutually dependent accumulators: one tuple-valued fold whose lambda
         # reads all old values through projections.

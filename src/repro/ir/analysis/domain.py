@@ -1,0 +1,676 @@
+"""Abstract value domains for the IR analyses.
+
+Exact-rational interval arithmetic with ``+/-inf`` endpoints plus coarse
+integrality / exactness / denominator-growth tracking.  Every transfer
+function here *over-approximates* the corresponding safe builtin from
+:mod:`repro.ir.values` — including its ugly corners:
+
+* ``safe_div`` returns 0 for a zero divisor, so a division whose divisor
+  interval straddles zero contributes ``{0}`` to the quotient;
+* ``_num2`` degrades to float arithmetic (and returns 0 on float overflow)
+  once operand bit sizes pass ``1 << 20``, so any result we cannot prove
+  stays in the exact small-integer regime is padded for float round-off and
+  joined with ``{0}``;
+* ``safe_sqrt`` / ``safe_log`` / ``safe_pow`` absorb their partial cases
+  (negative radicands, non-positive logs, zero bases) by returning 0.
+
+Soundness of these transfers is what turns the fixpoint computed by
+:mod:`repro.ir.analysis.engine` into a certificate; it is differentially
+enforced against the real evaluator in ``tests/test_ir_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Union
+
+from ..values import Value
+
+#: Interval endpoints: exact rationals/ints, or the two IEEE infinities (the
+#: only floats an :class:`Interval` ever stores).
+Endpoint = Union[int, Fraction, float]
+
+INF = float("inf")
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+#: Magnitude below which integer arithmetic provably never trips the
+#: ``_num2`` float-degrade guard (bit sizes stay microscopic next to the
+#: ``1 << 20`` budget) and never overflows a float on degrade.
+_EXACT_SAFE = 2**512
+
+#: Relative padding applied to any bound that may have passed through float
+#: arithmetic: IEEE doubles carry 53 bits, 2**-40 is a ~8000x safety margin.
+_FLOAT_PAD = Fraction(1, 2**40)
+
+#: Threshold ladder for widening: unstable bounds jump outward to the next
+#: rung instead of creeping, so the fixpoint terminates quickly while still
+#: landing on the boundaries that matter (int64 above all).
+_THRESHOLDS = sorted(
+    {
+        Fraction(0),
+        Fraction(1),
+        Fraction(-1),
+        Fraction(16),
+        Fraction(-16),
+        Fraction(1024),
+        Fraction(-1024),
+        Fraction(2**31),
+        Fraction(-(2**31)),
+        Fraction(INT64_MAX),
+        Fraction(INT64_MIN),
+        Fraction(2**127),
+        Fraction(-(2**127)),
+        Fraction(_EXACT_SAFE),
+        Fraction(-_EXACT_SAFE),
+    }
+)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval over the extended rationals (``lo <= hi``)."""
+
+    lo: Endpoint
+    hi: Endpoint
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def bounded(self) -> bool:
+        return self.lo != -INF and self.hi != INF
+
+    @property
+    def singleton(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, v) -> bool:
+        return self.lo <= v <= self.hi
+
+    def contains_zero(self) -> bool:
+        return self.lo <= 0 <= self.hi
+
+
+TOP_IV = Interval(-INF, INF)
+ZERO_IV = Interval(0, 0)
+
+
+def singleton(v) -> Interval:
+    return Interval(v, v)
+
+
+def join_iv(a: Interval, b: Interval) -> Interval:
+    return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def widen_iv(old: Interval, new: Interval) -> Interval:
+    """Threshold widening: any bound that moved jumps to the next rung."""
+    lo: Endpoint = old.lo
+    if new.lo < old.lo:
+        below = [t for t in _THRESHOLDS if t <= new.lo]
+        lo = below[-1] if below else -INF
+    hi: Endpoint = old.hi
+    if new.hi > old.hi:
+        above = [t for t in _THRESHOLDS if t >= new.hi]
+        hi = above[0] if above else INF
+    return Interval(lo, hi)
+
+
+def _is_inf(v: Endpoint) -> bool:
+    return v == INF or v == -INF
+
+
+def _eadd(a: Endpoint, b: Endpoint) -> Endpoint:
+    """Endpoint sum.  Infinities are handled symbolically: mixing a float
+    infinity into ``Fraction`` arithmetic would convert the (possibly huge)
+    fraction to float and overflow.  Opposite infinities never meet in a
+    bound position (lo+lo / hi+hi of non-empty intervals)."""
+    if _is_inf(a):
+        return a
+    if _is_inf(b):
+        return b
+    return a + b
+
+
+def _esub(a: Endpoint, b: Endpoint) -> Endpoint:
+    return _eadd(a, -b)
+
+
+def _emul(a: Endpoint, b: Endpoint) -> Endpoint:
+    """Endpoint product with the standard ``0 * inf == 0`` convention (sound
+    for interval bound computation)."""
+    if a == 0 or b == 0:
+        return Fraction(0)
+    if _is_inf(a) or _is_inf(b):
+        return INF if (a > 0) == (b > 0) else -INF
+    return a * b
+
+
+def _pad_endpoint_lo(lo: Endpoint) -> Endpoint:
+    if lo == -INF or lo == INF:
+        return lo
+    return lo - abs(lo) * _FLOAT_PAD - _FLOAT_PAD
+
+
+def _pad_endpoint_hi(hi: Endpoint) -> Endpoint:
+    if hi == INF or hi == -INF:
+        return hi
+    return hi + abs(hi) * _FLOAT_PAD + _FLOAT_PAD
+
+
+def pad_iv(iv: Interval) -> Interval:
+    """Widen an interval enough to absorb float round-off on values that may
+    have been computed in degraded (double) arithmetic."""
+    return Interval(_pad_endpoint_lo(iv.lo), _pad_endpoint_hi(iv.hi))
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+
+
+@dataclass(frozen=True)
+class ANum:
+    """A numeric abstract value.
+
+    ``integral``
+        certified: every concretization is a mathematical integer.
+    ``exact``
+        certified: the runtime value is an ``int``/``Fraction`` produced
+        without any float fallback (so downstream ``_num2`` degrade cannot
+        strike out of nowhere).
+    ``denom_growth``
+        *flag*, not a certificate: the value may be an exact rational whose
+        denominator grows with the stream (gcd-bound arithmetic — the
+        vectorized-backend planning signal).
+    """
+
+    iv: Interval
+    integral: bool = False
+    exact: bool = False
+    denom_growth: bool = False
+
+
+@dataclass(frozen=True)
+class ABool:
+    may_true: bool = True
+    may_false: bool = True
+
+
+@dataclass(frozen=True)
+class ATuple:
+    items: tuple
+
+
+class _Top:
+    """Unknown kind (and, for numbers, unknown everything)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ATop"
+
+
+ATop = _Top()
+
+AbstractValue = Union[ANum, ABool, ATuple, _Top]
+
+TOP_NUM = ANum(TOP_IV, integral=False, exact=False, denom_growth=True)
+
+
+def of_value(v: Value) -> AbstractValue:
+    """The most precise abstract value of one concrete value."""
+    if isinstance(v, bool):
+        return ABool(may_true=v, may_false=not v)
+    if isinstance(v, int):
+        return ANum(singleton(v), integral=True, exact=True)
+    if isinstance(v, Fraction):
+        return ANum(singleton(v), integral=v.denominator == 1, exact=True)
+    if isinstance(v, float):
+        if math.isinf(v) or math.isnan(v):
+            return ANum(TOP_IV, integral=False, exact=False)
+        return ANum(pad_iv(singleton(Fraction(v))), integral=False, exact=False)
+    if isinstance(v, tuple):
+        return ATuple(tuple(of_value(item) for item in v))
+    return ATop
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a is ATop or b is ATop:
+        return ATop
+    if isinstance(a, ANum) and isinstance(b, ANum):
+        return ANum(
+            join_iv(a.iv, b.iv),
+            integral=a.integral and b.integral,
+            exact=a.exact and b.exact,
+            denom_growth=a.denom_growth or b.denom_growth,
+        )
+    if isinstance(a, ABool) and isinstance(b, ABool):
+        return ABool(a.may_true or b.may_true, a.may_false or b.may_false)
+    if isinstance(a, ATuple) and isinstance(b, ATuple):
+        if len(a.items) != len(b.items):
+            return ATop
+        return ATuple(tuple(join(x, y) for x, y in zip(a.items, b.items)))
+    return ATop
+
+
+def widen(old: AbstractValue, new: AbstractValue) -> AbstractValue:
+    """Widen ``old`` toward ``new`` (which must already include ``old``)."""
+    if isinstance(old, ANum) and isinstance(new, ANum):
+        return replace(new, iv=widen_iv(old.iv, new.iv))
+    if isinstance(old, ATuple) and isinstance(new, ATuple) and len(old.items) == len(new.items):
+        return ATuple(tuple(widen(x, y) for x, y in zip(old.items, new.items)))
+    return new
+
+
+def truthiness(av: AbstractValue) -> ABool:
+    """May the value be truthy / falsy?  (``If`` uses Python truthiness.)"""
+    if isinstance(av, ABool):
+        return av
+    if isinstance(av, ANum):
+        may_false = av.iv.contains_zero()
+        may_true = not (av.iv.singleton and av.iv.lo == 0)
+        return ABool(may_true, may_false)
+    if isinstance(av, ATuple):
+        return ABool(may_true=len(av.items) > 0, may_false=len(av.items) == 0)
+    return ABool(True, True)
+
+
+def as_num(av: AbstractValue) -> ANum:
+    """Coerce to a numeric abstraction; non-numbers fault at runtime, so any
+    numeric answer is vacuously sound for them."""
+    if isinstance(av, ANum):
+        return av
+    return TOP_NUM
+
+
+def _provably_small_int(a: ANum) -> bool:
+    """Certified to stay far inside the exact small-integer regime, where
+    ``_num2`` can neither degrade to floats nor overflow one."""
+    return (
+        a.integral
+        and a.exact
+        and a.iv.bounded
+        and -_EXACT_SAFE <= a.iv.lo
+        and a.iv.hi <= _EXACT_SAFE
+    )
+
+
+def _degrade_guard(result: Interval, *args: ANum) -> tuple[Interval, bool]:
+    """Account for the ``_num2`` float fallback.
+
+    Returns the guarded interval and whether the result is still certified
+    exact.  If every operand provably stays small-integer, the op runs on the
+    exact path and the interval passes through untouched; otherwise the op
+    may have run in doubles — pad for round-off, and if the result magnitude
+    can reach overflow country, join ``{0}`` (float overflow returns 0).
+    """
+    if all(_provably_small_int(a) for a in args):
+        return result, True
+    guarded = pad_iv(result)
+    if guarded.lo < -_EXACT_SAFE or guarded.hi > _EXACT_SAFE:
+        guarded = join_iv(guarded, ZERO_IV)
+    return guarded, False
+
+
+def _growth(*args: ANum) -> bool:
+    return any(a.denom_growth for a in args)
+
+
+def num_add(a: ANum, b: ANum) -> ANum:
+    iv = Interval(_eadd(a.iv.lo, b.iv.lo), _eadd(a.iv.hi, b.iv.hi))
+    iv, exact = _degrade_guard(iv, a, b)
+    return ANum(iv, integral=a.integral and b.integral, exact=exact, denom_growth=_growth(a, b))
+
+
+def num_sub(a: ANum, b: ANum) -> ANum:
+    iv = Interval(_esub(a.iv.lo, b.iv.hi), _esub(a.iv.hi, b.iv.lo))
+    iv, exact = _degrade_guard(iv, a, b)
+    return ANum(iv, integral=a.integral and b.integral, exact=exact, denom_growth=_growth(a, b))
+
+
+def num_neg(a: ANum) -> ANum:
+    # ``neg`` never degrades: float negation is exact and exact stays exact.
+    return replace(a, iv=Interval(-a.iv.hi, -a.iv.lo))
+
+
+def num_abs(a: ANum) -> ANum:
+    if a.iv.lo >= 0:
+        iv = a.iv
+    elif a.iv.hi <= 0:
+        iv = Interval(-a.iv.hi, -a.iv.lo)
+    else:
+        iv = Interval(0, max(-a.iv.lo, a.iv.hi))
+    return replace(a, iv=iv)
+
+
+def num_mul(a: ANum, b: ANum) -> ANum:
+    products = [
+        _emul(a.iv.lo, b.iv.lo),
+        _emul(a.iv.lo, b.iv.hi),
+        _emul(a.iv.hi, b.iv.lo),
+        _emul(a.iv.hi, b.iv.hi),
+    ]
+    iv = Interval(min(products), max(products))
+    iv, exact = _degrade_guard(iv, a, b)
+    return ANum(iv, integral=a.integral and b.integral, exact=exact, denom_growth=_growth(a, b))
+
+
+def _ediv(a: Endpoint, b: Endpoint) -> Endpoint:
+    """Endpoint quotient; ``b`` is never 0 here."""
+    if a == -INF or a == INF:
+        return a if b > 0 else -a
+    if b == -INF or b == INF:
+        return Fraction(0)
+    return Fraction(a) / Fraction(b)
+
+
+def _div_pos(num: Interval, lo: Endpoint, hi: Endpoint) -> Interval:
+    """Quotient interval for denominators in ``[lo, hi]`` with ``lo > 0`` or
+    denominators in ``(0, hi]`` when ``lo == 0`` (open at zero)."""
+    if lo == 0:
+        # Denominators arbitrarily close to 0+: any nonzero numerator side
+        # blows up toward its own sign of infinity.
+        q_hi: Endpoint = INF if num.hi > 0 else _ediv(num.hi, hi)
+        q_lo: Endpoint = -INF if num.lo < 0 else _ediv(num.lo, hi)
+        return Interval(q_lo, q_hi)
+    candidates = [_ediv(num.lo, lo), _ediv(num.lo, hi), _ediv(num.hi, lo), _ediv(num.hi, hi)]
+    return Interval(min(candidates), max(candidates))
+
+
+def num_div(a: ANum, b: ANum) -> ANum:
+    """``safe_div``: zero divisors yield 0, and mixed float operands can
+    fail over to 0 — both are folded into the result interval."""
+    parts: list[Interval] = []
+    if b.iv.contains_zero():
+        parts.append(ZERO_IV)
+    # Positive denominator slice.
+    if b.iv.hi > 0:
+        parts.append(_div_pos(a.iv, max(b.iv.lo, Fraction(0)), b.iv.hi))
+    # Negative slice: a / b == -(a / -b).
+    if b.iv.lo < 0:
+        neg_slice = _div_pos(a.iv, max(-b.iv.hi, Fraction(0)), -b.iv.lo)
+        parts.append(Interval(-neg_slice.hi, -neg_slice.lo))
+    iv = parts[0]
+    for part in parts[1:]:
+        iv = join_iv(iv, part)
+    # The exact path of safe_div never degrades (no bit-size guard), but
+    # float *operands* still do float division: pad unless both sides are
+    # certified exact.  ``OverflowError`` fallback returns 0 — only possible
+    # with float operands, which the pad+{0} of their producers covered, but
+    # join {0} anyway when inexact for belt and braces.
+    exact = a.exact and b.exact
+    if not exact:
+        iv = join_iv(pad_iv(iv), ZERO_IV)
+    integral = a.integral and b.integral and b.iv.singleton and abs(b.iv.lo) == 1
+    growth = _growth(a, b) or not (b.iv.singleton and b.integral)
+    return ANum(iv, integral=integral, exact=exact, denom_growth=growth)
+
+
+def num_min(a: ANum, b: ANum) -> ANum:
+    return ANum(
+        Interval(min(a.iv.lo, b.iv.lo), min(a.iv.hi, b.iv.hi)),
+        integral=a.integral and b.integral,
+        exact=a.exact and b.exact,
+        denom_growth=_growth(a, b),
+    )
+
+
+def num_max(a: ANum, b: ANum) -> ANum:
+    return ANum(
+        Interval(max(a.iv.lo, b.iv.lo), max(a.iv.hi, b.iv.hi)),
+        integral=a.integral and b.integral,
+        exact=a.exact and b.exact,
+        denom_growth=_growth(a, b),
+    )
+
+
+def _int_floor(v: Endpoint) -> Endpoint:
+    if v == -INF or v == INF:
+        return v
+    return math.floor(v)
+
+
+def _int_ceil(v: Endpoint) -> Endpoint:
+    if v == -INF or v == INF:
+        return v
+    return math.ceil(v)
+
+
+def num_floor(a: ANum) -> ANum:
+    return ANum(
+        Interval(_int_floor(a.iv.lo), _int_floor(a.iv.hi)),
+        integral=True,
+        exact=a.exact,
+        denom_growth=False,
+    )
+
+
+def num_ceil(a: ANum) -> ANum:
+    return ANum(
+        Interval(_int_ceil(a.iv.lo), _int_ceil(a.iv.hi)),
+        integral=True,
+        exact=a.exact,
+        denom_growth=False,
+    )
+
+
+def num_sign(a: ANum) -> ANum:
+    lo = -1 if a.iv.lo < 0 else (0 if a.iv.lo == 0 else 1)
+    hi = 1 if a.iv.hi > 0 else (0 if a.iv.hi == 0 else -1)
+    return ANum(Interval(Fraction(lo), Fraction(hi)), integral=True, exact=True)
+
+
+def num_sqrt(a: ANum) -> ANum:
+    """``safe_sqrt``: negative radicands yield 0; results may be float."""
+    hi = a.iv.hi
+    if hi == INF:
+        sq_hi: Endpoint = INF
+    elif hi <= 0:
+        sq_hi = Fraction(0)
+    else:
+        sq_hi = Fraction(math.isqrt(math.ceil(hi)) + 1)
+    if a.iv.lo > 0 and a.iv.lo != INF:
+        sq_lo: Endpoint = Fraction(max(0, math.isqrt(math.floor(a.iv.lo)) - 1))
+    else:
+        sq_lo = Fraction(0)
+    iv = Interval(sq_lo, max(sq_lo, sq_hi))
+    if a.iv.lo < 0:
+        iv = join_iv(iv, ZERO_IV)
+    return ANum(iv, integral=False, exact=False)
+
+
+def _safe_float(v: Endpoint) -> float:
+    try:
+        return float(v)
+    except OverflowError:
+        return INF if v > 0 else -INF
+
+
+def num_exp(a: ANum) -> ANum:
+    """``safe_exp``: total, ``exp(0) == 1`` exactly, overflow -> float inf."""
+    hi = a.iv.hi
+    if hi == INF:
+        e_hi: Endpoint = INF
+    else:
+        f = _safe_float(hi)
+        try:
+            e_hi = _pad_endpoint_hi(Fraction(math.exp(f)) * 2)
+        except (OverflowError, ValueError):
+            e_hi = INF
+    return ANum(Interval(Fraction(0), max(Fraction(1), e_hi)), integral=False, exact=False)
+
+
+def num_log(a: ANum) -> ANum:
+    """``safe_log``: non-positive inputs (and 1) yield 0."""
+    hi = a.iv.hi
+    if hi == INF:
+        l_hi: Endpoint = INF
+    elif hi <= 0:
+        l_hi = Fraction(0)
+    elif hi > 1:
+        try:
+            l_hi = _pad_endpoint_hi(Fraction(math.log(_safe_float(hi))) + 1)
+        except (OverflowError, ValueError):
+            l_hi = INF
+    else:
+        l_hi = Fraction(0)
+    l_lo: Endpoint = -INF
+    if a.iv.lo >= 1:
+        l_lo = Fraction(0)
+    iv = Interval(min(l_lo, l_hi), max(l_lo, l_hi))
+    if a.iv.lo <= 1:
+        iv = join_iv(iv, ZERO_IV)
+    return ANum(iv, integral=False, exact=False)
+
+
+def num_pow(a: ANum, b: ANum) -> ANum:
+    """``safe_pow``: exact only for small constant non-negative integer
+    exponents on certified-small integral bases; everything else is float
+    country with 0-absorbed partial cases."""
+    if (
+        b.iv.singleton
+        and b.integral
+        and isinstance(b.iv.lo, (int, Fraction))
+        and 0 <= b.iv.lo <= 64
+    ):
+        k = int(b.iv.lo)
+        if k == 0:
+            return ANum(singleton(Fraction(1)), integral=True, exact=a.exact)
+        lo, hi = a.iv.lo, a.iv.hi
+        if k % 2 == 1:
+            iv = Interval(_epow(lo, k), _epow(hi, k))
+        else:
+            m = max(abs(lo), abs(hi))
+            if a.iv.contains_zero():
+                iv = Interval(Fraction(0), _epow(m, k))
+            else:
+                low_mag = min(abs(lo), abs(hi))
+                iv = Interval(_epow(low_mag, k), _epow(m, k))
+        # Large exact results fall back to floats (and may overflow to 0).
+        iv, exact = _degrade_guard(iv, a)
+        return ANum(iv, integral=a.integral, exact=exact and a.integral, denom_growth=_growth(a))
+    # Unknown/fractional/negative exponents: negative bases and zero bases
+    # collapse to 0; magnitudes are unbounded in general.
+    return ANum(join_iv(TOP_IV, ZERO_IV), integral=False, exact=False, denom_growth=True)
+
+
+def _epow(v: Endpoint, k: int) -> Endpoint:
+    if v == INF or v == -INF:
+        return v if (v == INF or k % 2 == 1) else INF
+    return Fraction(v) ** k
+
+
+def num_expm1(a: ANum) -> ANum:
+    hi = a.iv.hi
+    if hi == INF:
+        e_hi: Endpoint = INF
+    else:
+        try:
+            e_hi = _pad_endpoint_hi(Fraction(math.expm1(_safe_float(hi))) + 1)
+        except (OverflowError, ValueError):
+            e_hi = INF
+    iv = Interval(Fraction(-1) - _FLOAT_PAD, max(Fraction(0), e_hi))
+    return ANum(join_iv(iv, ZERO_IV), integral=False, exact=False)
+
+
+def num_log1p(a: ANum) -> ANum:
+    hi = a.iv.hi
+    if hi == INF:
+        l_hi: Endpoint = INF
+    elif hi <= -1:
+        l_hi = Fraction(0)
+    else:
+        try:
+            l_hi = _pad_endpoint_hi(Fraction(math.log1p(_safe_float(hi))) + 1)
+        except (OverflowError, ValueError):
+            l_hi = INF
+    return ANum(Interval(-INF, max(Fraction(0), l_hi)), integral=False, exact=False)
+
+
+def _cmp_bool(a: ANum, b: ANum, op: str) -> ABool:
+    """Comparison over intervals; definite only when the intervals separate."""
+    if op in ("lt", "le"):
+        definitely = a.iv.hi < b.iv.lo or (op == "le" and a.iv.hi <= b.iv.lo)
+        never = a.iv.lo > b.iv.hi or (op == "lt" and a.iv.lo >= b.iv.hi)
+    elif op in ("gt", "ge"):
+        return _cmp_bool(b, a, "lt" if op == "gt" else "le")
+    elif op == "eq":
+        definitely = a.iv.singleton and b.iv.singleton and a.iv.lo == b.iv.lo
+        never = a.iv.hi < b.iv.lo or b.iv.hi < a.iv.lo
+    else:  # ne
+        inner = _cmp_bool(a, b, "eq")
+        return ABool(may_true=inner.may_false, may_false=inner.may_true)
+    return ABool(may_true=not never, may_false=not definitely)
+
+
+def apply_builtin(name: str, args: list[AbstractValue]) -> AbstractValue:
+    """Transfer function for one builtin call.
+
+    Non-numeric arguments to numeric builtins fault at runtime (``_num2``
+    raises), so returning any abstraction for them is vacuously sound; the
+    well-formedness audit reports those separately.
+    """
+    if name in ("and", "or", "not"):
+        bools = [truthiness(a) for a in args]
+        if name == "not":
+            return ABool(may_true=bools[0].may_false, may_false=bools[0].may_true)
+        if name == "and":
+            return ABool(
+                may_true=bools[0].may_true and bools[1].may_true,
+                may_false=bools[0].may_false or bools[1].may_false,
+            )
+        return ABool(
+            may_true=bools[0].may_true or bools[1].may_true,
+            may_false=bools[0].may_false and bools[1].may_false,
+        )
+    if name in ("eq", "ne") and len(args) == 2 and not all(isinstance(a, ANum) for a in args):
+        return ABool(True, True)  # structural equality on tuples/bools
+    nums = [as_num(a) for a in args]
+    if name in ("lt", "le", "gt", "ge", "eq", "ne"):
+        return _cmp_bool(nums[0], nums[1], name)
+    table = {
+        "add": num_add,
+        "sub": num_sub,
+        "mul": num_mul,
+        "div": num_div,
+        "neg": num_neg,
+        "abs": num_abs,
+        "min": num_min,
+        "max": num_max,
+        "pow": num_pow,
+        "sqrt": num_sqrt,
+        "exp": num_exp,
+        "log": num_log,
+        "expm1": num_expm1,
+        "log1p": num_log1p,
+        "floor": num_floor,
+        "ceil": num_ceil,
+        "sign": num_sign,
+    }
+    fn = table.get(name)
+    if fn is None:
+        return ATop  # length & friends: list-typed, not online
+    return fn(*nums)
+
+
+def int64_certified(a: AbstractValue) -> bool:
+    """Does this abstraction certify an int64-safe value (the guard-elision
+    input the vectorized columnar backend needs)?"""
+    return (
+        isinstance(a, ANum)
+        and a.integral
+        and a.exact
+        and a.iv.bounded
+        and INT64_MIN <= a.iv.lo
+        and a.iv.hi <= INT64_MAX
+    )

@@ -1,0 +1,370 @@
+"""The abstract interpreter: one-step transfer, reachable-state fixpoint,
+and affine growth certificates.
+
+The fixpoint ``S*`` over-approximates every accumulator state reachable from
+the initializer under the given input bounds (Kleene iteration with
+threshold widening, so termination is structural, not hoped-for).  A final
+recorded pass under ``S*`` then yields, per division site, a sound interval
+for every denominator that can ever flow there — the static half of the
+div-by-zero analysis — and per arithmetic site the value ranges the int64
+certificate audits.
+
+Accumulators the fixpoint cannot bound (``sum`` grows forever in the limit)
+get a second chance when the stream length is bounded: if the update is
+affine in the component itself with unit coefficient — ``y' = y + f(rest)``
+with ``f`` independent of ``y`` — the per-step increment is bounded by
+evaluating ``f`` under ``S*``, and ``N`` steps move the component at most
+``N`` increments from its initializer.  That is exactly the shape of
+``sum`` / ``count`` / ``sumsq`` accumulators, and the certificate is only
+emitted in the exact-integer regime where float degrade provably never
+strikes (drift cannot compound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..nodes import (
+    Call,
+    Const,
+    Expr,
+    If,
+    Lambda,
+    Let,
+    MakeTuple,
+    OnlineProgram,
+    Proj,
+    Var,
+)
+from ..values import Value
+from .bounds import AnalysisBounds
+from .domain import (
+    AbstractValue,
+    ANum,
+    ATuple,
+    ATop,
+    Interval,
+    TOP_NUM,
+    _degrade_guard,
+    apply_builtin,
+    as_num,
+    int64_certified,
+    join,
+    num_add,
+    num_mul,
+    num_neg,
+    num_sub,
+    of_value,
+    singleton,
+    truthiness,
+    widen,
+)
+
+#: A site path: the output index followed by child indices down the tree.
+Path = tuple[int, ...]
+
+_WIDEN_AFTER = 4
+_MAX_ITERATIONS = 80
+
+
+class Recorder:
+    """Collects per-site abstractions during one evaluation pass."""
+
+    def __init__(self) -> None:
+        self.div_denominators: dict[Path, ANum] = {}
+        self.values: dict[Path, ANum] = {}
+
+    def record_div(self, path: Path, denom: ANum) -> None:
+        seen = self.div_denominators.get(path)
+        self.div_denominators[path] = denom if seen is None else as_num(join(seen, denom))
+
+    def record_value(self, path: Path, av: AbstractValue) -> None:
+        if isinstance(av, ANum):
+            seen = self.values.get(path)
+            self.values[path] = av if seen is None else as_num(join(seen, av))
+
+
+def eval_abstract(
+    expr: Expr,
+    env: dict[str, AbstractValue],
+    rec: Recorder | None = None,
+    path: Path = (),
+) -> AbstractValue:
+    """Abstract one-step evaluation of an *online* expression.
+
+    List constructs (never valid online) and other unknowns return ``ATop``:
+    the runtime faults on them, so any abstraction is vacuously sound, and
+    the well-formedness audit reports them separately.
+    """
+    if isinstance(expr, Const):
+        return of_value(expr.value)
+    if isinstance(expr, Var):
+        return env.get(expr.name, ATop)
+    if isinstance(expr, Call):
+        args = [eval_abstract(a, env, rec, path + (i,)) for i, a in enumerate(expr.args)]
+        if isinstance(expr.func, str):
+            if rec is not None and expr.func == "div" and len(args) == 2:
+                rec.record_div(path, as_num(args[1]))
+            result = apply_builtin(expr.func, args)
+            if rec is not None:
+                rec.record_value(path, result)
+            return result
+        if isinstance(expr.func, Lambda):
+            lam = expr.func
+            if len(lam.params) != len(args):
+                return ATop
+            inner = dict(env)
+            inner.update(zip(lam.params, args))
+            return eval_abstract(lam.body, inner, rec, path + (len(args),))
+        return ATop
+    if isinstance(expr, If):
+        cond = truthiness(eval_abstract(expr.cond, env, rec, path + (0,)))
+        if cond.may_true and not cond.may_false:
+            return eval_abstract(expr.then, env, rec, path + (1,))
+        if cond.may_false and not cond.may_true:
+            return eval_abstract(expr.orelse, env, rec, path + (2,))
+        return join(
+            eval_abstract(expr.then, env, rec, path + (1,)),
+            eval_abstract(expr.orelse, env, rec, path + (2,)),
+        )
+    if isinstance(expr, Let):
+        value = eval_abstract(expr.value, env, rec, path + (0,))
+        inner = dict(env)
+        inner[expr.name] = value
+        return eval_abstract(expr.body, inner, rec, path + (1,))
+    if isinstance(expr, MakeTuple):
+        return ATuple(
+            tuple(eval_abstract(item, env, rec, path + (i,)) for i, item in enumerate(expr.items))
+        )
+    if isinstance(expr, Proj):
+        tup = eval_abstract(expr.tup, env, rec, path + (0,))
+        if isinstance(tup, ATuple):
+            if 0 <= expr.index < len(tup.items):
+                return tup.items[expr.index]
+            return ATop  # faults at runtime
+        return ATop
+    return ATop
+
+
+def iter_div_sites(program: OnlineProgram) -> list[tuple[Path, Expr]]:
+    """Every ``div`` call site, with the path discipline ``eval_abstract``
+    and the witness interpreter share (output index, then child indices)."""
+    sites: list[tuple[Path, Expr]] = []
+
+    def walk(expr: Expr, path: Path) -> None:
+        if isinstance(expr, Call):
+            for i, a in enumerate(expr.args):
+                walk(a, path + (i,))
+            if isinstance(expr.func, str) and expr.func == "div":
+                sites.append((path, expr))
+            elif isinstance(expr.func, Lambda):
+                walk(expr.func.body, path + (len(expr.args),))
+        elif isinstance(expr, If):
+            walk(expr.cond, path + (0,))
+            walk(expr.then, path + (1,))
+            walk(expr.orelse, path + (2,))
+        elif isinstance(expr, Let):
+            walk(expr.value, path + (0,))
+            walk(expr.body, path + (1,))
+        elif isinstance(expr, MakeTuple):
+            for i, item in enumerate(expr.items):
+                walk(item, path + (i,))
+        elif isinstance(expr, Proj):
+            walk(expr.tup, path + (0,))
+
+    for i, out in enumerate(program.outputs):
+        walk(out, (i,))
+    return sites
+
+
+def _environment(
+    program: OnlineProgram,
+    state: list[AbstractValue],
+    bounds: AnalysisBounds,
+) -> dict[str, AbstractValue]:
+    env: dict[str, AbstractValue] = {}
+    for name in program.extra_params:
+        fb = bounds.extras.get(name)
+        env[name] = fb.to_abstract() if fb is not None else TOP_NUM
+    env.update(zip(program.state_params, state))
+    env[program.elem_param] = bounds.element_abstract()
+    return env
+
+
+@dataclass
+class IntervalAnalysis:
+    """Everything the interval fixpoint establishes."""
+
+    #: Certified per-component abstraction (affine-tightened where possible).
+    state: list[AbstractValue]
+    #: Raw widened fixpoint (before affine tightening).
+    fixpoint: list[AbstractValue]
+    #: Per component: "fixpoint" (bounded by iteration), "affine"
+    #: (bounded via the N-step increment certificate), or None (unbounded).
+    certificates: list[str | None]
+    iterations: int = 0
+    #: Joined denominator abstraction per reachable ``div`` site.
+    div_denominators: dict[Path, ANum] = field(default_factory=dict)
+    #: Joined result abstraction per reachable arithmetic site.
+    site_values: dict[Path, ANum] = field(default_factory=dict)
+
+    def component_int64(self, index: int) -> bool:
+        return int64_certified(self.state[index])
+
+    def int64_safe(self) -> bool:
+        """State *and* every reachable intermediate stay in int64 — the
+        whole-scheme guard-elision certificate."""
+        return all(self.component_int64(i) for i in range(len(self.state))) and all(
+            int64_certified(av) for av in self.site_values.values()
+        )
+
+
+def _affine_decompose(
+    expr: Expr,
+    state_names: frozenset[str],
+    env: dict[str, AbstractValue],
+) -> tuple[dict[str, Fraction], ANum] | None:
+    """Write ``expr`` as ``sum(coeff[v] * v) + rest`` over state variables.
+
+    ``rest`` is a sound abstraction of the non-affine remainder under
+    ``env``; returns ``None`` when the expression is not numeric-affine
+    (callers then fall back to the plain fixpoint answer).
+    """
+    if isinstance(expr, Var) and expr.name in state_names:
+        return {expr.name: Fraction(1)}, ANum(singleton(Fraction(0)), integral=True, exact=True)
+    if isinstance(expr, Call) and isinstance(expr.func, str):
+        if expr.func in ("add", "sub") and len(expr.args) == 2:
+            left = _affine_decompose(expr.args[0], state_names, env)
+            right = _affine_decompose(expr.args[1], state_names, env)
+            if left is None or right is None:
+                return None
+            lc, lr = left
+            rc, rr = right
+            coeffs = dict(lc)
+            for name, c in rc.items():
+                coeffs[name] = coeffs.get(name, Fraction(0)) + (c if expr.func == "add" else -c)
+            rest = num_add(lr, rr) if expr.func == "add" else num_sub(lr, rr)
+            return {n: c for n, c in coeffs.items() if c != 0}, rest
+        if expr.func == "neg" and len(expr.args) == 1:
+            inner = _affine_decompose(expr.args[0], state_names, env)
+            if inner is None:
+                return None
+            coeffs, rest = inner
+            return {n: -c for n, c in coeffs.items()}, num_neg(rest)
+        if expr.func == "mul" and len(expr.args) == 2:
+            for const_side, other_side in ((0, 1), (1, 0)):
+                const_av = eval_abstract(expr.args[const_side], env)
+                if (
+                    isinstance(const_av, ANum)
+                    and const_av.exact
+                    and const_av.iv.singleton
+                    and isinstance(const_av.iv.lo, (int, Fraction))
+                ):
+                    c = Fraction(const_av.iv.lo)
+                    inner = _affine_decompose(expr.args[other_side], state_names, env)
+                    if inner is None:
+                        return None
+                    coeffs, rest = inner
+                    scaled = num_mul(rest, const_av)
+                    return {n: k * c for n, k in coeffs.items() if k * c != 0}, scaled
+    # Fall back: collapse to a plain abstraction (no affine part).
+    av = eval_abstract(expr, env)
+    if isinstance(av, ANum):
+        return {}, av
+    return None
+
+
+def _affine_certificate(
+    program: OnlineProgram,
+    index: int,
+    init_value: Value,
+    fixpoint: list[AbstractValue],
+    bounds: AnalysisBounds,
+) -> ANum | None:
+    """Bound component ``index`` over at most ``N`` steps, if its update is
+    ``y' = y + f(others, elem)`` in the exact-integer regime."""
+    n = bounds.max_elements
+    if n is None:
+        return None
+    name = program.state_params[index]
+    env = _environment(program, fixpoint, bounds)
+    dec = _affine_decompose(program.outputs[index], frozenset(program.state_params), env)
+    if dec is None:
+        return None
+    coeffs, inc = dec
+    if coeffs.get(name) != 1:
+        return None
+    for other, c in coeffs.items():
+        if other == name:
+            continue
+        av = fixpoint[program.state_params.index(other)]
+        if not (isinstance(av, ANum) and av.iv.bounded):
+            return None
+        weight = ANum(singleton(c), integral=c.denominator == 1, exact=True)
+        inc = num_add(inc, num_mul(weight, av))
+    init_av = of_value(init_value)
+    if not isinstance(init_av, ANum):
+        return None
+    if not (inc.iv.bounded and init_av.iv.bounded):
+        return None
+    # Exact-integer regime only: a drifting (float-degraded) accumulation
+    # compounds over steps and no single pad makes it sound.
+    if not (inc.integral and inc.exact and init_av.integral and init_av.exact):
+        return None
+    lo = init_av.iv.lo + n * min(Fraction(0), Fraction(inc.iv.lo))
+    hi = init_av.iv.hi + n * max(Fraction(0), Fraction(inc.iv.hi))
+    iv, exact = _degrade_guard(Interval(lo, hi), ANum(Interval(lo, hi), integral=True, exact=True))
+    if not exact:
+        return None
+    return ANum(iv, integral=True, exact=True, denom_growth=False)
+
+
+def analyze_intervals(
+    program: OnlineProgram,
+    initializer: tuple[Value, ...],
+    bounds: AnalysisBounds,
+) -> IntervalAnalysis:
+    """Reachable-state fixpoint + affine tightening + recorded final pass."""
+    state: list[AbstractValue] = [of_value(v) for v in initializer]
+    iterations = 0
+    for iteration in range(_MAX_ITERATIONS):
+        iterations = iteration + 1
+        env = _environment(program, state, bounds)
+        stepped = [eval_abstract(out, env) for out in program.outputs]
+        joined = [join(old, new) for old, new in zip(state, stepped)]
+        if joined == state:
+            break
+        if iteration >= _WIDEN_AFTER:
+            joined = [widen(old, new) for old, new in zip(state, joined)]
+        state = joined
+    else:  # pragma: no cover - the threshold ladder guarantees convergence
+        state = [TOP_NUM if isinstance(av, ANum) else ATop for av in state]
+
+    certificates: list[str | None] = []
+    certified: list[AbstractValue] = []
+    for i, av in enumerate(state):
+        if isinstance(av, ANum) and not av.iv.bounded:
+            tightened = _affine_certificate(program, i, initializer[i], state, bounds)
+            if tightened is not None:
+                certified.append(tightened)
+                certificates.append("affine")
+                continue
+            certified.append(av)
+            certificates.append(None)
+        else:
+            certified.append(av)
+            certificates.append("fixpoint" if isinstance(av, ANum) else None)
+
+    rec = Recorder()
+    env = _environment(program, certified, bounds)
+    for i, out in enumerate(program.outputs):
+        eval_abstract(out, env, rec, (i,))
+    return IntervalAnalysis(
+        state=certified,
+        fixpoint=state,
+        certificates=certificates,
+        iterations=iterations,
+        div_denominators=rec.div_denominators,
+        site_values=rec.values,
+    )

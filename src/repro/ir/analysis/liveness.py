@@ -1,0 +1,257 @@
+"""State-component liveness and verified dead-state elimination.
+
+A component is *live* when the primary output (component 0, the value
+``run`` streams to the caller) transitively depends on it through the
+update functions; everything else is dead weight carried across steps.
+Synthesis already prunes the easy cases (``core.postprocess``), but schemes
+arriving from disk, from older store entries, or from hand-editing can
+still carry dead components.
+
+Elimination must be *bit-identical*, including faults: a dead component
+whose update can raise (``Proj`` on a scalar, a wrong-arity call) still
+changes observable behaviour when removed, so we only drop components whose
+update expression is provably total under a coarse kind analysis.  The kind
+lattice (NUM / BOOL / TUP(kinds) / ANY) deliberately knows nothing about
+ranges — totality of the safe builtins is range-independent, except for the
+float-converting ones (``sqrt``/``log``/``floor``/…, non-constant ``pow``)
+which can overflow on huge exact rationals and are therefore never "total"
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..builtins import get_builtin, is_builtin
+from ..types import BOOL
+from ..nodes import (
+    Call,
+    Const,
+    Expr,
+    If,
+    Lambda,
+    Let,
+    MakeTuple,
+    OnlineProgram,
+    Proj,
+    Var,
+)
+from ..traversal import free_vars
+from ..values import Value
+
+# Kinds: ("num",) | ("bool",) | ("tuple", (kind, ...)) | ("any",)
+Kind = tuple
+
+NUM_K: Kind = ("num",)
+BOOL_K: Kind = ("bool",)
+ANY_K: Kind = ("any",)
+
+
+def tuple_kind(items: tuple) -> Kind:
+    return ("tuple", tuple(items))
+
+
+def kind_of_value(value: Value) -> Kind:
+    if isinstance(value, bool):
+        return BOOL_K
+    if isinstance(value, (int, float, Fraction)):
+        return NUM_K
+    if isinstance(value, tuple):
+        return tuple_kind(tuple(kind_of_value(v) for v in value))
+    return ANY_K
+
+
+def join_kinds(a: Kind, b: Kind) -> Kind:
+    if a == b:
+        return a
+    if a[0] == "tuple" and b[0] == "tuple" and len(a[1]) == len(b[1]):
+        return tuple_kind(tuple(join_kinds(x, y) for x, y in zip(a[1], b[1])))
+    return ANY_K
+
+
+#: Builtins total on any numeric arguments (the safe wrappers absorb every
+#: arithmetic edge case without converting huge exact values to float).
+_TOTAL_NUMERIC = frozenset({"add", "sub", "mul", "div", "neg", "abs", "min", "max", "sign", "exp"})
+#: Comparisons are total on numbers; eq/ne/and/or/not are total on anything.
+_TOTAL_COMPARE = frozenset({"lt", "le", "gt", "ge"})
+_TOTAL_ANY = frozenset({"eq", "ne", "and", "or", "not"})
+
+
+def _is_const_int(expr: Expr) -> bool:
+    if not isinstance(expr, Const):
+        return False
+    v = expr.value
+    if isinstance(v, bool):
+        return False
+    return isinstance(v, int) or (isinstance(v, Fraction) and v.denominator == 1)
+
+
+def kind_and_totality(expr: Expr, kenv: dict[str, Kind]) -> tuple[Kind, bool]:
+    """``(kind, total)`` where ``total`` means *provably cannot raise* under
+    the given free-variable kinds.  ``ANY`` kinds poison totality for the
+    numeric builtins (a tuple reaching ``add`` raises ``TypeError``)."""
+    if isinstance(expr, Const):
+        return kind_of_value(expr.value), True
+    if isinstance(expr, Var):
+        kind = kenv.get(expr.name)
+        if kind is None:
+            return ANY_K, False  # unbound: raises EvaluationError
+        return kind, True
+    if isinstance(expr, Call):
+        arg_info = [kind_and_totality(a, kenv) for a in expr.args]
+        args_total = all(t for _, t in arg_info)
+        kinds = [k for k, _ in arg_info]
+        if isinstance(expr.func, str):
+            if not is_builtin(expr.func):
+                return ANY_K, False
+            builtin = get_builtin(expr.func)
+            if builtin.arity != len(kinds):
+                return ANY_K, False
+            all_num = all(k == NUM_K for k in kinds)
+            if expr.func in _TOTAL_NUMERIC and all_num:
+                return NUM_K, args_total
+            if expr.func in _TOTAL_COMPARE and all_num:
+                return BOOL_K, args_total
+            if expr.func in _TOTAL_ANY:
+                return BOOL_K, args_total
+            if expr.func == "pow" and all_num:
+                # The integer-exponent path of safe_pow is fully guarded;
+                # a float exponent can overflow unguarded.
+                if _is_const_int(expr.args[1]):
+                    return NUM_K, args_total
+                return NUM_K, False
+            # sqrt/log/floor/ceil/expm1/log1p/length, or a numeric builtin
+            # applied to non-NUM kinds: may raise (conversion overflow or
+            # TypeError), so not total.
+            result = BOOL_K if builtin.result_type == BOOL else NUM_K
+            return result, False
+        if isinstance(expr.func, Lambda):
+            lam = expr.func
+            if len(lam.params) != len(kinds):
+                return ANY_K, False
+            inner = dict(kenv)
+            inner.update(zip(lam.params, kinds))
+            body_kind, body_total = kind_and_totality(lam.body, inner)
+            return body_kind, args_total and body_total
+        return ANY_K, False
+    if isinstance(expr, If):
+        _, cond_total = kind_and_totality(expr.cond, kenv)
+        then_kind, then_total = kind_and_totality(expr.then, kenv)
+        else_kind, else_total = kind_and_totality(expr.orelse, kenv)
+        return join_kinds(then_kind, else_kind), cond_total and then_total and else_total
+    if isinstance(expr, Let):
+        value_kind, value_total = kind_and_totality(expr.value, kenv)
+        inner = dict(kenv)
+        inner[expr.name] = value_kind
+        body_kind, body_total = kind_and_totality(expr.body, inner)
+        return body_kind, value_total and body_total
+    if isinstance(expr, MakeTuple):
+        info = [kind_and_totality(item, kenv) for item in expr.items]
+        return tuple_kind(tuple(k for k, _ in info)), all(t for _, t in info)
+    if isinstance(expr, Proj):
+        tup_kind, tup_total = kind_and_totality(expr.tup, kenv)
+        if tup_kind[0] == "tuple":
+            items = tup_kind[1]
+            if 0 <= expr.index < len(items):
+                return items[expr.index], tup_total
+        return ANY_K, False  # out of range or non-tuple: EvaluationError
+    # List constructs, holes, anything else: faults in an online step.
+    return ANY_K, False
+
+
+def _element_kind(program: OnlineProgram, element_arity: int | None) -> Kind:
+    if element_arity is None:
+        return ANY_K
+    if element_arity == 1:
+        return NUM_K
+    return tuple_kind(tuple(NUM_K for _ in range(element_arity)))
+
+
+def state_kinds(
+    program: OnlineProgram,
+    initializer: tuple[Value, ...],
+    element_arity: int | None,
+) -> dict[str, Kind]:
+    """Per-variable kind environment, iterated to a (tiny) fixpoint so that
+    kind-changing updates are joined rather than missed."""
+    kenv: dict[str, Kind] = {name: NUM_K for name in program.extra_params}
+    kenv[program.elem_param] = _element_kind(program, element_arity)
+    kinds = [kind_of_value(v) for v in initializer]
+    for _ in range(1 + len(initializer)):
+        kenv.update(zip(program.state_params, kinds))
+        stepped = [kind_and_totality(out, kenv)[0] for out in program.outputs]
+        joined = [join_kinds(a, b) for a, b in zip(kinds, stepped)]
+        if joined == kinds:
+            break
+        kinds = joined
+    kenv.update(zip(program.state_params, kinds))
+    return kenv
+
+
+def live_components(program: OnlineProgram) -> set[int]:
+    """Indices of state components the primary output transitively needs."""
+    state_set = frozenset(program.state_params)
+    deps: list[frozenset[str]] = [free_vars(out) & state_set for out in program.outputs]
+    index_of = {name: i for i, name in enumerate(program.state_params)}
+    live = {0}
+    frontier = [0]
+    while frontier:
+        i = frontier.pop()
+        for name in deps[i]:
+            j = index_of[name]
+            if j not in live:
+                live.add(j)
+                frontier.append(j)
+    return live
+
+
+@dataclass(frozen=True)
+class LivenessReport:
+    live: tuple[int, ...]
+    dead: tuple[int, ...]
+    #: Dead components whose update is provably total (safe to eliminate).
+    removable: tuple[int, ...]
+    #: Dead components retained because their update may fault.
+    retained: tuple[int, ...]
+
+
+def analyze_liveness(
+    program: OnlineProgram,
+    initializer: tuple[Value, ...],
+    element_arity: int | None = None,
+) -> LivenessReport:
+    live = live_components(program)
+    dead = [i for i in range(program.arity) if i not in live]
+    kenv = state_kinds(program, initializer, element_arity)
+    removable = [i for i in dead if kind_and_totality(program.outputs[i], kenv)[1]]
+    retained = [i for i in dead if i not in set(removable)]
+    return LivenessReport(
+        live=tuple(sorted(live)),
+        dead=tuple(dead),
+        removable=tuple(removable),
+        retained=tuple(retained),
+    )
+
+
+def eliminate_dead_state(
+    program: OnlineProgram,
+    initializer: tuple[Value, ...],
+    element_arity: int | None = None,
+) -> tuple[OnlineProgram, tuple[Value, ...], tuple[str, ...]]:
+    """Drop provably-total dead components.  Returns the rewritten program,
+    initializer, and the removed component names (empty when nothing was
+    safe to remove — the originals are returned unchanged then)."""
+    report = analyze_liveness(program, initializer, element_arity)
+    if not report.removable:
+        return program, initializer, ()
+    keep = [i for i in range(program.arity) if i not in set(report.removable)]
+    removed = tuple(program.state_params[i] for i in report.removable)
+    new_program = OnlineProgram(
+        state_params=tuple(program.state_params[i] for i in keep),
+        elem_param=program.elem_param,
+        outputs=tuple(program.outputs[i] for i in keep),
+        extra_params=program.extra_params,
+    )
+    new_initializer = tuple(initializer[i] for i in keep)
+    return new_program, new_initializer, removed

@@ -1,0 +1,259 @@
+"""Versioned analysis reports: every analysis, one JSON-able dict.
+
+The report is the unit the rest of the stack consumes — ``repro analyze``
+prints it, the scheme store caches it next to the scheme, serve/run
+preflight gates on its verdict, and CI archives it.  Verdict semantics:
+
+* ``error`` — the scheme is statically broken (unbound variable, arity
+  mismatch, non-online construct): a step *will* raise.  Preflight refuses
+  these; ``repro analyze`` exits 1.
+* ``warn`` — executable but suspicious: a division can see a zero
+  denominator (silently absorbed to 0 by ``safe_div``), or dead state
+  components are being carried.  Exit 0 unless ``--strict``.
+* ``ok`` — no findings above ``info``.
+
+Certificates (interval bounds, affine N-step bounds, int64 safety) are
+reported as exact endpoint strings so a consumer can re-audit them rather
+than trust a boolean.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..nodes import OnlineProgram
+from ..pretty import pretty
+from ..values import Value
+from .bounds import AnalysisBounds, UNKNOWN_BOUNDS, bounds_to_dict, encode_endpoint
+from .divzero import DivZeroWitness, find_divzero_witness
+from .domain import ANum, int64_certified
+from .engine import IntervalAnalysis, analyze_intervals, iter_div_sites
+from .liveness import analyze_liveness
+from .wellformed import audit_program
+
+ANALYSIS_FORMAT = "repro/analysis"
+ANALYSIS_VERSION = 1
+
+#: Severity order for verdict aggregation.
+_LEVELS = {"info": 0, "warn": 1, "error": 2}
+
+
+def encode_value(value: Value):
+    """JSON-safe exact encoding of a runtime value (for witnesses)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else repr(value)
+    if isinstance(value, tuple):
+        return [encode_value(v) for v in value]
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    return repr(value)
+
+
+def _state_entry(name: str, av, certificate: str | None) -> dict:
+    entry: dict = {"name": name, "certificate": certificate}
+    if isinstance(av, ANum):
+        entry.update(
+            lo=encode_endpoint(av.iv.lo),
+            hi=encode_endpoint(av.iv.hi),
+            integral=av.integral,
+            exact=av.exact,
+            denom_growth=av.denom_growth,
+            int64=int64_certified(av),
+        )
+    else:
+        entry.update(lo="-inf", hi="inf", integral=False, exact=False, int64=False)
+    return entry
+
+
+def _interval_section(program: OnlineProgram, analysis: IntervalAnalysis) -> dict:
+    return {
+        "state": [
+            _state_entry(name, av, cert)
+            for name, av, cert in zip(
+                program.state_params, analysis.state, analysis.certificates
+            )
+        ],
+        "iterations": analysis.iterations,
+        "int64_safe": analysis.int64_safe(),
+    }
+
+
+def _divzero_section(
+    program: OnlineProgram,
+    analysis: IntervalAnalysis,
+    witness: DivZeroWitness | None,
+) -> dict:
+    sites = []
+    overall = "safe"
+    for path, expr in iter_div_sites(program):
+        denom = analysis.div_denominators.get(path)
+        entry: dict = {"path": list(path), "expr": pretty(expr)}
+        if denom is None:
+            entry["verdict"] = "safe"
+            entry["note"] = "statically unreachable"
+        elif not denom.iv.contains_zero():
+            entry["verdict"] = "safe"
+            entry["denominator"] = {
+                "lo": encode_endpoint(denom.iv.lo),
+                "hi": encode_endpoint(denom.iv.hi),
+            }
+        else:
+            entry["denominator"] = {
+                "lo": encode_endpoint(denom.iv.lo),
+                "hi": encode_endpoint(denom.iv.hi),
+            }
+            if witness is not None and witness.site == path:
+                entry["verdict"] = "reachable"
+                entry["witness"] = {
+                    "elements": [encode_value(e) for e in witness.elements],
+                    "element_index": witness.element_index,
+                    "state_before": [encode_value(v) for v in witness.state],
+                    "extras": {
+                        k: encode_value(v) for k, v in sorted(witness.extras.items())
+                    },
+                }
+            else:
+                entry["verdict"] = "unknown"
+        sites.append(entry)
+    verdicts = {s["verdict"] for s in sites}
+    if "reachable" in verdicts:
+        overall = "reachable"
+    elif "unknown" in verdicts:
+        overall = "unknown"
+    return {"verdict": overall, "sites": sites}
+
+
+def analyze_online(
+    program: OnlineProgram,
+    initializer: tuple[Value, ...],
+    bounds: AnalysisBounds = UNKNOWN_BOUNDS,
+    name: str | None = None,
+    search_witness: bool = True,
+) -> dict:
+    """Run every analysis over one online scheme; returns the report dict."""
+    findings = audit_program(program, tuple(initializer))
+    has_error = any(f["level"] == "error" for f in findings)
+    if has_error:
+        # The deeper analyses assume well-formedness (the audit is their
+        # precondition); a statically broken scheme gets an error verdict
+        # with the audit findings alone.
+        return {
+            "format": ANALYSIS_FORMAT,
+            "version": ANALYSIS_VERSION,
+            "scheme": name,
+            "verdict": "error",
+            "bounds": bounds_to_dict(bounds),
+            "findings": findings,
+            "intervals": {"state": [], "iterations": 0, "int64_safe": False},
+            "divzero": {"verdict": "unknown", "sites": []},
+            "liveness": {"live": [], "dead": [], "removable": [], "retained": []},
+        }
+
+    intervals = analyze_intervals(program, tuple(initializer), bounds)
+    witness = None
+    div_sites = iter_div_sites(program)
+    statically_unsafe = any(
+        path in intervals.div_denominators
+        and intervals.div_denominators[path].iv.contains_zero()
+        for path, _ in div_sites
+    )
+    if search_witness and statically_unsafe and not has_error:
+        witness = find_divzero_witness(program, initializer, bounds)
+    divzero = _divzero_section(program, intervals, witness)
+    if divzero["verdict"] == "reachable":
+        site = next(s for s in divzero["sites"] if s["verdict"] == "reachable")
+        findings.append(
+            {
+                "analysis": "divzero",
+                "level": "warn",
+                "message": (
+                    f"zero denominator reachable at {site['expr']} "
+                    "(safe_div absorbs it to 0)"
+                ),
+                "site": str(site["path"]),
+            }
+        )
+    elif divzero["verdict"] == "unknown":
+        findings.append(
+            {
+                "analysis": "divzero",
+                "level": "info",
+                "message": "denominator interval contains 0 but no witness found",
+            }
+        )
+
+    element_arity = len(bounds.element) if bounds.element is not None else None
+    liveness = analyze_liveness(program, tuple(initializer), element_arity)
+    names = program.state_params
+    if liveness.removable:
+        dead = ", ".join(names[i] for i in liveness.removable)
+        findings.append(
+            {
+                "analysis": "liveness",
+                "level": "warn",
+                "message": f"dead state component(s): {dead} (eliminable)",
+            }
+        )
+    for i in liveness.retained:
+        findings.append(
+            {
+                "analysis": "liveness",
+                "level": "info",
+                "message": (
+                    f"state component {names[i]!r} is dead but its update "
+                    "may fault; retained"
+                ),
+            }
+        )
+    for name_, av in zip(names, intervals.state):
+        if isinstance(av, ANum) and av.denom_growth:
+            findings.append(
+                {
+                    "analysis": "intervals",
+                    "level": "info",
+                    "message": (
+                        f"component {name_!r}: exact-rational denominator "
+                        "may grow with the stream (gcd growth)"
+                    ),
+                }
+            )
+
+    worst = max((_LEVELS[f["level"]] for f in findings), default=0)
+    verdict = {0: "ok", 1: "warn", 2: "error"}[worst]
+    return {
+        "format": ANALYSIS_FORMAT,
+        "version": ANALYSIS_VERSION,
+        "scheme": name,
+        "verdict": verdict,
+        "bounds": bounds_to_dict(bounds),
+        "findings": findings,
+        "intervals": _interval_section(program, intervals),
+        "divzero": divzero,
+        "liveness": {
+            "live": [names[i] for i in liveness.live],
+            "dead": [names[i] for i in liveness.dead],
+            "removable": [names[i] for i in liveness.removable],
+            "retained": [names[i] for i in liveness.retained],
+        },
+    }
+
+
+def report_verdict(report: dict) -> str:
+    return report.get("verdict", "error")
+
+
+def exit_code(report: dict, strict: bool = False) -> int:
+    """The 0/1/2 CLI contract: 0 ok (or warn), 1 error (or warn under
+    ``--strict``).  2 is reserved for usage/format errors at the CLI layer."""
+    verdict = report_verdict(report)
+    if verdict == "error":
+        return 1
+    if verdict == "warn" and strict:
+        return 1
+    return 0

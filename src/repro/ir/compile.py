@@ -160,8 +160,7 @@ class StepKernel:
 
     __slots__ = ("run", "compiled", "fused", "name")
 
-    def __init__(self, run: Callable, *, compiled: bool, fused: bool = False,
-                 name: str = "kernel"):
+    def __init__(self, run: Callable, *, compiled: bool, fused: bool = False, name: str = "kernel"):
         self.run = run
         self.compiled = compiled
         self.fused = fused
@@ -338,16 +337,10 @@ def _fast_add(a, b):
     ta = type(a)
     tb = type(b)
     if ta is Fraction:
-        if not (
-            _FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT
-            and a._denominator < _FRAC_LIMIT
-        ):
+        if not (_FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT and a._denominator < _FRAC_LIMIT):
             return _ADD_IMPL(a, b)
         if tb is Fraction:
-            if not (
-                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
-                and b._denominator < _FRAC_LIMIT
-            ):
+            if not (_FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT and b._denominator < _FRAC_LIMIT):
                 return _ADD_IMPL(a, b)
         elif tb is not int or not (_FRAC_LIMIT_NEG < b < _FRAC_LIMIT):
             return _ADD_IMPL(a, b)
@@ -375,16 +368,10 @@ def _fast_sub(a, b):
     ta = type(a)
     tb = type(b)
     if ta is Fraction:
-        if not (
-            _FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT
-            and a._denominator < _FRAC_LIMIT
-        ):
+        if not (_FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT and a._denominator < _FRAC_LIMIT):
             return _SUB_IMPL(a, b)
         if tb is Fraction:
-            if not (
-                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
-                and b._denominator < _FRAC_LIMIT
-            ):
+            if not (_FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT and b._denominator < _FRAC_LIMIT):
                 return _SUB_IMPL(a, b)
         elif tb is not int or not (_FRAC_LIMIT_NEG < b < _FRAC_LIMIT):
             return _SUB_IMPL(a, b)
@@ -412,16 +399,10 @@ def _fast_mul(a, b):
     ta = type(a)
     tb = type(b)
     if ta is Fraction:
-        if not (
-            _FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT
-            and a._denominator < _FRAC_LIMIT
-        ):
+        if not (_FRAC_LIMIT_NEG < a._numerator < _FRAC_LIMIT and a._denominator < _FRAC_LIMIT):
             return _MUL_IMPL(a, b)
         if tb is Fraction:
-            if not (
-                _FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT
-                and b._denominator < _FRAC_LIMIT
-            ):
+            if not (_FRAC_LIMIT_NEG < b._numerator < _FRAC_LIMIT and b._denominator < _FRAC_LIMIT):
                 return _MUL_IMPL(a, b)
         elif tb is not int or not (_FRAC_LIMIT_NEG < b < _FRAC_LIMIT):
             return _MUL_IMPL(a, b)
@@ -551,9 +532,7 @@ def _unconditional_free(expr: Expr, bound: frozenset[str]) -> frozenset[str]:
             result |= frozenset((expr.func.name,)) - bound
         return result
     if isinstance(expr, Fold):
-        result = _unconditional_free(expr.init, bound) | _unconditional_free(
-            expr.lst, bound
-        )
+        result = _unconditional_free(expr.init, bound) | _unconditional_free(expr.lst, bound)
         if isinstance(expr.func, Var):
             result |= frozenset((expr.func.name,)) - bound
         return result
@@ -710,11 +689,9 @@ class _Codegen:
             orelse = self.emit(expr.orelse, bound, memo)
             return f"({then} if {cond} else {orelse})"
         if isinstance(expr, Map):
-            return self._combinator(expr.func, expr.lst, bound, memo,
-                                    filtering=False, lines=lines)
+            return self._combinator(expr.func, expr.lst, bound, memo, filtering=False, lines=lines)
         if isinstance(expr, Filter):
-            return self._combinator(expr.func, expr.lst, bound, memo,
-                                    filtering=True, lines=lines)
+            return self._combinator(expr.func, expr.lst, bound, memo, filtering=True, lines=lines)
         if isinstance(expr, Fold):
             fn = self._fold_callee(expr.func, bound, memo, lines=lines)
             init = self.emit_stmts(expr.init, bound, lines, memo)
@@ -975,9 +952,7 @@ class _Codegen:
         return fn
 
 
-def compile_expr(
-    expr: Expr, params: Sequence[str], name: str = "expr"
-) -> Callable:
+def compile_expr(expr: Expr, params: Sequence[str], name: str = "expr") -> Callable:
     """Compile ``expr`` into ``f(*values)`` taking one positional argument
     per name in ``params`` (in order; names must be distinct).
 
@@ -1040,22 +1015,15 @@ def _emit_extra_fetch(
         lines.append(f"{pad}try:")
         lines.append(f"{pad}    {cg.mangle(extra_name)} = {extra_var}[{extra_name!r}]")
         lines.append(f"{pad}except (KeyError, TypeError):")
-        lines.append(
-            f"{pad}    raise EvaluationError(\"unbound {kind} {extra_name!r}\") from None"
-        )
+        lines.append(f"{pad}    raise EvaluationError(\"unbound {kind} {extra_name!r}\") from None")
 
 
 def _emit_outputs(
-    cg: _Codegen, program: OnlineProgram, eager_extras: Sequence[str],
-    lines: list, name: str
+    cg: _Codegen, program: OnlineProgram, eager_extras: Sequence[str], lines: list, name: str
 ) -> list[str]:
     """CSE'd statement-context emission of all outputs; returns the output
     references (one per new state component)."""
-    all_bound = (
-        frozenset(program.state_params)
-        | {program.elem_param}
-        | frozenset(eager_extras)
-    )
+    all_bound = frozenset(program.state_params) | {program.elem_param} | frozenset(eager_extras)
     memo: dict = {}
     try:
         return [cg.emit_stmts(out, all_bound, lines, memo) for out in program.outputs]
@@ -1126,9 +1094,7 @@ def _check_batchable(program: OnlineProgram, what: str) -> None:
             "state parameter; batch compilation declined"
         )
     if len(set(program.state_params)) != program.arity:
-        raise IRCompileError(
-            f"{what}: duplicate state parameters; batch compilation declined"
-        )
+        raise IRCompileError(f"{what}: duplicate state parameters; batch compilation declined")
     if len(program.outputs) != program.arity:
         raise IRCompileError(
             f"{what}: {len(program.outputs)} outputs for arity "
@@ -1211,9 +1177,7 @@ def compile_step_batch(program: OnlineProgram, name: str = "batch") -> StepKerne
     return StepKernel(fn, compiled=True, name=name)
 
 
-def compile_fused_steps(
-    programs: Sequence[OnlineProgram], name: str = "fused"
-) -> StepKernel:
+def compile_fused_steps(programs: Sequence[OnlineProgram], name: str = "fused") -> StepKernel:
     """Fuse several online programs into ONE batch loop that advances all
     of their states per element:
     ``run(states, elements, extras) -> (final_states, consumed)`` where
@@ -1279,27 +1243,19 @@ def compile_fused_steps(
             # extras up): per-push order, where a missing binding for
             # program r still lets programs before r apply element 0.
             body_lines.append("    if not _n:")
-            _emit_extra_fetch(cg, eager_extras, list_extras, body_lines, 8,
-                              extra_var=f"_extra{i}")
+            _emit_extra_fetch(cg, eager_extras, list_extras, body_lines, 8, extra_var=f"_extra{i}")
         body_lines.append(f"    {cg.mangle(program.elem_param)} = _elem")
-        outputs = _emit_outputs(cg, program, eager_extras, body_lines,
-                                f"{name}[{i}]")
+        outputs = _emit_outputs(cg, program, eager_extras, body_lines, f"{name}[{i}]")
         # Per-program atomic update, applied as soon as ITS body is done —
         # matching push's in-order evaluation within one element (program j
         # cannot observe it: the scopes are disjoint).  _p marks how many
         # programs completed the current element, for the failure record.
         if state_vars:
-            body_lines.append(
-                f"    {', '.join(state_vars)} = {', '.join(outputs)}"
-            )
+            body_lines.append(f"    {', '.join(state_vars)} = {', '.join(outputs)}")
         body_lines.append(f"    _p = {i + 1}")
         state_tuples.append(_state_tuple(state_vars))
     states_tuple = "(" + "".join(t + ", " for t in state_tuples) + ")"
-    consumed_tuple = (
-        "("
-        + "".join(f"_n + 1 if _p > {i} else _n, " for i in range(k))
-        + ")"
-    )
+    consumed_tuple = ("(" + "".join(f"_n + 1 if _p > {i} else _n, " for i in range(k)) + ")")
     lines.append("    _n = 0")
     lines.append("    _p = 0")
     lines.append("    try:")

@@ -86,9 +86,7 @@ class Closure:
     def __call__(self, *args: Value) -> Value:
         params = self.lam.params
         if len(args) != len(params):
-            raise EvaluationError(
-                f"lambda expects {len(params)} args, got {len(args)}"
-            )
+            raise EvaluationError(f"lambda expects {len(params)} args, got {len(args)}")
         frame = dict(zip(params, args)) if params else {}
         return evaluate(self.lam.body, _ChainEnv(frame, self.env))
 

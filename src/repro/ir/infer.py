@@ -77,9 +77,7 @@ def _infer(expr: Expr, env: TypeEnvironment) -> Type:
         for arg in expr.args:
             arg_type = _infer(arg, env)
             if builtin.kind != "list" and isinstance(arg_type, ListType):
-                raise TypeError_(
-                    f"list value passed to scalar builtin {builtin.name!r}"
-                )
+                raise TypeError_(f"list value passed to scalar builtin {builtin.name!r}")
         return builtin.result_type
     if isinstance(expr, If):
         cond = _infer(expr.cond, env)
@@ -135,9 +133,7 @@ def _element_type(lst: Expr, env: TypeEnvironment) -> Type:
     return inferred.element if isinstance(inferred, ListType) else NUM
 
 
-def infer_program_type(
-    program: Program, element_type: Type = NUM
-) -> Type:
+def infer_program_type(program: Program, element_type: Type = NUM) -> Type:
     """Result type of an offline program, given the stream element type."""
     env = TypeEnvironment(
         {program.param: ListType(element_type)}

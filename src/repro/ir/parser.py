@@ -133,9 +133,7 @@ def _to_expr(sexpr, list_names: frozenset[str]) -> Expr:
         return Map(_func_expr(sexpr[1], list_names, 1), _to_expr(sexpr[2], list_names))
     if head == "filter":
         _expect(sexpr, 3, "filter")
-        return Filter(
-            _func_expr(sexpr[1], list_names, 1), _to_expr(sexpr[2], list_names)
-        )
+        return Filter(_func_expr(sexpr[1], list_names, 1), _to_expr(sexpr[2], list_names))
     if head == "foldl":
         _expect(sexpr, 4, "foldl")
         return Fold(
@@ -270,9 +268,7 @@ def parse_online_program(text: str) -> OnlineProgram:
     if len(elem_names) != 1:
         raise ParseError("(elem ...) takes exactly one name")
     elem_param = elem_names[0]
-    extra_params = (
-        _name_section(sections["extra"], "extra") if "extra" in sections else ()
-    )
+    extra_params = (_name_section(sections["extra"], "extra") if "extra" in sections else ())
     bound = set(state_params) | {elem_param} | set(extra_params)
     if len(bound) != len(state_params) + 1 + len(extra_params):
         raise ParseError("state/elem/extra names must be pairwise distinct")

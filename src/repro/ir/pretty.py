@@ -173,7 +173,5 @@ def pretty_program(program: Program) -> str:
 def pretty_online(program: OnlineProgram) -> str:
     state = ", ".join(program.state_params)
     outs = ",\n   ".join(pretty(o) for o in program.outputs)
-    extras = (
-        " " + " ".join(program.extra_params) if program.extra_params else ""
-    )
+    extras = " " + " ".join(program.extra_params) if program.extra_params else ""
     return f"\\({state}) {program.elem_param}{extras} ->\n  ({outs})"

@@ -117,9 +117,7 @@ def list_vars(expr: Expr) -> frozenset[str]:
 
 
 def contains_list_var(expr: Expr, name: str = "xs") -> bool:
-    return any(
-        isinstance(sub, ListVar) and sub.name == name for sub in iter_subexprs(expr)
-    )
+    return any(isinstance(sub, ListVar) and sub.name == name for sub in iter_subexprs(expr))
 
 
 def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
@@ -239,6 +237,8 @@ def validate_online_expr(expr: Expr) -> bool:
         if isinstance(sub, (Map, Filter, Fold, ListVar, Snoc, Hole)):
             return False
         if isinstance(sub, Call) and isinstance(sub.func, str):
-            if get_builtin(sub.func).kind == "list":
+            # Unknown names are not list builtins; the well-formedness audit
+            # reports them separately.
+            if is_builtin(sub.func) and get_builtin(sub.func).kind == "list":
                 return False
     return True

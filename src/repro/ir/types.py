@@ -40,8 +40,7 @@ class Type:
     def is_scalar(self) -> bool:
         """Scalar types may appear in online programs (Figure 7)."""
         return isinstance(self, (NumType, BoolType)) or (
-            isinstance(self, TupleType)
-            and all(t.is_scalar() for t in self.elements)
+            isinstance(self, TupleType) and all(t.is_scalar() for t in self.elements)
         )
 
 
@@ -130,9 +129,7 @@ def unify(a: Type, b: Type) -> Type:
         return ListType(unify(a.element, b.element))
     if isinstance(a, TupleType) and isinstance(b, TupleType):
         if a.arity == b.arity:
-            return TupleType(
-                tuple(unify(x, y) for x, y in zip(a.elements, b.elements))
-            )
+            return TupleType(tuple(unify(x, y) for x, y in zip(a.elements, b.elements)))
     # Prefer the non-default side when one of the two is the NUM fallback.
     if a == NUM:
         return b

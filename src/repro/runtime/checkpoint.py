@@ -58,9 +58,7 @@ def _check_envelope(data, kind: str) -> None:
     if not isinstance(data, dict):
         raise CheckpointError(f"checkpoint must be an object, got {type(data).__name__}")
     if data.get("kind") != kind:
-        raise CheckpointError(
-            f"expected a {kind!r} checkpoint, got {data.get('kind')!r}"
-        )
+        raise CheckpointError(f"expected a {kind!r} checkpoint, got {data.get('kind')!r}")
     if data.get("version") != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"unsupported checkpoint version {data.get('version')!r} "
@@ -76,9 +74,7 @@ def _decode_state(raw, arity: int, what: str) -> tuple[Value, ...]:
     except SchemeFormatError as exc:
         raise CheckpointError(f"bad {what} state: {exc}") from None
     if len(state) != arity:
-        raise CheckpointError(
-            f"{what} state arity {len(state)} != scheme arity {arity}"
-        )
+        raise CheckpointError(f"{what} state arity {len(state)} != scheme arity {arity}")
     return state
 
 
@@ -148,9 +144,7 @@ def restore_pipeline(data: dict):
     raw_ops = data.get("operators")
     if not isinstance(raw_ops, dict):
         raise CheckpointError("pipeline checkpoint needs an 'operators' object")
-    return StreamPipeline(
-        {str(name): restore_operator(entry) for name, entry in raw_ops.items()}
-    )
+    return StreamPipeline({str(name): restore_operator(entry) for name, entry in raw_ops.items()})
 
 
 # -- KeyedOperator ----------------------------------------------------------
@@ -419,9 +413,7 @@ def verify_generation(path) -> tuple[int, int, dict]:
     if not isinstance(data, dict) or data.get("format") != GENERATION_FORMAT:
         raise CheckpointError(f"{path}: not a checkpoint generation envelope")
     if data.get("version") != GENERATION_VERSION:
-        raise CheckpointError(
-            f"{path}: unsupported generation version {data.get('version')!r}"
-        )
+        raise CheckpointError(f"{path}: unsupported generation version {data.get('version')!r}")
     generation = data.get("generation")
     consumed = data.get("consumed")
     payload = data.get("payload")

@@ -228,18 +228,12 @@ class StreamPipeline:
             raise exc
         states = tuple(op.state for op in ops)
         try:
-            states, consumed = fused.run(
-                states, chunk, tuple(op.extra for op in ops)
-            )
+            states, consumed = fused.run(states, chunk, tuple(op.extra for op in ops))
         except BaseException as exc:
             states, consumed = kernel_partial(exc, states)
             # A fused kernel's failure record carries per-program counts
             # (operators before the raiser applied one element more).
-            counts = (
-                consumed
-                if isinstance(consumed, tuple)
-                else (consumed,) * len(ops)
-            )
+            counts = (consumed if isinstance(consumed, tuple) else (consumed,) * len(ops))
             for op, state, count in zip(ops, states, counts):
                 op.state = state
                 op.count += count

@@ -39,9 +39,7 @@ def stable_key_hash(key: Hashable) -> int:
 
 
 def _point(shard: int, replica: int) -> int:
-    digest = hashlib.blake2b(
-        f"shard:{shard}:replica:{replica}".encode(), digest_size=8
-    )
+    digest = hashlib.blake2b(f"shard:{shard}:replica:{replica}".encode(), digest_size=8)
     return int.from_bytes(digest.digest(), "big")
 
 

@@ -382,9 +382,7 @@ class StreamServer:
                     name = entry.name
                     if name.startswith(("shard-", "deadletter-")):
                         entry.unlink(missing_ok=True)
-            atomic_write_text(
-                path, json.dumps(self._manifest(), indent=2, sort_keys=True) + "\n"
-            )
+            atomic_write_text(path, json.dumps(self._manifest(), indent=2, sort_keys=True) + "\n")
             return False
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
@@ -493,16 +491,12 @@ class StreamServer:
         if result is not None and result.kind != "crashed":
             # Deterministic failures (scheme step raised, bad command)
             # would fail again on replay; surface them instead.
-            raise ServeError(
-                f"shard {shard.sid} worker failed: {result.kind} {result.message}"
-            )
+            raise ServeError(f"shard {shard.sid} worker failed: {result.kind} {result.message}")
         # Sliding-window restart budget: only restarts inside the window
         # count, so an incident an hour ago never dooms this one — but a
         # crash loop exhausts the budget fast no matter how long it runs.
         now = time.monotonic()
-        shard.restart_times = [
-            t for t in shard.restart_times if now - t < self.restart_window_s
-        ]
+        shard.restart_times = [t for t in shard.restart_times if now - t < self.restart_window_s]
         if len(shard.restart_times) >= self.restart_budget:
             raise ServeError(
                 f"shard {shard.sid} exhausted its restart budget "
@@ -639,9 +633,7 @@ class StreamServer:
                     progressed = True
                     continue
                 if message[0] != "ack":
-                    raise ServeError(
-                        f"shard {shard.sid}: unexpected message {message[0]!r}"
-                    )
+                    raise ServeError(f"shard {shard.sid}: unexpected message {message[0]!r}")
                 _, seq, _count, ckpt = message
                 now = time.monotonic()
                 for batch in shard.buffer:
@@ -668,9 +660,7 @@ class StreamServer:
             return
         if result.kind == "ok":
             if not self._draining:
-                raise ServeError(
-                    f"shard {shard.sid} worker exited mid-stream: {result.value!r}"
-                )
+                raise ServeError(f"shard {shard.sid} worker exited mid-stream: {result.value!r}")
             self._drain_acks(shard)  # acks sent before the final payload
             shard.final = result.value
             shard.inflight = 0
@@ -689,9 +679,7 @@ class StreamServer:
         seen: set = set()
         checkpoints = {}
         for sid, payload in finals.items():
-            if not isinstance(payload, dict) or not isinstance(
-                payload.get("checkpoint"), dict
-            ):
+            if not isinstance(payload, dict) or not isinstance(payload.get("checkpoint"), dict):
                 raise ServeError(f"shard {sid} returned no final checkpoint")
             ckpt = payload["checkpoint"]
             checkpoints[sid] = ckpt

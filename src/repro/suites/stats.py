@@ -140,7 +140,9 @@ def _benchmarks() -> list[Benchmark]:
         _MEAN,
         "Arithmetic mean (Example 3.1)",
         _gt(("m", "n"), (div(add(mul("m", "n"), "x"), add("n", 1)), add("n", 1)), (0, 0)),
-        python="def mean(xs):\n    s = 0\n    for x in xs:\n        s += x\n    return s / len(xs)\n",
+        python=(
+            "def mean(xs):\n    s = 0\n    for x in xs:\n        s += x\n    return s / len(xs)\n"
+        ),
     )
     bench(
         "sum_of_squares",

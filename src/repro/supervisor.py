@@ -146,9 +146,7 @@ class ProcessSupervisor:
         withdrawn = len(self._pending) - len(keep)
         self._pending = keep
         doomed = [
-            sentinel
-            for sentinel, (_, _, job, _, _) in self._active.items()
-            if predicate(job.key)
+            sentinel for sentinel, (_, _, job, _, _) in self._active.items() if predicate(job.key)
         ]
         for sentinel in doomed:
             proc, conn, _, _, _ = self._active.pop(sentinel)
@@ -158,9 +156,7 @@ class ProcessSupervisor:
 
     # -- the supervision loop ----------------------------------------------
 
-    def run(
-        self, jobs: list[Job], deadline: float | None = None
-    ) -> Iterator[JobResult]:
+    def run(self, jobs: list[Job], deadline: float | None = None) -> Iterator[JobResult]:
         """Execute ``jobs``; yield a :class:`JobResult` per surviving job in
         completion order.
 
@@ -257,13 +253,9 @@ class ProcessSupervisor:
             if conn.poll():
                 result = self._from_payload(conn.recv(), job, elapsed)
             else:
-                result = JobResult(
-                    job, "crashed", elapsed_s=elapsed, exitcode=proc.exitcode
-                )
+                result = JobResult(job, "crashed", elapsed_s=elapsed, exitcode=proc.exitcode)
         except (EOFError, OSError):
-            result = JobResult(
-                job, "crashed", elapsed_s=elapsed, exitcode=proc.exitcode
-            )
+            result = JobResult(job, "crashed", elapsed_s=elapsed, exitcode=proc.exitcode)
         finally:
             conn.close()
         return result
@@ -279,11 +271,7 @@ class ProcessSupervisor:
 
     @staticmethod
     def _from_payload(payload, job: Job, elapsed: float) -> JobResult:
-        if (
-            isinstance(payload, tuple)
-            and len(payload) == 3
-            and payload[0] in ("ok", "error")
-        ):
+        if (isinstance(payload, tuple) and len(payload) == 3 and payload[0] in ("ok", "error")):
             kind, value, message = payload
             return JobResult(job, kind, value=value, message=message, elapsed_s=elapsed)
         return JobResult(
@@ -359,8 +347,7 @@ class ServiceSupervisor:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def start(self, key, fn: Callable, args: tuple = (),
-              timeout_s: float | None = None) -> None:
+    def start(self, key, fn: Callable, args: tuple = (), timeout_s: float | None = None) -> None:
         """Spawn a service under ``key``; ``timeout_s`` (optional) caps its
         total wall-clock across *all* incarnations."""
         svc = self._services.get(key)
@@ -437,10 +424,7 @@ class ServiceSupervisor:
     def alive(self, key) -> bool:
         svc = self._services.get(key)
         return (
-            svc is not None
-            and svc.result is None
-            and svc.proc is not None
-            and svc.proc.is_alive()
+            svc is not None and svc.result is None and svc.proc is not None and svc.proc.is_alive()
         )
 
     def pid(self, key) -> int | None:
@@ -471,9 +455,7 @@ class ServiceSupervisor:
             for svc in running:
                 if svc.deadline is not None:
                     wait_until = (
-                        svc.deadline
-                        if wait_until is None
-                        else min(wait_until, svc.deadline)
+                        svc.deadline if wait_until is None else min(wait_until, svc.deadline)
                     )
             waitables = []
             for svc in running:
@@ -536,9 +518,7 @@ class ServiceSupervisor:
                     )
                 else:
                     svc.proc.join()
-                    svc.result = ProcessSupervisor._from_payload(
-                        payload, job, elapsed
-                    )
+                    svc.result = ProcessSupervisor._from_payload(payload, job, elapsed)
                 svc.conn.close()
                 finished.append(key)
                 continue
@@ -548,9 +528,7 @@ class ServiceSupervisor:
                 # the death check (pipe data survives the writer's death).
                 try:
                     if svc.conn.poll():
-                        svc.result = ProcessSupervisor._from_payload(
-                            svc.conn.recv(), job, elapsed
-                        )
+                        svc.result = ProcessSupervisor._from_payload(svc.conn.recv(), job, elapsed)
                     else:
                         svc.result = JobResult(
                             job, "crashed", elapsed_s=elapsed,
@@ -569,9 +547,7 @@ class ServiceSupervisor:
                 svc.proc.join()
                 try:
                     if svc.conn.poll():
-                        svc.result = ProcessSupervisor._from_payload(
-                            svc.conn.recv(), job, elapsed
-                        )
+                        svc.result = ProcessSupervisor._from_payload(svc.conn.recv(), job, elapsed)
                     else:
                         svc.result = JobResult(job, "timeout", elapsed_s=elapsed)
                 except (EOFError, OSError):

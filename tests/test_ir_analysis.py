@@ -1,0 +1,593 @@
+"""The static-analysis framework (:mod:`repro.ir.analysis`), differentially.
+
+The analyses make checkable claims; these tests check them against the
+actual runtime rather than against the analyzer's own opinion of itself:
+
+* interval certificates: every state value observed while stepping a scheme
+  over adversarial in-bounds streams lies inside the certified interval
+  (so in particular int64 certificates are honest);
+* division-by-zero: a site the analyzer calls ``safe`` never sees a zero
+  denominator at runtime, and a ``reachable`` witness replays to a real
+  zero denominator on the concrete interpreter;
+* dead-state elimination: the rewrite is bit-identical (types included) on
+  every ground-truth scheme and on synthetic schemes with dead components,
+  compiled and interpreted, keyed and unkeyed, through checkpoint round
+  trips;
+* static pruning: the enumerator finds the identical expression with the
+  identical generated/kept/checked counts whether pruning is on or off;
+* the report/exit-code contract the CLI builds on.
+
+Soundness is enforced on all 51 ground truths plus >= 200 randomly
+enumerated candidate programs per seed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from test_ir_compile import (
+    ORACLE_ERRORS,
+    adversarial_stream,
+    assert_same_value,
+    random_candidate,
+)
+
+from repro.cli import main as cli_main
+from repro.core import SynthesisConfig
+from repro.core.enumerative import EnumStats, enumerate_expression
+from repro.core.rfs import RFS
+from repro.core.scheme import OnlineScheme
+from repro.ir.analysis import (
+    AnalysisBounds,
+    FieldBounds,
+    analyze_intervals,
+    analyze_liveness,
+    analyze_online,
+    audit_program,
+    bounds_from_spec,
+    eliminate_dead_state,
+    exit_code,
+    find_divzero_witness,
+    int64_certified,
+    iter_div_sites,
+    scalar_bounds,
+    statically_redundant,
+)
+from repro.ir.analysis.domain import INF, ANum, Interval, join_iv, of_value, widen_iv
+from repro.ir.analysis.divzero import watched_step
+from repro.ir.dsl import XS, fold_sum_of, powi
+from repro.ir.nodes import (
+    Call,
+    Const,
+    Hole,
+    If,
+    MakeTuple,
+    OnlineProgram,
+    Proj,
+    Var,
+)
+from repro.runtime import KeyedOperator
+from repro.runtime.checkpoint import restore_keyed
+from repro.suites import all_benchmarks, get_benchmark
+
+#: Bounds that cover every value ``adversarial_stream`` can emit (its pool
+#: spans ints in [-3, 7] and fractions in [-9/4, 22/7]; arity-2 second
+#: fields span [0, 3]) — streams drawn from it are in-bounds by
+#: construction, which is what makes the soundness checks meaningful.
+def _stream_bounds(arity: int, max_elements: int = 60) -> AnalysisBounds:
+    if arity <= 1:
+        fields = (FieldBounds(Fraction(-3), Fraction(7)),)
+    else:
+        fields = (
+            FieldBounds(Fraction(-3), Fraction(7)),
+            FieldBounds(Fraction(0), Fraction(3)),
+        )
+    return AnalysisBounds(element=fields, max_elements=max_elements)
+
+
+def _extras_for(program: OnlineProgram) -> dict:
+    return {
+        name: value
+        for name, value in zip(program.extra_params, (2, Fraction(1, 2), 0, -3) * 4)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Abstract domain
+# ---------------------------------------------------------------------------
+
+
+class TestDomain:
+    def test_interval_basics(self):
+        iv = Interval(Fraction(-2), Fraction(5))
+        assert iv.bounded and iv.contains_zero() and iv.contains(Fraction(3))
+        assert not iv.contains(Fraction(6))
+        assert Interval(Fraction(1), Fraction(1)).singleton
+
+    def test_join_and_widen(self):
+        a = Interval(Fraction(0), Fraction(1))
+        b = Interval(Fraction(-3), Fraction(2))
+        j = join_iv(a, b)
+        assert j.lo == Fraction(-3) and j.hi == Fraction(2)
+        w = widen_iv(a, Interval(Fraction(0), Fraction(10**7)))
+        assert w.hi >= Fraction(10**7)  # widened past, never below
+
+    def test_infinite_endpoints_do_not_overflow(self):
+        # Fraction + float inf would raise OverflowError on huge fractions;
+        # the domain's endpoint arithmetic must stay symbolic.
+        huge = ANum(Interval(Fraction(10**400), INF), integral=True, exact=True)
+        from repro.ir.analysis.domain import num_add, num_mul, num_sub
+
+        for fn in (num_add, num_sub, num_mul):
+            out = fn(huge, huge)
+            assert isinstance(out, ANum)  # no OverflowError
+
+    def test_of_value_and_int64(self):
+        assert int64_certified(of_value(3))
+        assert int64_certified(of_value(Fraction(4, 2)))
+        assert not int64_certified(of_value(Fraction(1, 3)))  # not integral
+        assert not int64_certified(of_value(2**63))  # out of range
+        unbounded = ANum(Interval(-INF, INF), integral=True, exact=True)
+        assert not int64_certified(unbounded)
+
+
+# ---------------------------------------------------------------------------
+# Bounds derivation
+# ---------------------------------------------------------------------------
+
+
+class TestBounds:
+    def test_bids_spec(self):
+        b = bounds_from_spec("bids:1000")
+        assert b.max_elements == 1000
+        price, category = b.element
+        assert (price.lo, price.hi, price.integral) == (50, 500, True)
+        assert (category.lo, category.hi) == (1, 5)
+
+    def test_counter_and_list(self):
+        c = bounds_from_spec("counter:10")
+        assert (c.element[0].lo, c.element[0].hi) == (0, 9)
+        lst = bounds_from_spec("list:3,1,-2")
+        assert (lst.element[0].lo, lst.element[0].hi) == (-2, 3)
+        assert lst.max_elements == 3
+
+    def test_max_elements_only_tightens(self):
+        b = bounds_from_spec("bids:1000", max_elements=10)
+        assert b.max_elements == 10
+        b = bounds_from_spec("bids:10", max_elements=1000)
+        assert b.max_elements == 10
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(ValueError):
+            bounds_from_spec("nope:1")
+
+
+# ---------------------------------------------------------------------------
+# Well-formedness audit
+# ---------------------------------------------------------------------------
+
+
+class TestWellformed:
+    def test_clean_scheme_has_no_errors(self):
+        scheme = get_benchmark("variance").ground_truth
+        findings = audit_program(scheme.program, scheme.initializer)
+        assert not [f for f in findings if f["level"] == "error"]
+
+    def test_builtin_arity_mismatch_is_error(self):
+        prog = OnlineProgram(("s",), "x", (Call("add", (Var("s"),)),))
+        report = analyze_online(prog, (0,), scalar_bounds(), search_witness=False)
+        assert report["verdict"] == "error"
+        assert any("add expects 2" in f["message"] for f in report["findings"])
+
+    def test_hole_and_unknown_builtin_are_errors(self):
+        holey = OnlineProgram(("s",), "x", (Hole(0),))
+        assert analyze_online(holey, (0,), search_witness=False)["verdict"] == "error"
+        unknown = OnlineProgram(("s",), "x", (Call("frobnicate", (Var("s"),)),))
+        assert analyze_online(unknown, (0,), search_witness=False)["verdict"] == "error"
+
+    def test_error_reports_skip_deeper_analyses(self):
+        # The interval engine assumes well-formedness; a broken scheme must
+        # still produce a structurally complete report instead of a crash.
+        prog = OnlineProgram(("s",), "x", (Call("add", (Var("s"),)),))
+        report = analyze_online(prog, (0,), search_witness=True)
+        assert report["intervals"]["state"] == []
+        assert report["divzero"]["verdict"] == "unknown"
+
+
+# ---------------------------------------------------------------------------
+# Interval certification
+# ---------------------------------------------------------------------------
+
+
+class TestIntervals:
+    def test_revenue_over_bids_is_int64_certified(self):
+        scheme = get_benchmark("q_revenue").ground_truth
+        report = scheme.analyze(bounds_from_spec("bids:1000"), search_witness=False)
+        assert report["intervals"]["int64_safe"]
+        assert all(s["int64"] for s in report["intervals"]["state"])
+
+    def test_count_certificate_tracks_max_elements(self):
+        scheme = get_benchmark("count").ground_truth
+        report = scheme.analyze(scalar_bounds(max_elements=500), search_witness=False)
+        (entry,) = report["intervals"]["state"]
+        assert entry["int64"] and entry["certificate"] in ("affine", "fixpoint")
+        assert Fraction(entry["hi"]) <= 500
+
+    def test_unbounded_stream_is_not_certified(self):
+        scheme = get_benchmark("sum").ground_truth
+        report = scheme.analyze(scalar_bounds(), search_witness=False)
+        (entry,) = report["intervals"]["state"]
+        assert not entry["int64"]
+
+
+# ---------------------------------------------------------------------------
+# Division-by-zero reachability
+# ---------------------------------------------------------------------------
+
+
+class TestDivZero:
+    def test_sum_is_safe(self):
+        scheme = get_benchmark("sum").ground_truth
+        report = scheme.analyze(scalar_bounds(), search_witness=True)
+        assert report["divzero"]["verdict"] == "safe"
+
+    def test_variance_witness_replays_to_a_zero_denominator(self):
+        scheme = get_benchmark("variance").ground_truth
+        bounds = scalar_bounds(Fraction(-10), Fraction(10), integral=True, max_elements=6)
+        witness = find_divzero_witness(scheme.program, scheme.initializer, bounds)
+        assert witness is not None
+        # Replay: stepping the concrete interpreter over the witness stream
+        # must record a zero denominator at exactly the reported site.
+        state = scheme.initializer
+        for i, elem in enumerate(witness.elements):
+            hits: list = []
+            try:
+                state = watched_step(scheme.program, state, elem, witness.extras, hits)
+            except ORACLE_ERRORS:
+                pass
+            if i == witness.element_index:
+                assert witness.site in hits
+                break
+        else:
+            pytest.fail("witness index beyond its own stream")
+
+    def test_reachable_is_warn_not_error(self):
+        scheme = get_benchmark("variance").ground_truth
+        report = scheme.analyze(
+            scalar_bounds(Fraction(-10), Fraction(10), integral=True, max_elements=6)
+        )
+        assert report["divzero"]["verdict"] == "reachable"
+        assert report["verdict"] == "warn"  # safe_div absorbs: deployable
+        assert exit_code(report) == 0
+        assert exit_code(report, strict=True) == 1
+
+
+# ---------------------------------------------------------------------------
+# Liveness + dead-state elimination
+# ---------------------------------------------------------------------------
+
+
+def _mean_with_junk() -> OnlineScheme:
+    """Mean plus a max-tracking component nothing reads (total update)."""
+    prog = OnlineProgram(
+        ("m", "n", "junk"),
+        "x",
+        (
+            Call(
+                "div",
+                (
+                    Call("add", (Call("mul", (Var("m"), Var("n"))), Var("x"))),
+                    Call("add", (Var("n"), Const(1))),
+                ),
+            ),
+            Call("add", (Var("n"), Const(1))),
+            Call("max", (Var("junk"), Var("x"))),
+        ),
+    )
+    return OnlineScheme((0, 0, 0), prog, provenance="test")
+
+
+class TestDeadStateElimination:
+    def test_removes_dead_total_component(self):
+        scheme = _mean_with_junk()
+        rewritten, removed = scheme.eliminate_dead_state(element_arity=1)
+        assert removed == ("junk",)
+        assert rewritten.program.state_params == ("m", "n")
+        assert rewritten.arity == 2
+
+    def test_retains_dead_component_with_faulting_update(self):
+        # sqrt can raise on huge exact rationals (float conversion), so the
+        # update is not provably total: removal would change fault behaviour.
+        prog = OnlineProgram(
+            ("s", "junk"),
+            "x",
+            (Call("add", (Var("s"), Var("x"))), Call("sqrt", (Var("junk"),))),
+        )
+        report = analyze_liveness(prog, (0, 0), element_arity=1)
+        assert report.removable == ()
+        assert 1 in report.retained
+        new_prog, _, removed = eliminate_dead_state(prog, (0, 0), element_arity=1)
+        assert removed == () and new_prog is prog
+
+    def test_unknown_element_shape_blocks_elimination(self):
+        # element_arity=None: the element kind is unknown, so no update can
+        # be proved total and nothing may be removed.
+        scheme = _mean_with_junk()
+        _, removed = scheme.eliminate_dead_state(element_arity=None)
+        assert removed == ()
+
+    @pytest.mark.parametrize("jit", ["1", "0"])
+    def test_bit_identical_jit_on_and_off(self, monkeypatch, jit):
+        monkeypatch.setenv("REPRO_JIT", jit)
+        scheme = _mean_with_junk()
+        rewritten, removed = scheme.eliminate_dead_state(element_arity=1)
+        assert removed
+        stream = adversarial_stream(1, f"dse:{jit}")
+        assert_same_value(
+            scheme.run_to_list(stream), rewritten.run_to_list(stream), "dse"
+        )
+
+    def test_every_ground_truth_unchanged_or_identical(self):
+        # Ground truths are hand-minimal (no dead state today), but the
+        # invariant is the rewrite's, not the corpus's: whatever it returns
+        # must be bit-identical on adversarial streams.
+        for bench in all_benchmarks():
+            scheme = bench.ground_truth
+            rewritten, _removed = scheme.eliminate_dead_state(bench.element_arity)
+            stream = adversarial_stream(bench.element_arity, f"dse:{bench.name}")
+            extras = _extras_for(scheme.program)
+            assert_same_value(
+                scheme.run_to_list(stream, extras),
+                rewritten.run_to_list(stream, extras),
+                bench.name,
+            )
+
+    def test_keyed_and_checkpoint_round_trip(self):
+        scheme = _mean_with_junk()
+        rewritten, _ = scheme.eliminate_dead_state(element_arity=1)
+        stream = adversarial_stream(2, "dse:keyed", n=50)
+        key_fn = lambda e: e[1]  # noqa: E731
+        value_fn = lambda e: e[0]  # noqa: E731
+
+        def run(s):
+            op = KeyedOperator(s, key_fn, value_fn=value_fn)
+            op.push_many(stream[:23])
+            resumed = restore_keyed(op.checkpoint(), key_fn, value_fn=value_fn)
+            resumed.push_many(stream[23:])
+            return resumed
+
+        original, reduced = run(scheme), run(rewritten)
+        assert sorted(original.partitions) == sorted(reduced.partitions)
+        for key in original.partitions:
+            assert_same_value(original.value(key), reduced.value(key), f"key {key}")
+
+    def test_dse_round_trips_through_serialization(self):
+        rewritten, _ = _mean_with_junk().eliminate_dead_state(element_arity=1)
+        clone = OnlineScheme.loads(rewritten.dumps())
+        assert clone == rewritten
+
+
+# ---------------------------------------------------------------------------
+# Soundness, differentially
+# ---------------------------------------------------------------------------
+
+
+def _check_soundness(program, initializer, bounds, streams, extras):
+    """Interval containment + divzero-safety of one analyzed program against
+    concrete runs; returns the number of (stream, step) points checked."""
+    analysis = analyze_intervals(program, tuple(initializer), bounds)
+    report = analyze_online(program, initializer, bounds, search_witness=False)
+    dz_safe = report["divzero"]["verdict"] == "safe"
+    points = 0
+    for stream in streams:
+        state = tuple(initializer)
+        for elem in stream:
+            hits: list = []
+            faulted = False
+            try:
+                nxt = watched_step(program, state, elem, extras, hits)
+            except ORACLE_ERRORS:
+                faulted = True
+            if dz_safe:
+                assert not hits, f"divzero-safe site saw zero denominator: {hits}"
+            if faulted:
+                break
+            for name, av, value in zip(program.state_params, analysis.state, nxt):
+                if (
+                    isinstance(av, ANum)
+                    and isinstance(value, (int, Fraction))
+                    and not isinstance(value, bool)
+                ):
+                    assert av.iv.lo <= value <= av.iv.hi, (
+                        f"{name}={value} escapes certified [{av.iv.lo}, {av.iv.hi}]"
+                    )
+                    points += 1
+            state = nxt
+    return points
+
+
+class TestSoundness:
+    def test_all_ground_truths(self):
+        for bench in all_benchmarks():
+            scheme = bench.ground_truth
+            bounds = _stream_bounds(bench.element_arity)
+            streams = [adversarial_stream(bench.element_arity, f"snd:{bench.name}")]
+            _check_soundness(
+                scheme.program,
+                scheme.initializer,
+                bounds,
+                streams,
+                _extras_for(scheme.program),
+            )
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_random_candidates(self, seed):
+        """>= 200 random candidate programs per seed: certificates must
+        contain every observed value, divzero-safe verdicts must hold."""
+        rng = random.Random(seed)
+        names = ("y1", "y2", "x")
+        bounds = _stream_bounds(1, max_elements=30)
+        pool = [0, 1, -1, 2, -3, 7, Fraction(1, 3), Fraction(-2, 5), Fraction(22, 7)]
+        checked = 0
+        while checked < 200:
+            program = OnlineProgram(
+                ("y1", "y2"),
+                "x",
+                (
+                    random_candidate(rng, names, rng.randint(1, 4)),
+                    random_candidate(rng, names, rng.randint(1, 3)),
+                ),
+            )
+            report = analyze_online(program, (0, 0), bounds, search_witness=False)
+            checked += 1
+            if report["verdict"] == "error":
+                continue  # statically broken: nothing to run
+            streams = [
+                [rng.choice(pool) for _ in range(30)] for _ in range(3)
+            ]
+            _check_soundness(program, (0, 0), bounds, streams, {})
+
+
+# ---------------------------------------------------------------------------
+# Static pruning
+# ---------------------------------------------------------------------------
+
+
+class TestPrune:
+    def test_redundancy_rules(self):
+        e = Var("s")
+        assert statically_redundant(Call("div", (e, Const(1))))
+        assert statically_redundant(Call("min", (e, e)))
+        assert statically_redundant(Call("max", (e, e)))
+        assert statically_redundant(Call("neg", (Call("neg", (e,)),)))
+        assert statically_redundant(If(Const(True), e, Var("x")))
+        assert statically_redundant(If(Call("lt", (e, e)), e, e))
+        assert statically_redundant(Proj(Const(3), 0))  # scalar projection
+        assert statically_redundant(Proj(MakeTuple((e, e)), 0))
+        assert statically_redundant(Call("sqrt", (MakeTuple((e, e)),)))
+
+    def test_sound_non_rules(self):
+        # Excluded on purpose: float degradation makes these behaviourally
+        # distinct from their "simplified" forms in corner environments.
+        e = Var("s")
+        assert not statically_redundant(Call("add", (e, Const(0))))
+        assert not statically_redundant(Call("mul", (e, Const(1))))
+        assert not statically_redundant(Call("sub", (e, e)))
+        assert not statically_redundant(Call("div", (e, Const(1.0))))  # float 1
+        assert not statically_redundant(Call("div", (e, Const(True))))  # bool
+
+    def test_enumeration_identical_with_and_without_pruning(self):
+        """The load-bearing invariant behind excluding ``enum_static_prune``
+        from the config fingerprint: same candidate generated/kept/checked
+        counts, same found expression."""
+        spec = fold_sum_of("v", powi("v", 2), XS)
+        rfs = RFS(entries={"s": spec}, list_param="xs")
+        results = {}
+        for prune in (True, False):
+            config = SynthesisConfig(
+                timeout_s=60.0, enumeration_max_size=7, enum_static_prune=prune
+            )
+            stats = EnumStats()
+            found = enumerate_expression(rfs, spec, config, stats=stats)
+            results[prune] = (found, stats.generated, stats.kept, stats.checked)
+        assert results[True][0] is not None, "enumeration should solve sum-of-squares"
+        assert results[True] == results[False]
+        # and pruning actually did something
+        config = SynthesisConfig(timeout_s=60.0, enumeration_max_size=7)
+        stats = EnumStats()
+        enumerate_expression(rfs, spec, config, stats=stats)
+        assert stats.pruned > 0
+
+    def test_prune_flag_is_fingerprint_neutral(self):
+        on = SynthesisConfig(enum_static_prune=True).fingerprint()
+        off = SynthesisConfig(enum_static_prune=False).fingerprint()
+        assert on == off
+
+
+# ---------------------------------------------------------------------------
+# Report + CLI contract
+# ---------------------------------------------------------------------------
+
+
+class TestReportContract:
+    def test_exit_codes(self):
+        assert exit_code({"verdict": "ok"}) == 0
+        assert exit_code({"verdict": "warn"}) == 0
+        assert exit_code({"verdict": "warn"}, strict=True) == 1
+        assert exit_code({"verdict": "error"}) == 1
+        assert exit_code({}) == 1  # malformed report: fail closed
+
+    def test_report_is_json_serializable(self):
+        scheme = get_benchmark("variance").ground_truth
+        report = scheme.analyze(bounds_from_spec("gaussian:50"))
+        round_tripped = json.loads(json.dumps(report))
+        assert round_tripped["format"] == "repro/analysis"
+        assert round_tripped["verdict"] in ("ok", "warn", "error")
+
+    def test_compile_attaches_and_caches_analysis(self, tmp_path):
+        from repro import api
+        from repro.store import SchemeStore
+
+        store = SchemeStore(tmp_path)
+        src = "def total(xs):\n    s = 0\n    for x in xs:\n        s += x\n    return s\n"
+        first = api.compile(src, store=store, name="total")
+        assert first.analysis_verdict in ("ok", "warn")
+        second = api.compile(src, store=store, name="total")
+        assert second.from_store
+        assert second.analysis == first.analysis  # served from the store
+
+
+class TestCLI:
+    def _scheme_file(self, tmp_path, name="mean"):
+        path = tmp_path / f"{name}.scheme.json"
+        get_benchmark(name).ground_truth.save(path)
+        return str(path)
+
+    def test_analyze_ok_scheme_exits_zero(self, tmp_path, capsys):
+        assert cli_main(["analyze", self._scheme_file(tmp_path)]) == 0
+        assert "mean.scheme" in capsys.readouterr().out
+
+    def test_analyze_strict_promotes_warn(self, tmp_path, capsys):
+        path = self._scheme_file(tmp_path, "variance")
+        assert cli_main(["analyze", path, "--source", "gaussian:20"]) == 0
+        assert (
+            cli_main(["analyze", path, "--source", "gaussian:20", "--strict"]) == 1
+        )
+        capsys.readouterr()
+
+    def test_analyze_usage_errors_exit_two(self, tmp_path, capsys):
+        assert cli_main(["analyze"]) == 2  # neither scheme nor --suite
+        assert cli_main(["analyze", str(tmp_path / "missing.json")]) == 2
+        path = self._scheme_file(tmp_path)
+        assert cli_main(["analyze", path, "--source", "nope:1"]) == 2
+        capsys.readouterr()
+
+    def test_analyze_writes_report_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        path = self._scheme_file(tmp_path)
+        assert cli_main(["analyze", path, "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["format"] == "repro/analysis"
+        capsys.readouterr()
+
+    def test_run_preflight_refuses_error_verdict(self, tmp_path, capsys):
+        broken = OnlineScheme(
+            (0,), OnlineProgram(("s",), "x", (Call("add", (Var("s"),)),))
+        )
+        path = tmp_path / "broken.scheme.json"
+        broken.save(path)
+        code = cli_main(["run", str(path), "--source", "counter:5"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--no-analyze" in err
+
+    def test_run_preflight_passes_clean_scheme(self, tmp_path, capsys):
+        path = self._scheme_file(tmp_path)
+        assert cli_main(["run", path, "--source", "counter:5"]) == 0
+        assert cli_main(["run", path, "--source", "counter:5", "--no-analyze"]) == 0
+        capsys.readouterr()

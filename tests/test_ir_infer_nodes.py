@@ -1,0 +1,179 @@
+"""Node-complete coverage of :mod:`repro.ir.infer`.
+
+``test_ir_infer_values`` exercises the common shapes; this file walks every
+``Expr`` node class through ``infer_type`` — including the ones only the
+synthesizer internals build (``Hole``, ``Snoc``, sketchy ``Proj`` indices)
+— and every ``TypeError_`` path, so a new node class or a changed rule
+cannot slip through untyped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.infer import (
+    TypeError_,
+    check_well_typed,
+    infer_program_type,
+    infer_type,
+)
+from repro.ir.nodes import (
+    Call,
+    Const,
+    Expr,
+    Filter,
+    Fold,
+    Hole,
+    If,
+    Lambda,
+    Let,
+    ListVar,
+    MakeTuple,
+    Map,
+    Program,
+    Proj,
+    Snoc,
+    Var,
+)
+from repro.ir.types import (
+    BOOL,
+    NUM,
+    FunType,
+    ListType,
+    TupleType,
+    TypeEnvironment,
+)
+
+
+class TestEveryNodeClass:
+    def test_const(self):
+        assert infer_type(Const(3)) is NUM
+        assert infer_type(Const(True)) is BOOL
+        assert infer_type(Const(False)) is BOOL
+
+    def test_var_defaults_to_num(self):
+        assert infer_type(Var("anything")) is NUM
+
+    def test_var_respects_environment(self):
+        env = TypeEnvironment({"b": BOOL})
+        assert infer_type(Var("b"), env) is BOOL
+
+    def test_list_var(self):
+        assert infer_type(ListVar("xs")) == ListType(NUM)
+        env = TypeEnvironment({"xs": ListType(BOOL)})
+        assert infer_type(ListVar("xs"), env) == ListType(BOOL)
+
+    def test_lambda(self):
+        fn = infer_type(Lambda(("a", "b"), Call("add", (Var("a"), Var("b")))))
+        assert fn == FunType((NUM, NUM), NUM)
+
+    def test_call_builtin(self):
+        assert infer_type(Call("add", (Const(1), Const(2)))) is NUM
+        assert infer_type(Call("lt", (Const(1), Const(2)))) is BOOL
+
+    def test_call_lambda_inlines_argument_types(self):
+        call = Call(Lambda(("p",), Var("p")), (Const(True),))
+        assert infer_type(call) is BOOL
+
+    def test_if_unifies_branches(self):
+        same = If(Call("lt", (Var("a"), Var("b"))), Const(1), Const(2))
+        assert infer_type(same) is NUM
+
+    def test_map(self):
+        m = Map(Lambda(("v",), Call("lt", (Var("v"), Const(0)))), ListVar("xs"))
+        assert infer_type(m) == ListType(BOOL)
+
+    def test_filter(self):
+        f = Filter(Lambda(("v",), Call("gt", (Var("v"), Const(0)))), ListVar("xs"))
+        assert infer_type(f) == ListType(NUM)
+
+    def test_fold(self):
+        body = Call("add", (Var("acc"), Var("v")))
+        fold = Fold(Lambda(("acc", "v"), body), Const(0), ListVar("xs"))
+        assert infer_type(fold) is NUM
+
+    def test_fold_without_binary_lambda_takes_init_type(self):
+        fold = Fold(Var("f"), Const(True), ListVar("xs"))
+        assert infer_type(fold) is BOOL
+
+    def test_let(self):
+        expr = Let("t", Const(True), Var("t"))
+        assert infer_type(expr) is BOOL
+
+    def test_snoc(self):
+        assert infer_type(Snoc(ListVar("xs"), Const(5))) == ListType(NUM)
+
+    def test_make_tuple(self):
+        t = infer_type(MakeTuple((Const(1), Const(True))))
+        assert t == TupleType((NUM, BOOL))
+
+    def test_proj_in_range(self):
+        tup = MakeTuple((Const(1), Const(True)))
+        assert infer_type(Proj(tup, 1)) is BOOL
+
+    def test_proj_out_of_range_defaults_to_num(self):
+        tup = MakeTuple((Const(1), Const(True)))
+        assert infer_type(Proj(tup, 7)) is NUM
+        assert infer_type(Proj(Var("unknown"), 0)) is NUM
+
+    def test_hole(self):
+        assert infer_type(Hole(0)) is NUM
+
+    def test_unknown_node_class_is_rejected(self):
+        class Mystery(Expr):
+            def children(self):
+                return ()
+
+        with pytest.raises(TypeError_):
+            infer_type(Mystery())
+
+
+class TestErrorPaths:
+    def test_list_into_scalar_builtin(self):
+        with pytest.raises(TypeError_):
+            infer_type(Call("add", (ListVar("xs"), Const(1))))
+
+    def test_list_typed_condition(self):
+        with pytest.raises(TypeError_):
+            infer_type(If(ListVar("xs"), Const(1), Const(2)))
+
+    def test_map_over_non_list(self):
+        with pytest.raises(TypeError_):
+            infer_type(Map(Lambda(("v",), Var("v")), Const(3)))
+
+    def test_filter_over_non_list(self):
+        with pytest.raises(TypeError_):
+            infer_type(Filter(Lambda(("v",), Var("v")), Const(3)))
+
+    def test_fold_over_non_list(self):
+        with pytest.raises(TypeError_):
+            infer_type(Fold(Lambda(("a", "b"), Var("a")), Const(0), Const(3)))
+
+    def test_snoc_onto_non_list(self):
+        with pytest.raises(TypeError_):
+            infer_type(Snoc(Const(1), Const(2)))
+
+
+class TestProgramLevel:
+    def test_infer_program_type(self):
+        body = Fold(
+            Lambda(("acc", "v"), Call("add", (Var("acc"), Var("v")))),
+            Const(0),
+            ListVar("xs"),
+        )
+        program = Program("xs", body)
+        assert infer_program_type(program) is NUM
+        assert check_well_typed(program)
+
+    def test_list_result_is_not_well_typed(self):
+        program = Program("xs", ListVar("xs"))
+        assert not check_well_typed(program)
+
+    def test_type_error_is_not_well_typed(self):
+        program = Program("xs", Call("add", (ListVar("xs"), Const(1))))
+        assert not check_well_typed(program)
+
+    def test_extra_params_are_nums(self):
+        body = Call("mul", (Var("scale"), Hole(0)))
+        program = Program("xs", body, extra_params=("scale",))
+        assert infer_program_type(program) is NUM

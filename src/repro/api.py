@@ -115,10 +115,23 @@ class CompiledScheme:
     # -- deployment -------------------------------------------------------
 
     def operator(
-        self, extra: Mapping[str, Value] | None = None, name: str | None = None
+        self,
+        extra: Mapping[str, Value] | None = None,
+        name: str | None = None,
+        *,
+        backend: str | None = None,
+        bounds=None,
     ) -> OnlineOperator:
-        """A fresh stateful operator over this scheme."""
-        return OnlineOperator(self.scheme, extra, name or self.name)
+        """A fresh stateful operator over this scheme.
+
+        ``backend="auto"`` upgrades batch ingestion to the certificate-
+        licensed NumPy columnar kernel when admission grants the
+        bit-identical int64 path under ``bounds``; ``"columnar"`` also opts
+        into the float64 domain.  Unadmitted schemes keep the exact kernel.
+        """
+        return OnlineOperator(
+            self.scheme, extra, name or self.name, backend=backend, bounds=bounds
+        )
 
     def keyed(
         self,
@@ -126,9 +139,14 @@ class CompiledScheme:
         *,
         value_fn: Callable[[Value], Value] | None = None,
         extra: Mapping[str, Value] | None = None,
+        backend: str | None = None,
+        bounds=None,
     ) -> KeyedOperator:
         """A per-key partitioned operator (group-by deployments)."""
-        return KeyedOperator(self.scheme, key_fn, value_fn=value_fn, extra=extra, name=self.name)
+        return KeyedOperator(
+            self.scheme, key_fn, value_fn=value_fn, extra=extra, name=self.name,
+            backend=backend, bounds=bounds,
+        )
 
     def run(
         self, stream: Iterable[Value], extra: Mapping[str, Value] | None = None

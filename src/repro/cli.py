@@ -438,6 +438,7 @@ def _bench_runtime(args, timeout: float, workers: int) -> int:
             synthesis=args.synthesis,
             synthesis_timeout_s=timeout,
             workers=workers,
+            backend=args.backend,
         )
     except (KeyError, ValueError, AssertionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -750,6 +751,35 @@ def _preflight_analyze(
     return 0
 
 
+def _spec_analysis_bounds(source_spec: str | None, max_elements: int | None):
+    """Bounds for columnar admission, from the CLI's source spec (or
+    ``UNKNOWN_BOUNDS`` when the spec names an open-ended source)."""
+    from .ir.analysis import UNKNOWN_BOUNDS, bounds_from_spec
+
+    if source_spec is None:
+        return UNKNOWN_BOUNDS
+    try:
+        return bounds_from_spec(source_spec, max_elements)
+    except ValueError:
+        return UNKNOWN_BOUNDS
+
+
+def _columnar_notice(scheme: OnlineScheme, backend: str, bounds) -> str | None:
+    """One-line explanation when --backend auto/columnar stays on the exact
+    path (``None`` when the columnar kernel was actually taken)."""
+    from .ir.vectorize import admit_columnar, numpy_or_none
+
+    if numpy_or_none() is None:
+        return "backend: columnar unavailable (NumPy not installed); running exact"
+    admission = admit_columnar(scheme.program, scheme.initializer, bounds)
+    if admission.verdict == "float-optin-only" and backend == "auto":
+        return ("backend: auto keeps the exact kernels (columnar would need "
+                f"the float64 opt-in: {admission.reason})")
+    if not admission.admitted:
+        return f"backend: columnar declined ({admission.reason}); running exact"
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.no_jit:
         # Operators resolve their execution backend through jit_enabled();
@@ -798,9 +828,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --value-field requires --key-field", file=sys.stderr)
         return 2
 
+    backend = None if args.backend == "exact" else args.backend
+    bounds = None
+    if backend is not None:
+        bounds = _spec_analysis_bounds(args.source, args.max_elements)
+        notice = _columnar_notice(scheme, args.backend, bounds)
+        if notice is not None:
+            print(notice, file=sys.stderr)
     try:
         if args.resume:
-            op = load_checkpoint(args.resume, key_fn=key_fn, value_fn=value_fn)
+            op = load_checkpoint(args.resume, key_fn=key_fn, value_fn=value_fn,
+                                 backend=backend, bounds=bounds)
             if not isinstance(op, (OnlineOperator, KeyedOperator)) or (
                 keyed != isinstance(op, KeyedOperator)
             ):
@@ -822,9 +860,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             op = KeyedOperator(
                 scheme, key_fn, value_fn=value_fn, extra=extra,
                 jit=False if args.no_jit else None,
+                backend=backend, bounds=bounds,
             )
         else:
-            op = OnlineOperator(scheme, extra, jit=False if args.no_jit else None)
+            op = OnlineOperator(scheme, extra, jit=False if args.no_jit else None,
+                                backend=backend, bounds=bounds)
     except (OSError, CheckpointError) as exc:
         message = str(exc)
         if "key_fn" in message:
@@ -929,6 +969,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if plan.poison_offsets:
         stream = plan.apply_stream(stream, value_index=args.value_field)
 
+    backend = None if args.backend == "exact" else args.backend
+    bounds = None
+    if backend is not None:
+        bounds = _spec_analysis_bounds(args.source, args.max_elements)
+        notice = _columnar_notice(scheme, args.backend, bounds)
+        if notice is not None:
+            print(notice, file=sys.stderr)
+
     seen: list = []  # retained only under --verify (the oracle needs them)
     try:
         server = StreamServer(
@@ -947,6 +995,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             on_error=args.on_error,
             faults=plan if plan else None,
             jit=False if args.no_jit else None,
+            backend=backend,
+            bounds=bounds,
             fresh=args.fresh,
         )
     except ValueError as exc:
@@ -1001,6 +1051,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             value_field=args.value_field,
             extra=extra,
             jit=False if args.no_jit else None,
+            backend=backend,
+            bounds=bounds,
         )
         if not states_match(result, oracle):
             print(
@@ -1121,6 +1173,24 @@ def _analysis_summary_line(report: dict) -> str:
     return f"{report.get('verdict', '?'):5s}  {name}  ({'; '.join(bits)})"
 
 
+def _backend_report_line(scheme: OnlineScheme, name: str, bounds) -> tuple[str, dict]:
+    """Columnar admission verdict for one scheme: a human line plus the
+    JSON fragment attached to the analysis report under ``"backend"``."""
+    from .ir.vectorize import admit_columnar
+
+    admission = admit_columnar(scheme.program, scheme.initializer, bounds)
+    fragment = {
+        "columnar": admission.verdict,
+        "domain": admission.domain,
+        "reason": admission.reason,
+    }
+    if admission.verdict == "certified-int64":
+        detail = "int64 columnar licensed, bit-identical under --backend auto"
+    else:
+        detail = admission.reason
+    return f"backend {name}: {admission.verdict} — {detail}", fragment
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .ir.analysis import (
         ANALYSIS_FORMAT,
@@ -1162,6 +1232,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         payload = report
         code = exit_code(report, strict=args.strict)
         print(_analysis_summary_line(report))
+        if args.backend_report:
+            line, fragment = _backend_report_line(
+                scheme, args.name or Path(args.scheme).stem, bounds
+            )
+            report["backend"] = fragment
+            print(line)
         for finding in report.get("findings", ()):
             if finding.get("level") != "info" or args.verbose:
                 print(f"  [{finding.get('level')}/{finding.get('analysis')}] "
@@ -1188,6 +1264,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
             reports.append(report)
             print(_analysis_summary_line(report))
+            if args.backend_report:
+                line, fragment = _backend_report_line(
+                    bench.ground_truth, bench.name, bounds
+                )
+                report["backend"] = fragment
+                print(f"  {line}")
         counts = {"ok": 0, "warn": 0, "error": 0}
         for r in reports:
             counts[r.get("verdict", "error")] += 1
@@ -1277,6 +1359,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run on the tree-walking interpreter instead of "
                             "the compiled scheme step (same results; "
                             "equivalent to REPRO_JIT=0)")
+    p_run.add_argument("--backend", choices=("auto", "exact", "columnar"),
+                       default="exact",
+                       help="batch execution backend: exact rationals "
+                            "(default), auto (NumPy columnar kernels when "
+                            "the int64 certificate licenses them — "
+                            "bit-identical), or columnar (also opt into the "
+                            "float64 domain; IEEE-754 rounding only)")
     p_run.add_argument("--checkpoint", default=None, metavar="FILE",
                        help="write an operator checkpoint after the run")
     p_run.add_argument("--resume", default=None, metavar="FILE",
@@ -1358,6 +1447,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-jit", action="store_true",
                          help="interpreted scheme steps in every worker "
                               "(same results; equivalent to REPRO_JIT=0)")
+    p_serve.add_argument("--backend", choices=("auto", "exact", "columnar"),
+                         default="exact",
+                         help="worker batch backend: exact rationals "
+                              "(default), auto (certificate-licensed int64 "
+                              "columnar — bit-identical), or columnar "
+                              "(float64 opt-in)")
     p_serve.add_argument("--no-analyze", action="store_true",
                          help="skip the static-analysis preflight (which "
                               "refuses schemes the analyzer proves will fault)")
@@ -1396,6 +1491,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--no-witness", action="store_true",
                            help="skip the concrete div-by-zero witness search "
                                 "(faster; reachable sites degrade to unknown)")
+    p_analyze.add_argument("--backend-report", action="store_true",
+                           help="also print the columnar-backend admission "
+                                "verdict per scheme (certified-int64 / "
+                                "float-optin-only / uncertified + the first "
+                                "blocking reason)")
     p_analyze.add_argument("--verbose", action="store_true", help="also print info-level findings")
     p_analyze.set_defaults(func=_cmd_analyze)
 
@@ -1546,6 +1646,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream", choices=("int", "fraction"), default="int",
         help="element distribution: realistic integer events or "
              "gcd-heavy exact rationals (default: int)",
+    )
+    runtime_group.add_argument(
+        "--backend", choices=("auto", "exact", "columnar"), default="exact",
+        help="also measure the certificate-licensed NumPy columnar kernel: "
+             "'auto' only where the int64 certificate makes it bit-identical, "
+             "'columnar' also opts admitted schemes into the float64 domain "
+             "(adds columnar_eps/columnar_speedup columns; default: exact)",
     )
     runtime_group.add_argument(
         "--out", default=None, metavar="FILE",

@@ -50,6 +50,10 @@ class OnlineScheme:
     #: ``_compiled_step`` — per-instance, cold after deserialization,
     #: dropped on pickling.
     _compiled_kernel: object = field(default=None, init=False, repr=False, compare=False)
+    #: Lazily-built columnar kernels, one entry per distinct
+    #: ``(bounds, allow_float)`` request (see :meth:`compiled_columns`);
+    #: same lifecycle as the other caches.
+    _columnar_cache: list = field(default_factory=list, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.initializer) != self.program.arity:
@@ -115,6 +119,38 @@ class OnlineScheme:
             raise IRCompileError(f"online program of {self.provenance!r} is not batch-compilable")
         return cached  # type: ignore[return-value]
 
+    def compiled_columns(
+        self, bounds=None, *, allow_float: bool = False, jit: bool | None = None
+    ):
+        """The certificate-licensed columnar (NumPy) kernel for this scheme
+        under ``bounds``, or ``None`` when the fast path is unavailable.
+
+        ``None`` means: NumPy is not installed, the scheme is not
+        scan-decomposable, or admission (see
+        :func:`repro.ir.vectorize.admit_columnar`) did not yield the
+        ``int64`` certificate and ``allow_float`` is False.  Callers fall
+        back to :meth:`_resolve_kernel` — the columnar path never changes
+        what a scheme computes, only how fast the admitted ones run.
+        Results are cached per ``(bounds, allow_float)`` request.
+        """
+        from ..ir.vectorize import columnar_kernel_for, numpy_or_none
+
+        if numpy_or_none() is None:
+            # Checked before the cache so REPRO_NO_NUMPY keeps working after
+            # a kernel was compiled (the degraded-path tests flip it live).
+            return None
+        for cached_bounds, cached_allow, kernel in self._columnar_cache:
+            if cached_bounds == bounds and cached_allow == allow_float:
+                return kernel
+        kernel = columnar_kernel_for(
+            self,
+            bounds,
+            allow_float=allow_float,
+            exact=self._resolve_kernel(jit),
+        )
+        self._columnar_cache.append((bounds, allow_float, kernel))
+        return kernel
+
     def invalidate_compiled(self) -> None:
         """Drop the cached closure and batch kernel.  Only needed if
         ``program`` is mutated in place, which nothing in this codebase
@@ -122,6 +158,7 @@ class OnlineScheme:
         cold caches)."""
         self._compiled_step = None
         self._compiled_kernel = None
+        self._columnar_cache = []
 
     def _resolve_step(
         self, jit: bool | None = None
@@ -156,6 +193,7 @@ class OnlineScheme:
         state = self.__dict__.copy()
         state["_compiled_step"] = None  # exec'd closures do not pickle
         state["_compiled_kernel"] = None
+        state["_columnar_cache"] = []
         return state
 
     # -- semantics ---------------------------------------------------------

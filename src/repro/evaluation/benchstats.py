@@ -252,7 +252,13 @@ def _runtime_metrics(report: dict) -> dict[str, MetricSamples]:
     )
     for scheme, entry in sorted((report.get("schemes") or {}).items()):
         raw = entry.get("raw") or {}
-        for backend, key in backends:
+        scheme_backends = backends
+        if "columnar_s" in raw:
+            # Opt-in metric: only reports produced with --backend auto/columnar
+            # (and an admitted scheme) carry it — absence on one side is a
+            # missing-metric condition, not a pre-v3 report.
+            scheme_backends = backends + (("columnar", "columnar_s"),)
+        for backend, key in scheme_backends:
             times = raw.get(key) or ()
             samples = tuple(elements / t for t in times if t > 0) if elements else ()
             metrics[f"{scheme}/{backend}"] = MetricSamples(
@@ -429,10 +435,24 @@ def compare_reports(
         metric_old = old_metrics.get(name)
         metric_new = new_metrics.get(name)
         if metric_old is None:
-            metrics[name] = _incomparable(metric_new, "only in the new report")
+            if old_kind == "runtime" and name.endswith("/columnar"):
+                metrics[name] = _incomparable(
+                    metric_new,
+                    "missing-metric: columnar_eps (old report predates the "
+                    "columnar backend or ran --backend exact)",
+                )
+            else:
+                metrics[name] = _incomparable(metric_new, "only in the new report")
             continue
         if metric_new is None:
-            metrics[name] = _incomparable(metric_old, "only in the old report")
+            if old_kind == "runtime" and name.endswith("/columnar"):
+                metrics[name] = _incomparable(
+                    metric_old,
+                    "missing-metric: columnar_eps (new report has no columnar "
+                    "backend measurements)",
+                )
+            else:
+                metrics[name] = _incomparable(metric_old, "only in the old report")
             continue
         if not metric_old.samples or not metric_new.samples:
             side = "old" if not metric_old.samples else "new"

@@ -125,12 +125,55 @@ def _time_kernel(kernel, initializer, stream, extra, repeats: int) -> tuple[list
     return times, final
 
 
-def bench_scheme(benchmark, elements: int, repeats: int, stream_kind: str = "int") -> dict:
+def _stream_bounds(stream, element_arity: int, elements: int, extra_params=()):
+    """Concrete :class:`~repro.ir.analysis.AnalysisBounds` for the measured
+    stream (tight per-field min/max, integrality, length) — the admission
+    certificate for the columnar backend is judged against exactly the data
+    the benchmark will push (extras are the bench's fixed binding of 500)."""
+    from ..ir.analysis import AnalysisBounds, FieldBounds
+
+    rows = [(v,) for v in stream] if element_arity <= 1 else stream
+    fields = []
+    for i in range(max(element_arity, 1)):
+        col = [row[i] for row in rows]
+        integral = all(
+            isinstance(v, int) or (isinstance(v, Fraction) and v.denominator == 1)
+            for v in col
+        )
+        fields.append(FieldBounds(lo=min(col), hi=max(col), integral=integral))
+    extras = {name: FieldBounds(lo=500, hi=500, integral=True) for name in extra_params}
+    return AnalysisBounds(element=tuple(fields), max_elements=elements, extras=extras,
+                          source="bench-stream")
+
+
+def _bench_columnar(scheme, stream, element_arity: int, extra, elements: int,
+                    repeats: int, backend: str):
+    """Time the columnar kernel when admission grants it; returns ``None``
+    when the scheme stays on the exact path (NumPy absent, uncertified, or
+    int64-only policy under ``backend="auto"``)."""
+    bounds = _stream_bounds(stream, element_arity, elements, scheme.program.extra_params)
+    kernel = scheme.compiled_columns(bounds, allow_float=backend == "columnar")
+    if kernel is None:
+        return None
+    times, state = _time_kernel(kernel, scheme.initializer, stream, extra, repeats)
+    return {"kernel": kernel, "times": times, "state": state, "domain": kernel.domain}
+
+
+def bench_scheme(
+    benchmark, elements: int, repeats: int, stream_kind: str = "int",
+    backend: str = "exact",
+) -> dict:
     """Throughput of one suite benchmark's ground-truth scheme — interpreted
     step, compiled scalar step, and whole-batch kernel — with the final
     states differential-checked across all three.  Headline numbers stay
     best-of-``repeats``; the per-repeat raw wall-clocks ride along under
-    ``raw`` for the significance layer."""
+    ``raw`` for the significance layer.
+
+    ``backend="auto"``/``"columnar"`` additionally times the NumPy columnar
+    kernel where admission grants it (``columnar_eps``/``columnar_speedup``
+    columns); its final state is differential-checked too — bit-identical
+    in the int64 domain, within float tolerance for the float64 opt-in.
+    """
     scheme = benchmark.ground_truth
     if scheme is None:
         raise ValueError(f"benchmark {benchmark.name!r} has no ground-truth scheme")
@@ -156,7 +199,7 @@ def bench_scheme(benchmark, elements: int, repeats: int, stream_kind: str = "int
     t_interp = min(times_interp)
     t_compiled = min(times_compiled)
     t_batch = min(times_batch)
-    return {
+    entry = {
         "domain": benchmark.domain,
         "element_arity": benchmark.element_arity,
         "interpreted_eps": elements / t_interp,
@@ -171,6 +214,35 @@ def bench_scheme(benchmark, elements: int, repeats: int, stream_kind: str = "int
         },
         "states_match": True,
     }
+    columnar = None
+    if backend in ("auto", "columnar"):
+        columnar = _bench_columnar(
+            scheme, stream, benchmark.element_arity, extra, elements, repeats, backend
+        )
+    if columnar is not None:
+        from ..ir.values import values_close
+
+        if columnar["domain"] == "int64":
+            if columnar["state"] != state_batch:
+                raise AssertionError(
+                    f"int64 columnar kernel diverged on {benchmark.name!r}: "
+                    f"{columnar['state']!r} != {state_batch!r}"
+                )
+        else:
+            exact_floats = tuple(
+                float(v) if isinstance(v, Fraction) else v for v in state_batch
+            )
+            if not all(values_close(a, b) for a, b in zip(columnar["state"], exact_floats)):
+                raise AssertionError(
+                    f"float64 columnar kernel diverged on {benchmark.name!r}: "
+                    f"{columnar['state']!r} vs {state_batch!r}"
+                )
+        t_columnar = min(columnar["times"])
+        entry["columnar_eps"] = elements / t_columnar
+        entry["columnar_speedup"] = t_batch / t_columnar
+        entry["columnar_domain"] = columnar["domain"]
+        entry["raw"]["columnar_s"] = columnar["times"]
+    return entry
 
 
 def bench_fused(
@@ -299,6 +371,7 @@ def run_runtime_benchmark(
     synthesis_tasks: Sequence[str] | None = None,
     synthesis_timeout_s: float = 10.0,
     workers: int = 1,
+    backend: str = "exact",
 ) -> dict:
     """The full throughput report (the payload of ``BENCH_runtime.json``)."""
     from ..suites import get_benchmark
@@ -308,10 +381,25 @@ def run_runtime_benchmark(
     names = tuple(schemes) if schemes else DEFAULT_SCHEMES
     benches = [get_benchmark(name) for name in names]
     per_scheme = {
-        bench.name: bench_scheme(bench, elements, repeats, stream_kind) for bench in benches
+        bench.name: bench_scheme(bench, elements, repeats, stream_kind, backend=backend)
+        for bench in benches
     }
     speedups = [entry["speedup"] for entry in per_scheme.values()]
     batch_speedups = [entry["batch_speedup"] for entry in per_scheme.values()]
+    summary = {
+        "median_speedup": statistics.median(speedups),
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "median_batch_speedup": statistics.median(batch_speedups),
+        "max_batch_speedup": max(batch_speedups),
+    }
+    columnar_speedups = [
+        entry["columnar_speedup"] for entry in per_scheme.values()
+        if "columnar_speedup" in entry
+    ]
+    if columnar_speedups:
+        summary["median_columnar_speedup"] = statistics.median(columnar_speedups)
+        summary["max_columnar_speedup"] = max(columnar_speedups)
     report = {
         "format": BENCH_FORMAT,
         "version": BENCH_FORMAT_VERSION,
@@ -322,14 +410,9 @@ def run_runtime_benchmark(
         "elements": elements,
         "repeats": repeats,
         "stream": stream_kind,
+        "backend": backend,
         "schemes": per_scheme,
-        "summary": {
-            "median_speedup": statistics.median(speedups),
-            "min_speedup": min(speedups),
-            "max_speedup": max(speedups),
-            "median_batch_speedup": statistics.median(batch_speedups),
-            "max_batch_speedup": max(batch_speedups),
-        },
+        "summary": summary,
     }
     if fused:
         report["fused"] = bench_fused(
@@ -362,25 +445,43 @@ def write_report(report: dict, path) -> None:
 
 def format_report(report: dict) -> str:
     """Human-readable table for the CLI."""
+    columnar = any("columnar_eps" in e for e in report["schemes"].values())
+    header = (
+        f"{'scheme':<22} {'interpreted':>13} {'compiled':>12} {'batch':>12} "
+        f"{'jit':>7} {'batch':>7}"
+    )
+    if columnar:
+        header += f" {'columnar':>13} {'col':>8}"
     lines = [
         f"runtime throughput ({report['elements']} elements, "
         f"best of {report['repeats']}, {report['stream']} stream, "
         f"{report.get('cpu_count', '?')} core(s))",
-        f"{'scheme':<22} {'interpreted':>13} {'compiled':>12} {'batch':>12} "
-        f"{'jit':>7} {'batch':>7}",
+        header,
     ]
     for name, entry in report["schemes"].items():
-        lines.append(
+        line = (
             f"{name:<22} {entry['interpreted_eps']:>10.0f} eps "
             f"{entry['compiled_eps']:>9.0f} eps {entry['batch_eps']:>9.0f} eps "
             f"{entry['speedup']:>6.1f}x {entry['batch_speedup']:>6.2f}x"
         )
+        if columnar:
+            if "columnar_eps" in entry:
+                line += (
+                    f" {entry['columnar_eps']:>10.0f} eps "
+                    f"{entry['columnar_speedup']:>6.1f}x"
+                )
+            else:
+                line += f" {'(exact)':>13} {'—':>8}"
+        lines.append(line)
     summary = report["summary"]
-    lines.append(
+    median_line = (
         f"{'median':<22} {'':>13} {'':>12} {'':>12} "
         f"{summary['median_speedup']:>6.1f}x "
         f"{summary['median_batch_speedup']:>6.2f}x"
     )
+    if "median_columnar_speedup" in summary:
+        median_line += f" {'':>13} {summary['median_columnar_speedup']:>6.1f}x"
+    lines.append(median_line)
     for group, entry in (report.get("fused") or {}).items():
         lines.append(
             f"fused pipeline [{group}] over {len(entry['schemes'])} schemes "

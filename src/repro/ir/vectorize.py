@@ -1,0 +1,955 @@
+"""Certificate-licensed columnar (NumPy) execution backend.
+
+The exact backends (:mod:`repro.ir.evaluator`, :mod:`repro.ir.compile`) pay
+per-element Python dispatch and, on rational-state schemes, per-op gcd
+normalization — which is why batch codegen is ~1x on gcd-bound schemes like
+``variance``.  This module changes the numeric *domain* instead of the loop
+shape: an :class:`~repro.ir.nodes.OnlineProgram` step is compiled to
+whole-batch column operations over ``int64``/``float64`` NumPy arrays, with
+the inherently sequential state recurrences decomposed into per-batch scans
+(``cumsum`` / ``maximum.accumulate`` / ...) and everything else evaluated
+element-wise over the scanned prefix trajectories.
+
+Admission is gated by the PR 9 interval certificates
+(:func:`repro.ir.analysis.int64_certified`): a scheme runs in the ``int64``
+domain only when the analysis proves every state component *and* every
+reachable intermediate stays an exact int64 under the declared source
+bounds — then the columnar result is bit-for-bit identical to the exact
+rationals and no per-element overflow guard is needed.  Schemes the
+certificate cannot license may opt in to the ``float64`` domain explicitly
+(``--backend columnar``); divergence from the exact result is then IEEE-754
+rounding only (documented error model: per-op relative error <= 2^-52,
+accumulated linearly in the batch length — no truncation, no wraparound,
+``safe_div``/``safe_sqrt``/``safe_log`` conventions preserved exactly).
+Schemes whose update is not scan-decomposable, and any batch whose data
+falls outside the certified bounds, transparently keep / delegate to the
+exact :class:`~repro.ir.compile.StepKernel` — the columnar backend is
+*never* allowed to change the answer of an ``int64``-certified or
+unadmitted scheme.
+
+NumPy itself is optional (``pip install repro[fast]``): the import is lazy,
+``REPRO_NO_NUMPY=1`` force-disables it (for testing the degraded path), and
+every caller falls back to the exact kernel with a one-line notice.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Mapping, Sequence
+
+from .compile import IRCompileError, StepKernel
+from .nodes import Call, Const, Expr, If, Let, MakeTuple, OnlineProgram, Proj, Var
+from .values import Value
+
+__all__ = [
+    "ColumnPlan",
+    "ColumnarAdmission",
+    "ColumnarError",
+    "ColumnarKernel",
+    "ColumnarUnavailable",
+    "admit_columnar",
+    "compile_columns",
+    "numpy_or_none",
+    "plan_columns",
+]
+
+
+class ColumnarError(IRCompileError):
+    """The program's step cannot run as column operations (structural)."""
+
+
+class ColumnarUnavailable(ColumnarError):
+    """NumPy is missing or disabled; the columnar backend cannot run."""
+
+
+class _Bailout(Exception):
+    """Runtime signal: this batch cannot run columnar (out-of-contract
+    data); the kernel delegates the whole batch to the exact kernel."""
+
+
+# -- lazy NumPy ---------------------------------------------------------------
+
+_NUMPY: Any = None  # unresolved; module object once imported; False if absent
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when unavailable.
+
+    ``REPRO_NO_NUMPY`` (any of ``1``/``true``/``on``/``yes``) disables the
+    backend even when NumPy is importable — the switch the no-NumPy test
+    leg and the graceful-degrade tests flip without uninstalling anything.
+    """
+    raw = os.environ.get("REPRO_NO_NUMPY")
+    if raw is not None and raw.strip().lower() in ("1", "true", "on", "yes"):
+        return None
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy  # noqa: PLC0415 - lazy by design
+
+            _NUMPY = numpy
+        except Exception:
+            _NUMPY = False
+    return _NUMPY or None
+
+
+def _require_numpy():
+    np = numpy_or_none()
+    if np is None:
+        raise ColumnarUnavailable(
+            "NumPy is not available (install repro[fast], or unset REPRO_NO_NUMPY)"
+        )
+    return np
+
+
+# -- structural planning ------------------------------------------------------
+
+#: Builtins the column evaluator implements in *some* domain.
+_SUPPORTED_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "neg", "abs", "min", "max", "pow",
+        "sqrt", "exp", "log", "sign", "floor", "ceil",
+        "lt", "le", "gt", "ge", "eq", "ne", "and", "or", "not",
+    }
+)
+
+#: Builtins whose results are non-integral in general: admissible only in
+#: the float64 domain (an int64 certificate with these present is refused
+#: structurally rather than trusted — ``sqrt`` of a certified perfect
+#: square is theoretically exact, but the column evaluator computes it in
+#: floats).
+_FLOAT_ONLY_OPS = frozenset({"sqrt", "exp", "log"})
+
+#: Associative-idempotent self-accumulation ops: the component's update is
+#: ``op(self, term)`` (either operand order) with ``term`` independent of
+#: the component.  ``add``/``sub`` chains are handled separately by the
+#: full additive decomposition (:func:`_decompose_additive`).
+_ACCUMULATION_OPS = {
+    "mul": "cumprod",
+    "max": "cummax",
+    "min": "cummin",
+    "or": "cumor",
+    "and": "cumand",
+}
+
+
+@dataclass(frozen=True)
+class _Component:
+    """One state component's columnar execution strategy.
+
+    ``kind`` is ``invariant`` (``s' = s``), ``elementwise`` (no
+    self-reference: the new value is a column function of the element and
+    the *previous* trajectories of other components), or one of the
+    accumulation scans (``cumsum``/``cumprod``/``cummax``/``cummin``/
+    ``cumor``/``cumand``) whose per-element term ``term`` is a column
+    function of the element and other components' previous values.
+
+    ``mask`` (with ``mask_sense``) marks conditional accumulations —
+    ``If(cond, op(self, term), self)`` — whose term is replaced by the
+    scan's neutral element wherever the condition does not hold.
+    """
+
+    name: str
+    kind: str
+    expr: Expr | None  #: elementwise update, or the accumulation term
+    depends: tuple[str, ...]  #: state components whose trajectories feed it
+    mask: Expr | None = None  #: accumulate only where this condition holds
+    mask_sense: bool = True  #: False: accumulate where the mask is falsy
+
+
+@dataclass(frozen=True)
+class ColumnPlan:
+    """A whole-batch columnar execution plan (domain-independent).
+
+    ``order`` lists components in a dependency order in which every
+    component's referenced trajectories are computed before it; existence
+    of such an order is exactly the scan-decomposability condition.
+    """
+
+    program: OnlineProgram
+    components: tuple[_Component, ...]  #: in ``state_params`` order
+    order: tuple[int, ...]  #: evaluation order (indices into components)
+    float_only: bool  #: uses float-only builtins (sqrt/exp/log/frac pow)
+    elem_arity: int  #: element fields (1 = scalar stream)
+
+
+def _free_state_refs(expr: Expr, state_names: frozenset[str]) -> set[str]:
+    """State parameters referenced (free) anywhere in ``expr``."""
+    refs: set[str] = set()
+
+    def walk(e: Expr, bound: frozenset[str]) -> None:
+        if isinstance(e, Var):
+            if e.name in state_names and e.name not in bound:
+                refs.add(e.name)
+        elif isinstance(e, Const):
+            pass
+        elif isinstance(e, Call):
+            if not isinstance(e.func, str):
+                raise ColumnarError("lambda application is not columnarizable")
+            for arg in e.args:
+                walk(arg, bound)
+        elif isinstance(e, If):
+            walk(e.cond, bound)
+            walk(e.then, bound)
+            walk(e.orelse, bound)
+        elif isinstance(e, Let):
+            walk(e.value, bound)
+            walk(e.body, bound | {e.name})
+        elif isinstance(e, MakeTuple):
+            for item in e.items:
+                walk(item, bound)
+        elif isinstance(e, Proj):
+            walk(e.tup, bound)
+        else:
+            raise ColumnarError(f"{type(e).__name__} nodes are not columnarizable")
+
+    walk(expr, frozenset())
+    return refs
+
+
+def _validate_ops(expr: Expr) -> bool:
+    """Check every builtin is column-supported; returns True if any
+    float-only op (or fractional constant ``pow`` exponent) appears."""
+    float_only = False
+
+    def walk(e: Expr) -> None:
+        nonlocal float_only
+        if isinstance(e, Call):
+            name = e.func if isinstance(e.func, str) else None
+            if name not in _SUPPORTED_OPS:
+                raise ColumnarError(f"builtin {name!r} has no column implementation")
+            if name in _FLOAT_ONLY_OPS:
+                float_only = True
+            if name == "pow":
+                exp = e.args[1]
+                if not isinstance(exp, Const):
+                    raise ColumnarError("pow with a non-constant exponent")
+                ev = exp.value
+                if isinstance(ev, Fraction) and ev.denominator != 1:
+                    float_only = True
+                elif isinstance(ev, float) and not float(ev).is_integer():
+                    float_only = True
+                elif not isinstance(ev, (int, Fraction, float)):
+                    raise ColumnarError("pow with a non-numeric exponent")
+            for arg in e.args:
+                walk(arg)
+        elif isinstance(e, If):
+            walk(e.cond), walk(e.then), walk(e.orelse)
+        elif isinstance(e, Let):
+            walk(e.value), walk(e.body)
+        elif isinstance(e, MakeTuple):
+            for item in e.items:
+                walk(item)
+        elif isinstance(e, Proj):
+            walk(e.tup)
+        elif not isinstance(e, (Var, Const)):
+            raise ColumnarError(f"{type(e).__name__} nodes are not columnarizable")
+
+    walk(expr)
+    return float_only
+
+
+def _contains(expr: Expr, name: str) -> bool:
+    """Does ``expr`` reference ``name`` free?"""
+    if isinstance(expr, Var):
+        return expr.name == name
+    if isinstance(expr, Const):
+        return False
+    if isinstance(expr, Call):
+        return any(_contains(a, name) for a in expr.args)
+    if isinstance(expr, If):
+        return _contains(expr.cond, name) or _contains(expr.then, name) or _contains(
+            expr.orelse, name
+        )
+    if isinstance(expr, Let):
+        if _contains(expr.value, name):
+            return True
+        return expr.name != name and _contains(expr.body, name)
+    if isinstance(expr, MakeTuple):
+        return any(_contains(item, name) for item in expr.items)
+    if isinstance(expr, Proj):
+        return _contains(expr.tup, name)
+    return True  # unknown node: assume the worst (planning then declines)
+
+
+def _decompose_additive(expr: Expr, name: str) -> Expr | None:
+    """Write ``expr`` as ``name + T`` with ``T`` independent of ``name``.
+
+    Handles arbitrarily nested ``add``/``sub`` chains (``(m3 + A) - B``),
+    ``If`` whose both branches decompose (conditional accumulation:
+    ``If(c, s + x, s)`` -> ``If(c, x, 0)``), and ``Let`` over a
+    name-independent binding.  Returns the increment expression, or
+    ``None`` when no unit-coefficient decomposition exists.  Over exact
+    int64 values the rewrite is exact (associativity of integer addition);
+    the float64 domain only re-associates rounding.
+    """
+    if isinstance(expr, Var) and expr.name == name:
+        return Const(0)
+    if not _contains(expr, name):
+        return None
+    if isinstance(expr, Call) and isinstance(expr.func, str) and len(expr.args) == 2:
+        left, right = expr.args
+        in_left, in_right = _contains(left, name), _contains(right, name)
+        if expr.func == "add" and in_left != in_right:
+            if in_left:
+                dec = _decompose_additive(left, name)
+                return None if dec is None else Call("add", (dec, right))
+            dec = _decompose_additive(right, name)
+            return None if dec is None else Call("add", (left, dec))
+        if expr.func == "sub" and in_left and not in_right:
+            dec = _decompose_additive(left, name)
+            return None if dec is None else Call("sub", (dec, right))
+    if isinstance(expr, If) and not _contains(expr.cond, name):
+        then = _decompose_additive(expr.then, name)
+        orelse = _decompose_additive(expr.orelse, name)
+        if then is not None and orelse is not None:
+            return If(expr.cond, then, orelse)
+    if isinstance(expr, Let) and expr.name != name and not _contains(expr.value, name):
+        body = _decompose_additive(expr.body, name)
+        return None if body is None else Let(expr.name, expr.value, body)
+    return None
+
+
+def _match_assoc(expr: Expr, name: str) -> tuple[str, Expr, Expr | None, bool] | None:
+    """Match ``op(self, T)`` / ``If(c, op(self, T), self)`` for the
+    associative-idempotent scans; returns ``(kind, term, mask, sense)``."""
+
+    def bare(e: Expr) -> tuple[str, Expr] | None:
+        if isinstance(e, Call) and isinstance(e.func, str) and len(e.args) == 2:
+            kind = _ACCUMULATION_OPS.get(e.func)
+            if kind in ("cummax", "cummin", "cumor", "cumand", "cumprod"):
+                left, right = e.args
+                if isinstance(left, Var) and left.name == name and not _contains(right, name):
+                    return kind, right
+                if isinstance(right, Var) and right.name == name and not _contains(left, name):
+                    return kind, left
+        return None
+
+    hit = bare(expr)
+    if hit is not None:
+        return hit[0], hit[1], None, True
+    if isinstance(expr, If) and not _contains(expr.cond, name):
+        if isinstance(expr.orelse, Var) and expr.orelse.name == name:
+            hit = bare(expr.then)
+            if hit is not None:
+                return hit[0], hit[1], expr.cond, True
+        if isinstance(expr.then, Var) and expr.then.name == name:
+            hit = bare(expr.orelse)
+            if hit is not None:
+                return hit[0], hit[1], expr.cond, False
+    return None
+
+
+def _classify(name: str, update: Expr, state_names: frozenset[str]) -> _Component:
+    """One component's strategy (dependencies not yet checked for order)."""
+    if isinstance(update, Var) and update.name == name:
+        return _Component(name, "invariant", None, ())
+    refs = _free_state_refs(update, state_names)
+    if name not in refs:
+        return _Component(name, "elementwise", update, tuple(sorted(refs)))
+    # Self-referential: additive scan (cumsum) covers nested +/- chains and
+    # conditional accumulation; the associative-idempotent ops cover
+    # max/min/or/and/product, optionally under a single If mask.
+    term = _decompose_additive(update, name)
+    if term is not None:
+        term_refs = _free_state_refs(term, state_names) - {name}
+        return _Component(name, "cumsum", term, tuple(sorted(term_refs)))
+    assoc = _match_assoc(update, name)
+    if assoc is not None:
+        kind, term, mask, sense = assoc
+        deps = _free_state_refs(term, state_names) - {name}
+        if mask is not None:
+            deps |= _free_state_refs(mask, state_names) - {name}
+        return _Component(name, kind, term, tuple(sorted(deps)), mask, sense)
+    raise ColumnarError(
+        f"state component {name!r}: self-referential update is not "
+        f"scan-decomposable (not of the form op({name}, term))"
+    )
+
+
+def plan_columns(program: OnlineProgram, initializer: Sequence[Value]) -> ColumnPlan:
+    """Decompose the step into per-component column strategies.
+
+    Raises :class:`ColumnarError` (with the first blocking reason) when any
+    component's update cannot run as column operations — unsupported
+    builtins, tuple-valued state, self-referential non-scan recurrences, or
+    cyclic cross-component dependences.
+    """
+    state_names = frozenset(program.state_params)
+    for name, value in zip(program.state_params, initializer):
+        if isinstance(value, (tuple, list)):
+            raise ColumnarError(f"state component {name!r} is tuple-valued")
+    float_only = False
+    components = []
+    for name, update in zip(program.state_params, program.outputs):
+        if isinstance(update, MakeTuple):
+            raise ColumnarError(f"state component {name!r} is tuple-valued")
+        float_only |= _validate_ops(update)
+        components.append(_classify(name, update, state_names))
+
+    # Dependency order: a component can be evaluated once every component
+    # whose *previous trajectory* it reads has its full trajectory.  Since
+    # all reads are of previous-step values, the only obstruction is a
+    # cross-component cycle (mutual recurrences) — surfaced here.
+    index = {c.name: i for i, c in enumerate(components)}
+    resolved: set[str] = set()
+    order: list[int] = []
+    pending = list(components)
+    while pending:
+        progressed = False
+        for comp in list(pending):
+            if all(dep in resolved for dep in comp.depends):
+                order.append(index[comp.name])
+                resolved.add(comp.name)
+                pending.remove(comp)
+                progressed = True
+        if not progressed:
+            stuck = ", ".join(sorted(c.name for c in pending))
+            raise ColumnarError(
+                f"state components {stuck}: mutually recursive updates are "
+                f"not scan-decomposable"
+            )
+    return ColumnPlan(
+        program, tuple(components), tuple(order), float_only, _infer_elem_arity(program)
+    )
+
+
+# -- admission ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnarAdmission:
+    """Why (or why not) a scheme may run columnar, for reports and CLI.
+
+    ``verdict`` is ``certified-int64`` (bit-identical fast path licensed by
+    the interval certificate), ``float-optin-only`` (structurally columnar
+    but only in the float64 domain — explicit opt-in), or ``uncertified``
+    (stays on the exact path; ``reason`` holds the first blocking reason).
+    """
+
+    verdict: str
+    domain: str | None  #: "int64" | "float64" | None
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.domain is not None
+
+
+def _int64_blocking_reason(program: OnlineProgram, analysis) -> str:
+    """First reason the int64 certificate does not hold (for the report)."""
+    from .analysis.domain import ANum, int64_certified
+
+    def describe(av) -> str:
+        if not isinstance(av, ANum):
+            return "non-numeric abstraction"
+        if not av.integral:
+            return "value is not provably integral"
+        if not av.exact:
+            return "value may degrade to float"
+        if not av.iv.bounded:
+            return "value interval is unbounded under the given bounds"
+        return "value interval exceeds int64"
+
+    for i, av in enumerate(analysis.state):
+        if not analysis.component_int64(i):
+            return f"state component {program.state_params[i]!r}: {describe(av)}"
+    for path, av in sorted(analysis.site_values.items()):
+        if not int64_certified(av):
+            site = ".".join(str(p) for p in path)
+            return f"intermediate at output site {site}: {describe(av)}"
+    return "not int64-certified"
+
+
+def admit_columnar(
+    program: OnlineProgram,
+    initializer: Sequence[Value],
+    bounds=None,
+) -> ColumnarAdmission:
+    """The columnar admission verdict for one scheme under ``bounds``.
+
+    Pure structural + static analysis — does not require NumPy, so the
+    ``--backend-report`` line is available even on exact-only installs.
+    """
+    try:
+        plan = plan_columns(program, initializer)
+    except ColumnarError as exc:
+        return ColumnarAdmission("uncertified", None, str(exc))
+    from .analysis import UNKNOWN_BOUNDS, analyze_intervals
+
+    analysis = analyze_intervals(program, tuple(initializer), bounds or UNKNOWN_BOUNDS)
+    if analysis.int64_safe() and not plan.float_only:
+        return ColumnarAdmission("certified-int64", "int64")
+    if any(c.kind == "cumprod" for c in plan.components):
+        # Product trajectories overflow float64 catastrophically (inf, not
+        # rounding); without the int64 certificate there is no domain whose
+        # error model covers them.
+        return ColumnarAdmission(
+            "uncertified",
+            None,
+            "product accumulation needs the int64 certificate "
+            "(float64 overflow is unbounded divergence)",
+        )
+    if plan.float_only:
+        reason = "uses float-only builtins (sqrt/exp/log or fractional pow)"
+    else:
+        reason = _int64_blocking_reason(program, analysis)
+    return ColumnarAdmission("float-optin-only", "float64", reason)
+
+
+# -- column evaluation --------------------------------------------------------
+
+
+def _truthy(np, v):
+    """Element-wise truthiness (what the exact backend's ``bool()`` does)."""
+    if getattr(v, "dtype", None) is not None and v.dtype == np.bool_:
+        return v
+    return v != 0
+
+
+def _col_div(np, a, b, domain: str):
+    """``safe_div``: a/0 == 0.  In the int64 domain the certificate proves
+    every reachable quotient is integral, so floor division *is* exact
+    division there; the float64 domain divides in floats."""
+    zero = np.logical_not(_truthy(np, b))
+    safe_b = np.where(zero, 1, b)
+    if domain == "int64":
+        quot = np.floor_divide(a, safe_b)
+    else:
+        quot = np.asarray(a, dtype=np.float64) / safe_b
+    return np.where(zero, 0, quot)
+
+
+def _col_pow(np, base, exp_const):
+    """``safe_pow`` with a constant exponent (the only shape admitted)."""
+    exp = exp_const
+    if isinstance(exp, Fraction) and exp.denominator == 1:
+        exp = int(exp)
+    if isinstance(exp, float) and exp.is_integer():
+        exp = int(exp)
+    if isinstance(exp, int):
+        if exp >= 0:
+            return base**exp
+        base_f = np.asarray(base, dtype=np.float64)
+        zero = base_f == 0.0
+        return np.where(zero, 0.0, np.where(zero, 1.0, base_f) ** exp)
+    # Fractional exponent: floats; negative base -> 0, 0**e -> 0.
+    exp_f = float(exp)
+    base_f = np.asarray(base, dtype=np.float64)
+    bad = base_f <= 0.0
+    return np.where(bad, 0.0, np.where(bad, 1.0, base_f) ** exp_f)
+
+
+def _col_eval(np, expr: Expr, env: dict[str, Any], domain: str):
+    """Evaluate one IR expression over column (or scalar) operands."""
+    if isinstance(expr, Const):
+        v = expr.value
+        if isinstance(v, bool):
+            return v
+        if isinstance(v, Fraction):
+            return int(v) if v.denominator == 1 else float(v)
+        return v
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Let):
+        inner = dict(env)
+        inner[expr.name] = _col_eval(np, expr.value, env, domain)
+        return _col_eval(np, expr.body, inner, domain)
+    if isinstance(expr, If):
+        cond = _truthy(np, _col_eval(np, expr.cond, env, domain))
+        return np.where(
+            cond,
+            _col_eval(np, expr.then, env, domain),
+            _col_eval(np, expr.orelse, env, domain),
+        )
+    if isinstance(expr, Proj):
+        tup = _col_eval(np, expr.tup, env, domain)
+        return tup[expr.index]
+    if isinstance(expr, MakeTuple):
+        return tuple(_col_eval(np, item, env, domain) for item in expr.items)
+    if isinstance(expr, Call) and isinstance(expr.func, str):
+        name = expr.func
+        if name == "pow":
+            return _col_pow(np, _col_eval(np, expr.args[0], env, domain), expr.args[1].value)
+        args = [_col_eval(np, a, env, domain) for a in expr.args]
+        if name == "add":
+            return args[0] + args[1]
+        if name == "sub":
+            return args[0] - args[1]
+        if name == "mul":
+            return args[0] * args[1]
+        if name == "div":
+            return _col_div(np, args[0], args[1], domain)
+        if name == "neg":
+            return -args[0]
+        if name == "abs":
+            return np.abs(args[0])
+        if name == "min":
+            return np.minimum(args[0], args[1])
+        if name == "max":
+            return np.maximum(args[0], args[1])
+        if name == "sqrt":
+            v = np.asarray(args[0], dtype=np.float64)
+            return np.where(v < 0.0, 0.0, np.sqrt(np.maximum(v, 0.0)))
+        if name == "exp":
+            with np.errstate(over="ignore"):
+                return np.exp(np.asarray(args[0], dtype=np.float64))
+        if name == "log":
+            v = np.asarray(args[0], dtype=np.float64)
+            return np.where(v <= 0.0, 0.0, np.log(np.where(v <= 0.0, 1.0, v)))
+        if name == "sign":
+            return np.sign(args[0])
+        if name == "floor":
+            # int64 domain: the operand is certified integral -> identity.
+            return args[0] if domain == "int64" else np.floor(args[0])
+        if name == "ceil":
+            return args[0] if domain == "int64" else np.ceil(args[0])
+        if name == "lt":
+            return args[0] < args[1]
+        if name == "le":
+            return args[0] <= args[1]
+        if name == "gt":
+            return args[0] > args[1]
+        if name == "ge":
+            return args[0] >= args[1]
+        if name == "eq":
+            return args[0] == args[1]
+        if name == "ne":
+            return args[0] != args[1]
+        if name == "and":
+            return np.logical_and(_truthy(np, args[0]), _truthy(np, args[1]))
+        if name == "or":
+            return np.logical_or(_truthy(np, args[0]), _truthy(np, args[1]))
+        if name == "not":
+            return np.logical_not(_truthy(np, args[0]))
+    raise ColumnarError(f"{type(expr).__name__} reached the column evaluator")
+
+
+# -- data marshalling ---------------------------------------------------------
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _element_columns(np, chunk: list, arity: int, domain: str):
+    """Element columns for the batch: one array (scalars) or a tuple of
+    per-field arrays.  Any conversion surprise — floats or bignums in an
+    int64-certified stream, ragged tuples, non-numeric payloads — bails the
+    batch out to the exact kernel instead of guessing."""
+    try:
+        arr = np.asarray(chunk)
+    except (ValueError, TypeError, OverflowError):
+        raise _Bailout("elements do not form a rectangular numeric array") from None
+    if arr.dtype.kind == "O":
+        # Exact-runtime streams carry Fraction payloads; one scalar
+        # conversion pass (cheap: no gcd arithmetic) recovers the fast
+        # path, and any genuinely non-numeric payload bails here instead.
+        try:
+            if arity <= 1:
+                arr = np.asarray([_scalar_in(v, domain, "element") for v in chunk])
+            else:
+                arr = np.asarray(
+                    [[_scalar_in(f, domain, "element field") for f in v] for v in chunk]
+                )
+        except (ValueError, TypeError, OverflowError):
+            raise _Bailout("elements do not form a rectangular numeric array") from None
+        if arr.dtype.kind == "O":
+            raise _Bailout("elements are not numeric")
+    expected_dims = 1 if arity <= 1 else 2
+    if arr.ndim != expected_dims or (arity > 1 and arr.shape[1] != arity):
+        raise _Bailout("element shape does not match the scheme's arity")
+    if domain == "int64":
+        if arr.dtype.kind not in "iub" or arr.dtype.itemsize > 8:
+            raise _Bailout("elements are not int64-representable")
+        arr = arr.astype(np.int64, copy=False)
+    else:
+        if arr.dtype.kind not in "iubf":
+            raise _Bailout("elements are not numeric")
+        arr = arr.astype(np.float64, copy=False)
+    if arity <= 1:
+        return arr
+    return tuple(arr[:, i] for i in range(arity))
+
+
+def _scalar_in(value: Value, domain: str, what: str):
+    """One state value / extra parameter into the columnar domain."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Fraction):
+        if domain == "float64":
+            return float(value)
+        if value.denominator == 1:
+            value = int(value)
+        else:
+            raise _Bailout(f"{what} is a non-integral rational")
+    if isinstance(value, int):
+        if domain == "int64":
+            if not _INT64_MIN <= value <= _INT64_MAX:
+                raise _Bailout(f"{what} exceeds int64")
+            return value
+        return float(value)
+    if isinstance(value, float):
+        if domain == "int64":
+            raise _Bailout(f"{what} is a float in the int64 domain")
+        return value
+    raise _Bailout(f"{what} is not a columnar value")
+
+
+def _scalar_out(np, value) -> Value:
+    """One final column value back to the exact runtime representation."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _check_bounds(np, columns, arity: int, bounds) -> None:
+    """The runtime half of the certificate contract: int64 certificates are
+    conditional on the declared source bounds, so a batch that strays
+    outside them (or arrives when no field bounds were declared) must not
+    run on the licensed fast path.  Vectorized min/max — O(1) passes, not
+    per-element guards."""
+    fields = getattr(bounds, "element", None) if bounds is not None else None
+    if fields is None or len(fields) != max(arity, 1):
+        raise _Bailout("no declared element bounds to certify this batch against")
+    cols = (columns,) if arity <= 1 else columns
+    for fb, col in zip(fields, cols):
+        if col.size == 0:
+            continue
+        lo, hi = fb.lo, fb.hi
+        if lo != float("-inf") and col.min() < lo:
+            raise _Bailout("batch falls below the declared source bounds")
+        if hi != float("inf") and col.max() > hi:
+            raise _Bailout("batch exceeds the declared source bounds")
+
+
+# -- the kernel ---------------------------------------------------------------
+
+
+class ColumnarKernel(StepKernel):
+    """A :class:`~repro.ir.compile.StepKernel` whose batch body is NumPy
+    column operations, wrapping the exact kernel it falls back to.
+
+    The run contract is the kernel contract: ``run(state, elements, extra)
+    -> (state', consumed)``, empty batches touch nothing, and any
+    out-of-contract batch (data outside the certified bounds, non-numeric
+    payloads, unconvertible state) delegates *the whole batch* to the
+    wrapped exact kernel — including its exact partial-progress semantics
+    when an element genuinely faults.
+    """
+
+    __slots__ = ("domain", "exact", "plan", "bounds")
+
+    #: Marker the fusion planner and tests key on (plain StepKernels
+    #: return False via ``getattr(k, "columnar", False)``).
+    columnar = True
+
+    def __init__(self, run: Callable, *, domain: str, exact: StepKernel, plan: ColumnPlan,
+                 bounds, name: str):
+        super().__init__(run, compiled=True, name=name)
+        self.domain = domain
+        self.exact = exact
+        self.plan = plan
+        self.bounds = bounds
+
+    def __repr__(self) -> str:
+        return f"<ColumnarKernel {self.name} ({self.domain})>"
+
+
+def compile_columns(
+    program: OnlineProgram,
+    initializer: Sequence[Value],
+    *,
+    domain: str,
+    exact: StepKernel,
+    bounds=None,
+    name: str = "columnar",
+) -> ColumnarKernel:
+    """Build the columnar kernel for an admitted scheme.
+
+    ``domain`` is ``"int64"`` (certificate-licensed, bit-identical) or
+    ``"float64"`` (explicit opt-in); ``exact`` is the kernel delegated to
+    on bailouts.  Raises :class:`ColumnarUnavailable` without NumPy and
+    :class:`ColumnarError` when the program is not scan-decomposable.
+    """
+    np = _require_numpy()
+    if domain not in ("int64", "float64"):
+        raise ColumnarError(f"unknown columnar domain {domain!r}")
+    plan = plan_columns(program, initializer)
+    if plan.float_only and domain == "int64":
+        raise ColumnarError("program uses float-only builtins; int64 domain refused")
+    if domain == "float64" and any(c.kind == "cumprod" for c in plan.components):
+        raise ColumnarError("product accumulation is int64-only (float64 overflow)")
+    components = plan.components
+    order = plan.order
+    elem_arity = plan.elem_arity
+    elem_param = program.elem_param
+    extra_params = program.extra_params
+    state_params = program.state_params
+    index_of = {pname: i for i, pname in enumerate(state_params)}
+    guard = domain == "int64"
+
+    def _batch(state, chunk, extra):
+        n = len(chunk)
+        columns = _element_columns(np, chunk, elem_arity, domain)
+        if guard:
+            _check_bounds(np, columns, elem_arity, bounds)
+        base_env: dict[str, Any] = {elem_param: columns}
+        for pname in extra_params:
+            if extra is None or pname not in extra:
+                raise _Bailout(f"extra parameter {pname!r} missing")
+            base_env[pname] = _scalar_in(extra[pname], domain, f"extra {pname!r}")
+        starts = [_scalar_in(v, domain, f"state component {i}") for i, v in enumerate(state)]
+
+        trajectories: dict[str, Any] = {}
+
+        def prev_of(dep: str):
+            traj = trajectories[dep]
+            prev = np.empty(n, dtype=traj.dtype)
+            prev[0] = starts[index_of[dep]]
+            prev[1:] = traj[:-1]
+            return prev
+
+        for ci in order:
+            comp = components[ci]
+            start = starts[ci]
+            env = dict(base_env)
+            for dep in comp.depends:
+                env[dep] = prev_of(dep)
+            if comp.kind == "invariant":
+                traj = np.full(n, start)
+            elif comp.kind == "elementwise":
+                traj = _broadcast(np, _col_eval(np, comp.expr, env, domain), n)
+            else:
+                term = _broadcast(np, _col_eval(np, comp.expr, env, domain), n)
+                if comp.mask is not None:
+                    cond = _truthy(np, _broadcast(np, _col_eval(np, comp.mask, env, domain), n))
+                    if not comp.mask_sense:
+                        cond = ~cond
+                    term = np.where(cond, term, _neutral(np, comp.kind, term.dtype))
+                if comp.kind == "cumsum":
+                    traj = start + np.cumsum(term)
+                elif comp.kind == "cumprod":
+                    traj = start * np.cumprod(term)
+                elif comp.kind == "cummax":
+                    traj = np.maximum(np.maximum.accumulate(term), term.dtype.type(start))
+                elif comp.kind == "cummin":
+                    traj = np.minimum(np.minimum.accumulate(term), term.dtype.type(start))
+                elif comp.kind == "cumor":
+                    traj = np.logical_or.accumulate(_truthy(np, term)) | bool(start)
+                else:  # cumand
+                    traj = np.logical_and.accumulate(_truthy(np, term)) & bool(start)
+            trajectories[comp.name] = traj
+        return tuple(_scalar_out(np, trajectories[pname][-1]) for pname in state_params)
+
+    def _run(state, elements, extra=None):
+        chunk = elements if isinstance(elements, (list, tuple)) else list(elements)
+        if not chunk:
+            return tuple(state), 0
+        try:
+            new_state = _batch(state, chunk, extra)
+        except _Bailout:
+            return exact.run(state, chunk, extra)
+        return new_state, len(chunk)
+
+    return ColumnarKernel(
+        _run, domain=domain, exact=exact, plan=plan, bounds=bounds, name=name
+    )
+
+
+def _infer_elem_arity(program: OnlineProgram) -> int:
+    """Largest ``Proj`` index applied to the element parameter, plus one;
+    1 when the element is only used whole (scalar streams)."""
+    best = 0
+    seen_whole = False
+
+    def walk(e: Expr) -> None:
+        nonlocal best, seen_whole
+        if isinstance(e, Proj):
+            if isinstance(e.tup, Var) and e.tup.name == program.elem_param:
+                best = max(best, e.index + 1)
+                return
+            walk(e.tup)
+        elif isinstance(e, Var):
+            if e.name == program.elem_param:
+                seen_whole = True
+        elif isinstance(e, Call):
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, If):
+            walk(e.cond), walk(e.then), walk(e.orelse)
+        elif isinstance(e, Let):
+            walk(e.value), walk(e.body)
+        elif isinstance(e, MakeTuple):
+            for item in e.items:
+                walk(item)
+
+    for out in program.outputs:
+        walk(out)
+    if best > 0 and seen_whole:
+        raise ColumnarError("element used both whole and projected")
+    return best if best > 0 else 1
+
+
+def _broadcast(np, value, n: int):
+    """A per-element column for ``value`` (constants broadcast)."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(n, value)
+    return arr
+
+
+def _neutral(np, kind: str, dtype):
+    """The scan's neutral element: masked-out positions accumulate this.
+
+    ``cumsum`` masks are folded into the term by the additive
+    decomposition, so only the associative kinds reach here.
+    """
+    if kind == "cumsum":
+        return dtype.type(0)
+    if kind == "cumprod":
+        return dtype.type(1)
+    if kind == "cummax":
+        return np.iinfo(np.int64).min if dtype.kind == "i" else -np.inf
+    if kind == "cummin":
+        return np.iinfo(np.int64).max if dtype.kind == "i" else np.inf
+    if kind == "cumor":
+        return False
+    return True  # cumand
+
+
+def columnar_kernel_for(
+    scheme,
+    bounds=None,
+    *,
+    allow_float: bool = False,
+    exact: StepKernel | None = None,
+) -> ColumnarKernel | None:
+    """The admitted columnar kernel for ``scheme`` under ``bounds``, or
+    ``None`` (NumPy absent, not admitted, or int64-only policy and no
+    certificate).  The helper behind
+    :meth:`repro.core.scheme.OnlineScheme.compiled_columns`.
+    """
+    if numpy_or_none() is None:
+        return None
+    admission = admit_columnar(scheme.program, scheme.initializer, bounds)
+    if not admission.admitted:
+        return None
+    if admission.domain == "float64" and not allow_float:
+        return None
+    try:
+        return compile_columns(
+            scheme.program,
+            scheme.initializer,
+            domain=admission.domain,
+            exact=exact if exact is not None else scheme._resolve_kernel(),
+            bounds=bounds,
+            name=f"{scheme.provenance}-columnar",
+        )
+    except ColumnarError:
+        return None

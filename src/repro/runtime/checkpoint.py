@@ -110,7 +110,8 @@ def operator_checkpoint(op) -> dict:
     }
 
 
-def restore_operator(data: dict):
+def restore_operator(data: dict, *, jit: bool | None = None,
+                     backend: str | None = None, bounds=None):
     from .stream import OnlineOperator
 
     _check_envelope(data, _OPERATOR)
@@ -118,7 +119,10 @@ def restore_operator(data: dict):
         scheme = scheme_from_dict(data.get("scheme"))
     except SchemeFormatError as exc:
         raise CheckpointError(f"invalid scheme in checkpoint: {exc}") from None
-    op = OnlineOperator(scheme, _decode_extra(data.get("extra")), data.get("name"))
+    op = OnlineOperator(
+        scheme, _decode_extra(data.get("extra")), data.get("name"),
+        jit=jit, backend=backend, bounds=bounds,
+    )
     op.state = _decode_state(data.get("state"), scheme.arity, "operator")
     op.count = _decode_count(data.get("count"))
     return op
@@ -175,9 +179,10 @@ def restore_keyed(
     *,
     value_fn: Callable[[Value], Value] | None = None,
     jit: bool | None = None,
+    backend: str | None = None,
+    bounds=None,
 ):
     from .keyed import KeyedOperator
-    from .stream import OnlineOperator
 
     _check_envelope(data, _KEYED)
     try:
@@ -191,6 +196,8 @@ def restore_keyed(
         extra=_decode_extra(data.get("extra")),
         name=data.get("name"),
         jit=jit,
+        backend=backend,
+        bounds=bounds,
     )
     keyed.count = _decode_count(data.get("count"))
     raw_parts = data.get("partitions")
@@ -206,10 +213,9 @@ def restore_keyed(
             raise CheckpointError(f"bad partition key: {exc}") from None
         if isinstance(key, list):  # decoded containers: only tuples hash
             raise CheckpointError("partition keys must be hashable values")
-        part = OnlineOperator(scheme, keyed.extra, f"{keyed.name}[{key!r}]", jit=jit)
+        part = keyed.operator(key)
         part.state = _decode_state(raw_state, scheme.arity, f"partition {key!r}")
         part.count = _decode_count(raw_count)
-        keyed.partitions[key] = part
     return keyed
 
 
@@ -277,12 +283,17 @@ def load_checkpoint(
     *,
     key_fn: Callable[[Value], Hashable] | None = None,
     value_fn: Callable[[Value], Value] | None = None,
+    jit: bool | None = None,
+    backend: str | None = None,
+    bounds=None,
 ):
     """Load any checkpoint file, dispatching on its ``kind``.
 
     Keyed checkpoints need ``key_fn`` (and optionally ``value_fn``) supplied
     again; passing them for other kinds is an error, as is omitting them for
-    a keyed one.
+    a keyed one.  ``jit``/``backend``/``bounds`` are process decisions, not
+    state: a checkpoint written under any backend restores under any other
+    (bit-identically on the certified int64 path).
     """
     try:
         data = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -297,11 +308,12 @@ def load_checkpoint(
                 "restoring a keyed checkpoint requires key_fn= (extractors are "
                 "code, not data)"
             )
-        return restore_keyed(data, key_fn, value_fn=value_fn)
+        return restore_keyed(data, key_fn, value_fn=value_fn, jit=jit,
+                             backend=backend, bounds=bounds)
     if key_fn is not None or value_fn is not None:
         raise CheckpointError(f"key_fn/value_fn only apply to keyed checkpoints, not {kind!r}")
     if kind == _OPERATOR:
-        return restore_operator(data)
+        return restore_operator(data, jit=jit, backend=backend, bounds=bounds)
     if kind == _PIPELINE:
         return restore_pipeline(data)
     raise CheckpointError(f"unknown checkpoint kind {kind!r}")

@@ -41,6 +41,8 @@ class KeyedOperator:
         extra: Mapping[str, Value] | None = None,
         name: str | None = None,
         jit: bool | None = None,
+        backend: str | None = None,
+        bounds=None,
     ):
         self.scheme = scheme
         self.key_fn = key_fn
@@ -52,14 +54,24 @@ class KeyedOperator:
         # Execution-backend choice, forwarded to every partition operator —
         # without this, ``jit=False`` on a keyed deployment was silently
         # ignored (partitions resolved the backend from the env knob only).
+        # ``backend``/``bounds`` select the columnar fast path the same way
+        # (admission happens once: the scheme caches the columnar kernel,
+        # partitions share it).
         self._jit = jit
+        self._backend = backend
+        self._bounds = bounds
 
     def operator(self, key: Hashable) -> OnlineOperator:
         """The partition for ``key``, created fresh on first touch."""
         op = self.partitions.get(key)
         if op is None:
             op = self.partitions[key] = OnlineOperator(
-                self.scheme, self.extra, f"{self.name}[{key!r}]", jit=self._jit
+                self.scheme,
+                self.extra,
+                f"{self.name}[{key!r}]",
+                jit=self._jit,
+                backend=self._backend,
+                bounds=self._bounds,
             )
         return op
 
@@ -199,10 +211,14 @@ class KeyedOperator:
         *,
         value_fn: Callable[[Value], Value] | None = None,
         jit: bool | None = None,
+        backend: str | None = None,
+        bounds=None,
     ) -> "KeyedOperator":
         """Rebuild from :meth:`checkpoint` output.  Key/value extractors are
-        code, not data — the caller supplies them again (as is the ``jit``
-        backend choice, a process decision rather than state)."""
+        code, not data — the caller supplies them again (as are the ``jit``
+        and ``backend`` choices, process decisions rather than state: a
+        checkpoint written under one backend restores under any other)."""
         from .checkpoint import restore_keyed
 
-        return restore_keyed(data, key_fn, value_fn=value_fn, jit=jit)
+        return restore_keyed(data, key_fn, value_fn=value_fn, jit=jit,
+                             backend=backend, bounds=bounds)

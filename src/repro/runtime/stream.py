@@ -47,7 +47,11 @@ class OnlineOperator:
         name: str | None = None,
         *,
         jit: bool | None = None,
+        backend: str | None = None,
+        bounds=None,
     ):
+        if backend not in (None, "exact", "auto", "columnar"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.scheme = scheme
         self.extra = dict(extra or {})
         self.name = name or scheme.provenance
@@ -57,19 +61,47 @@ class OnlineOperator:
         # compiled native closure (per-element push) and the batch kernel
         # (push_many) by default, interpreter-driven equivalents under
         # REPRO_JIT=0 or jit=False (or when the program is uncompilable).
-        # See :mod:`repro.ir.compile`.
+        # See :mod:`repro.ir.compile`.  Under backend="auto"/"columnar" the
+        # batch kernel is upgraded to the certificate-licensed NumPy
+        # columnar plan when admission grants it ("auto" takes only the
+        # bit-identical int64 path; "columnar" also opts into float64);
+        # otherwise the exact kernel stays — silently, by design: the
+        # backend choice never changes what an operator computes.
         self._jit = jit
+        self._backend = backend
+        self._bounds = bounds
         self._step = scheme._resolve_step(jit)
         self._kernel = scheme._resolve_kernel(jit)
+        self._columnar_float = False
+        if backend in ("auto", "columnar"):
+            columnar = scheme.compiled_columns(
+                bounds, allow_float=backend == "columnar", jit=jit
+            )
+            if columnar is not None:
+                self._kernel = columnar
+                self._columnar_float = columnar.domain == "float64"
 
     @property
     def value(self) -> Value:
         """Current result (``fst`` of the accumulator tuple)."""
         return self.state[0]
 
+    @property
+    def backend_in_use(self) -> str:
+        """``"columnar"`` when batches run on the NumPy columnar kernel,
+        else ``"exact"`` — what actually got admitted, not what was asked."""
+        return "columnar" if getattr(self._kernel, "columnar", False) else "exact"
+
     def push(self, element: Value) -> Value:
         """Consume one element; returns the updated result."""
-        state = self._step(self.state, element, self.extra)
+        if self._columnar_float:
+            # A float64 columnar operator keeps ONE numeric model: scalar
+            # pushes run as single-element batches through the same kernel,
+            # so interleaving push and push_many never mixes exact-rational
+            # and IEEE-754 arithmetic in one trajectory.
+            state, _ = self._kernel.run(self.state, (element,), self.extra)
+        else:
+            state = self._step(self.state, element, self.extra)
         self.state = state
         self.count += 1
         return state[0]
@@ -105,7 +137,14 @@ class OnlineOperator:
     def fork(self) -> "OnlineOperator":
         """An independent copy sharing the scheme (and execution backend
         choice) but not the state."""
-        clone = OnlineOperator(self.scheme, self.extra, self.name, jit=self._jit)
+        clone = OnlineOperator(
+            self.scheme,
+            self.extra,
+            self.name,
+            jit=self._jit,
+            backend=self._backend,
+            bounds=self._bounds,
+        )
         clone.state = self.state
         clone.count = self.count
         return clone
@@ -145,9 +184,12 @@ class StreamPipeline:
         (:func:`repro.ir.compile.compile_fused_steps`), or ``None`` when
         fusion does not apply — fewer than two operators, any operator on
         the interpreter backend (``--no-jit`` must reach the whole
-        pipeline), one operator object registered under several names (the
-        fused slots would silently overwrite each other's writes to the
-        shared state), or a program the fused codegen declines.
+        pipeline), any operator on the columnar backend (its whole-batch
+        NumPy plan beats a fused scalar loop, and fusing would silently
+        drop the licensed fast path), one operator object registered under
+        several names (the fused slots would silently overwrite each
+        other's writes to the shared state), or a program the fused
+        codegen declines.
 
         Returns ``(kernel | None, distinct)`` — ``distinct`` is False when
         an operator appears under several names, which also rules out the
@@ -157,7 +199,8 @@ class StreamPipeline:
             return plan[1], plan[2]
         kernel = None
         distinct = len({id(op) for op in ops}) == len(ops)
-        if len(ops) > 1 and distinct and all(op._kernel.compiled for op in ops):
+        columnar = any(getattr(op._kernel, "columnar", False) for op in ops)
+        if len(ops) > 1 and distinct and not columnar and all(op._kernel.compiled for op in ops):
             try:
                 kernel = compile_fused_steps(
                     [op.scheme.program for op in ops],

@@ -223,8 +223,12 @@ class StreamServer:
         seed: int | None = None,
         ring_replicas: int = 64,
         jit: bool | None = None,
+        backend: str | None = None,
+        bounds=None,
         fresh: bool = False,
     ):
+        if backend not in (None, "exact", "auto", "columnar"):
+            raise ValueError(f"unknown backend {backend!r}")
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if batch_size < 1:
@@ -257,6 +261,8 @@ class StreamServer:
         self.on_error = on_error
         self.faults = faults.validate(shards) if faults is not None else None
         self.jit = jit
+        self.backend = backend
+        self.bounds = bounds
         self.fresh = fresh
         self.ring = HashRing(shards, replicas=ring_replicas)
         self.latencies_s: list[float] = []
@@ -457,6 +463,8 @@ class StreamServer:
             checkpoint_every=self.checkpoint_every,
             keep_generations=self.keep_generations,
             jit=self.jit,
+            backend=self.backend,
+            bounds=self.bounds,
             resume=resume,
             heartbeat_every_s=heartbeat,
             on_error=self.on_error,
@@ -714,6 +722,8 @@ class StreamServer:
             field_extractor(self.key_field),
             value_fn=field_extractor(self.value_field),
             jit=self.jit,
+            backend=self.backend,
+            bounds=self.bounds,
         )
         return ServeResult(
             operator=operator,
@@ -738,6 +748,8 @@ def reference_states(
     value_field=None,
     extra: Mapping[str, Value] | None = None,
     jit: bool | None = None,
+    backend: str | None = None,
+    bounds=None,
 ) -> KeyedOperator:
     """The single-process oracle a serve run must match bit-for-bit: one
     ``KeyedOperator`` folding the same element sequence in one process."""
@@ -747,6 +759,8 @@ def reference_states(
         value_fn=field_extractor(value_field),
         extra=extra,
         jit=jit,
+        backend=backend,
+        bounds=bounds,
     )
     op.push_many(list(elements))
     return op

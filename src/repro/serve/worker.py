@@ -89,6 +89,8 @@ class WorkerConfig:
     extra: dict = field(default_factory=dict)
     keep_generations: int = 3
     jit: bool | None = None
+    backend: str | None = None  #: None/"exact" | "auto" | "columnar"
+    bounds: object = None  #: AnalysisBounds licensing columnar admission
     resume: bool = False
     heartbeat_every_s: float = 1.0
     on_error: str = "fail"  #: "fail" | "quarantine"
@@ -110,7 +112,8 @@ def _restore_lineage(config: WorkerConfig, key_fn, value_fn):
     if latest is None:
         return None
     generation, consumed, payload = latest
-    op = restore_keyed(payload, key_fn, value_fn=value_fn, jit=config.jit)
+    op = restore_keyed(payload, key_fn, value_fn=value_fn, jit=config.jit,
+                       backend=config.backend, bounds=config.bounds)
     if op.scheme != config.scheme:
         raise CheckpointError(
             f"shard {config.shard_id} checkpoint was taken under a different scheme"
@@ -214,6 +217,8 @@ def shard_worker(config: WorkerConfig, cmd_conn, ack_conn):
             extra=config.extra,
             name=f"shard-{config.shard_id}",
             jit=config.jit,
+            backend=config.backend,
+            bounds=config.bounds,
         )
     generation = history[-1][0] if history else 0
     checkpointed = consumed  # consumed count at the last checkpoint write
